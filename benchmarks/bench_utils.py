@@ -1,0 +1,63 @@
+"""Helpers shared by the per-figure benchmark modules."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # pragma: no cover - environment dependent
+    sys.path.insert(0, _SRC)
+
+from repro.bench.reporting import format_table  # noqa: E402
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark timing.
+
+    The experiment itself already averages over many queries and updates, so
+    repeating it would only multiply the runtime without tightening the
+    estimate.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def print_figure(title: str, rows) -> None:
+    """Print a figure's table and persist it under ``benchmarks/results/``.
+
+    pytest captures stdout of passing tests, so the persisted copy is what
+    survives a quiet benchmark run; EXPERIMENTS.md points at these files.
+    """
+    table = format_table(rows, title=title)
+    print()
+    print(table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    slug = (
+        title.split("—")[0]
+        .strip()
+        .lower()
+        .replace(" ", "_")
+        .replace("/", "-")
+    )
+    with open(os.path.join(RESULTS_DIR, f"{slug}.txt"), "w", encoding="utf-8") as handle:
+        handle.write(table)
+
+
+def by_index(rows, sweep_key=None):
+    """Group rows by index name (and optionally a sweep key) for assertions."""
+    grouped = {}
+    for row in rows:
+        key = (row["index"], row[sweep_key]) if sweep_key else row["index"]
+        grouped[key] = row
+    return grouped
+
+
+def series(rows, index_name, sweep_key, value_key="query_io"):
+    """Extract one index's series over a swept parameter, sorted by the sweep value."""
+    points = [
+        (row[sweep_key], row[value_key]) for row in rows if row["index"] == index_name
+    ]
+    return [value for _, value in sorted(points)]

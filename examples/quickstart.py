@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: index a fleet of vehicles and compare VP against no-VP.
+
+This example walks through the full public API in a few dozen lines:
+
+1. generate a road-network workload (vehicles driving on a Chicago-like
+   grid, reporting velocity updates, interleaved with predictive range
+   queries);
+2. run the velocity analyzer to find the dominant velocity axes (DVAs) and
+   the outlier threshold τ;
+3. build the four indexes the paper compares — Bx, Bx(VP), TPR*, TPR*(VP) —
+   and replay the same workload against each; and
+4. print the average query/update I/O and latency per index.
+
+Run it with:  python examples/quickstart.py
+"""
+
+from repro import (
+    ExperimentRunner,
+    VelocityAnalyzer,
+    WorkloadParameters,
+    build_standard_indexes,
+    build_workload,
+)
+from repro.bench.reporting import format_table
+
+
+def main() -> None:
+    # Scaled-down Table 1 defaults: 3,000 vehicles on a 50 km x 50 km space,
+    # max speed 100 m/ts, circular queries of radius 500 m looking 60 ts ahead.
+    params = WorkloadParameters(num_objects=1_500, num_queries=30, time_duration=90.0)
+    workload = build_workload("CH", params)
+    print(
+        f"workload: {workload.num_objects} vehicles, "
+        f"{len(workload.update_events)} updates, "
+        f"{len(workload.query_events)} range queries"
+    )
+
+    # Peek at what the velocity analyzer finds before running the comparison.
+    partitioning = VelocityAnalyzer(k=2).analyze(workload.velocity_sample())
+    for i, dva in enumerate(partitioning.dvas):
+        print(
+            f"  DVA {i}: direction {dva.angle_degrees():6.1f} degrees, "
+            f"outlier threshold tau = {dva.tau:.2f} m/ts"
+        )
+    print(f"  analyzer time: {1000 * partitioning.analysis_time_seconds:.1f} ms")
+
+    # Build and race the four indexes on the identical workload.
+    indexes = build_standard_indexes(workload, params)
+    runner = ExperimentRunner(workload)
+    rows = [runner.run(index, name=name).as_row() for name, index in indexes.items()]
+    print()
+    print(format_table(rows, title="Bx / Bx(VP) / TPR* / TPR*(VP) on the CH workload"))
+
+    bx = next(r for r in rows if r["index"] == "Bx")
+    bx_vp = next(r for r in rows if r["index"] == "Bx(VP)")
+    if bx_vp["query_io"] < bx["query_io"]:
+        factor = bx["query_io"] / max(bx_vp["query_io"], 1e-9)
+        print(f"velocity partitioning cut Bx query I/O by {factor:.1f}x on this workload")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed editable (``pip install -e . --no-use-pep517``) in
+offline environments that lack the ``wheel`` package required by the PEP 517
+editable build path.
+"""
+
+from setuptools import setup
+
+setup()

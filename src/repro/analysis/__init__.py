@@ -1,0 +1,15 @@
+"""Measurement utilities for the search-space-expansion analysis (Figure 7)."""
+
+from repro.analysis.expansion import (
+    ExpansionSample,
+    leaf_mbr_expansion_rates,
+    query_expansion_rates,
+    expansion_anisotropy,
+)
+
+__all__ = [
+    "ExpansionSample",
+    "leaf_mbr_expansion_rates",
+    "query_expansion_rates",
+    "expansion_anisotropy",
+]

@@ -1,0 +1,125 @@
+"""Search-space-expansion measurements (Figure 7 of the paper).
+
+Figure 7 plots, per leaf node of a TPR*-tree (or per query of a Bx-tree),
+the rate at which the search space expands along the two axes of the index's
+coordinate system:
+
+* for an unpartitioned index the two axes are x and y, and the points are
+  spread over the 2-D quadrant (the search space grows in both directions);
+* for a velocity-partitioned index the axes are the DVA and its orthogonal
+  direction, and the points hug the DVA axis (near 1-D growth).
+
+The functions here extract exactly those scatter points so the benchmark can
+print them and quantify the anisotropy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.bxtree.bx_tree import BxTree
+from repro.geometry.moving_rect import MovingRect
+from repro.objects.queries import RangeQuery
+from repro.tprtree.tpr_tree import TPRTree
+
+
+@dataclass(frozen=True)
+class ExpansionSample:
+    """Expansion rate of one leaf node (or one query) along the two index axes.
+
+    ``along`` is the expansion rate along the index's primary axis (the x
+    axis for an unpartitioned index, the DVA for a partitioned one) and
+    ``across`` the rate along the orthogonal axis, both in meters per
+    timestamp.
+    """
+
+    along: float
+    across: float
+    label: str = ""
+
+    @property
+    def anisotropy(self) -> float:
+        """Ratio of the larger to the smaller rate (1.0 means isotropic)."""
+        lo, hi = sorted((abs(self.along), abs(self.across)))
+        if hi == 0.0:
+            return 1.0
+        if lo == 0.0:
+            return float("inf")
+        return hi / lo
+
+
+def leaf_mbr_expansion_rates(tree: TPRTree, label: str = "") -> List[ExpansionSample]:
+    """Per-leaf MBR expansion rates of a TPR-tree (Figures 7a / 7b).
+
+    The expansion rate of a leaf along an axis is the growth speed of its
+    extent on that axis, ``v_max - v_min`` of the leaf's VBR.
+    """
+    samples: List[ExpansionSample] = []
+    for bound in tree.iter_leaf_bounds():
+        samples.append(
+            ExpansionSample(
+                along=bound.expansion_rate_x,
+                across=bound.expansion_rate_y,
+                label=label,
+            )
+        )
+    return samples
+
+
+def query_expansion_rates(
+    tree: BxTree, queries: Sequence[RangeQuery], label: str = ""
+) -> List[ExpansionSample]:
+    """Per-query window expansion rates of a Bx-tree (Figures 7c / 7d).
+
+    For each query and each active partition, the enlarged window is compared
+    with the raw query window; dividing the enlargement by the time gap to
+    the partition's label time gives the expansion rate per axis.
+    """
+    samples: List[ExpansionSample] = []
+    for query in queries:
+        base = query.bounding_rect_over_interval()
+        for partition in tree.active_partitions:
+            gap = abs(query.end_time - tree.label_time(partition))
+            if gap == 0.0:
+                continue
+            window = tree.enlarged_window(query, partition)
+            samples.append(
+                ExpansionSample(
+                    along=(window.width - base.width) / gap,
+                    across=(window.height - base.height) / gap,
+                    label=label,
+                )
+            )
+    return samples
+
+
+def expansion_anisotropy(samples: Iterable[ExpansionSample]) -> Optional[float]:
+    """Mean anisotropy over ``samples`` (``None`` for an empty collection).
+
+    Unpartitioned indexes on skewed data produce values close to 1 (the
+    search space expands in both directions); partitioned indexes produce
+    much larger values because the across-DVA expansion is small.
+    """
+    values = [s.anisotropy for s in samples if s.anisotropy != float("inf")]
+    infinites = sum(1 for s in samples if s.anisotropy == float("inf"))
+    total = values + [max(values) if values else 1.0] * infinites
+    if not total:
+        return None
+    return sum(total) / len(total)
+
+
+def mean_across_rate(samples: Iterable[ExpansionSample]) -> Optional[float]:
+    """Mean expansion rate orthogonal to the primary axis."""
+    rates = [abs(s.across) for s in samples]
+    if not rates:
+        return None
+    return sum(rates) / len(rates)
+
+
+def mean_along_rate(samples: Iterable[ExpansionSample]) -> Optional[float]:
+    """Mean expansion rate along the primary axis."""
+    rates = [abs(s.along) for s in samples]
+    if not rates:
+        return None
+    return sum(rates) / len(rates)

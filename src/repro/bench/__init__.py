@@ -1,0 +1,20 @@
+"""Experiment harness reproducing the paper's evaluation (Section 6)."""
+
+from repro.bench.harness import (
+    ExperimentRunner,
+    IndexMetrics,
+    build_standard_indexes,
+    run_comparison,
+)
+from repro.bench.reporting import format_table, rows_to_csv
+from repro.bench import experiments
+
+__all__ = [
+    "ExperimentRunner",
+    "IndexMetrics",
+    "build_standard_indexes",
+    "run_comparison",
+    "format_table",
+    "rows_to_csv",
+    "experiments",
+]

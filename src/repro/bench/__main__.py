@@ -1,0 +1,105 @@
+"""Command-line entry point for the experiment drivers.
+
+Examples::
+
+    python -m repro.bench --list
+    python -m repro.bench --figure fig19
+    python -m repro.bench --figure fig21 --dataset SA --objects 2000
+    python -m repro.bench --all --output results/
+
+Each figure prints its table to stdout; with ``--output`` a CSV per figure
+is written as well.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.bench import experiments
+from repro.bench.reporting import format_table, rows_to_csv
+from repro.workload.parameters import WorkloadParameters
+
+#: Registry of figure name -> (description, driver).  Drivers that take a
+#: dataset accept it as their first argument; the CLI passes the selected one.
+FIGURES: Dict[str, tuple] = {
+    "fig07": ("search space expansion (Figure 7)", experiments.fig07_search_space_expansion, True),
+    "fig10": ("DVA discovery quality (Figures 10/11)", experiments.fig10_dva_discovery, True),
+    "fig17": ("tau threshold sweep (Figure 17)", experiments.fig17_tau_threshold, True),
+    "fig18": ("velocity analyzer overhead (Figure 18)", None, False),
+    "fig19": ("effect of data sets (Figure 19)", None, False),
+    "fig20": ("effect of data size (Figure 20)", experiments.fig20_data_size, True),
+    "fig21": ("effect of maximum speed (Figure 21)", experiments.fig21_max_speed, True),
+    "fig22": ("effect of query radius (Figure 22)", experiments.fig22_query_radius, True),
+    "fig23": ("effect of predictive time (Figure 23)", experiments.fig23_predictive_time, True),
+    "fig24": ("rectangular queries (Figure 24)", experiments.fig24_predictive_time_rectangular, True),
+    "ablation_vp": ("ablation of k and sample size", experiments.ablation_vp_parameters, True),
+    "ablation_curve": ("ablation of the space-filling curve", experiments.ablation_space_filling_curve, True),
+}
+
+
+def _run_figure(name: str, dataset: str, params: WorkloadParameters) -> List[dict]:
+    if name == "fig18":
+        return experiments.fig18_analyzer_overhead(params=params)
+    if name == "fig19":
+        return experiments.fig19_datasets(params=params)
+    _, driver, takes_dataset = FIGURES[name]
+    if takes_dataset:
+        return driver(dataset, params)
+    return driver(params=params)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the paper's experiments and print/write their tables.",
+    )
+    parser.add_argument("--figure", choices=sorted(FIGURES), help="figure to reproduce")
+    parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument("--list", action="store_true", help="list available figures")
+    parser.add_argument("--dataset", default="SA", help="dataset for single-dataset figures")
+    parser.add_argument("--objects", type=int, default=None, help="override object cardinality")
+    parser.add_argument("--queries", type=int, default=None, help="override query count")
+    parser.add_argument("--duration", type=float, default=None, help="override time duration")
+    parser.add_argument("--output", default=None, help="directory to write CSV tables into")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name, (description, *_rest) in sorted(FIGURES.items()):
+            print(f"{name:15s} {description}")
+        return 0
+    if not args.all and not args.figure:
+        build_parser().print_help()
+        return 2
+
+    overrides = {}
+    if args.objects is not None:
+        overrides["num_objects"] = args.objects
+    if args.queries is not None:
+        overrides["num_queries"] = args.queries
+    if args.duration is not None:
+        overrides["time_duration"] = args.duration
+    params = WorkloadParameters().scaled(**overrides) if overrides else WorkloadParameters()
+
+    names = sorted(FIGURES) if args.all else [args.figure]
+    if args.output:
+        os.makedirs(args.output, exist_ok=True)
+    for name in names:
+        description = FIGURES[name][0]
+        rows = _run_figure(name, args.dataset, params)
+        print(format_table(rows, title=f"{name} — {description}"))
+        if args.output:
+            path = os.path.join(args.output, f"{name}.csv")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(rows_to_csv(rows))
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

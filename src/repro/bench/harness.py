@@ -1,0 +1,228 @@
+"""Core experiment harness.
+
+The harness mirrors the paper's methodology: an index is bulk-loaded with
+the workload's initial objects, the time-ordered event stream (updates and
+range queries) is replayed against it, and the average physical I/O and
+wall-clock time per query and per update are reported.
+
+The same harness runs both unpartitioned indexes (Bx-tree, TPR*-tree) and
+their VP counterparts, because they share the ``insert / update /
+range_query`` protocol and expose their buffer pool for I/O accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bxtree.bx_tree import BxTree
+from repro.core.partitioned_index import (
+    VPIndex,
+    make_vp_bx_tree,
+    make_vp_tprstar_tree,
+)
+from repro.core.velocity_analyzer import VelocityAnalyzer
+from repro.storage.buffer_manager import BufferManager
+from repro.tprtree.tpr_tree import TPRTree
+from repro.tprtree.tprstar_tree import TPRStarTree
+from repro.workload.events import QueryEvent, UpdateEvent, Workload
+from repro.workload.parameters import WorkloadParameters
+
+
+@dataclass
+class IndexMetrics:
+    """Per-index metrics of one experiment run (the paper's four plots)."""
+
+    index_name: str
+    dataset: str = ""
+    num_queries: int = 0
+    num_updates: int = 0
+    query_io_total: int = 0
+    update_io_total: int = 0
+    query_node_accesses: int = 0
+    update_node_accesses: int = 0
+    query_time_total: float = 0.0
+    update_time_total: float = 0.0
+    build_time: float = 0.0
+    results_returned: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def avg_query_io(self) -> float:
+        return self.query_io_total / self.num_queries if self.num_queries else 0.0
+
+    @property
+    def avg_query_node_accesses(self) -> float:
+        """Logical node accesses per query (buffer hits included)."""
+        return self.query_node_accesses / self.num_queries if self.num_queries else 0.0
+
+    @property
+    def avg_update_node_accesses(self) -> float:
+        return self.update_node_accesses / self.num_updates if self.num_updates else 0.0
+
+    @property
+    def avg_update_io(self) -> float:
+        return self.update_io_total / self.num_updates if self.num_updates else 0.0
+
+    @property
+    def avg_query_time_ms(self) -> float:
+        if not self.num_queries:
+            return 0.0
+        return 1000.0 * self.query_time_total / self.num_queries
+
+    @property
+    def avg_update_time_ms(self) -> float:
+        if not self.num_updates:
+            return 0.0
+        return 1000.0 * self.update_time_total / self.num_updates
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dictionary used by the reporting helpers."""
+        row: Dict[str, object] = {
+            "index": self.index_name,
+            "dataset": self.dataset,
+            "query_io": round(self.avg_query_io, 2),
+            "query_nodes": round(self.avg_query_node_accesses, 2),
+            "query_ms": round(self.avg_query_time_ms, 3),
+            "update_io": round(self.avg_update_io, 2),
+            "update_ms": round(self.avg_update_time_ms, 3),
+            "queries": self.num_queries,
+            "updates": self.num_updates,
+            "results": self.results_returned,
+        }
+        row.update({k: round(v, 4) for k, v in self.extra.items()})
+        return row
+
+
+#: An index builder maps a workload to a freshly built (empty) index.
+IndexBuilder = Callable[[Workload], object]
+
+
+class ExperimentRunner:
+    """Replays a workload against one index and records metrics."""
+
+    def __init__(self, workload: Workload) -> None:
+        self.workload = workload
+
+    def run(self, index, name: Optional[str] = None) -> IndexMetrics:
+        """Load the initial objects, replay the events, and report metrics."""
+        metrics = IndexMetrics(
+            index_name=name or getattr(index, "name", type(index).__name__),
+            dataset=self.workload.name,
+        )
+        stats = index.buffer.stats
+        build_start = time.perf_counter()
+        for obj in self.workload.initial_objects:
+            index.insert(obj)
+        metrics.build_time = time.perf_counter() - build_start
+
+        for event in self.workload.sorted_events():
+            if isinstance(event, UpdateEvent):
+                before = stats.physical.total
+                before_logical = stats.logical.reads
+                started = time.perf_counter()
+                index.update(event.old, event.new)
+                metrics.update_time_total += time.perf_counter() - started
+                metrics.update_io_total += stats.physical.total - before
+                metrics.update_node_accesses += stats.logical.reads - before_logical
+                metrics.num_updates += 1
+            elif isinstance(event, QueryEvent):
+                before = stats.physical.total
+                before_logical = stats.logical.reads
+                started = time.perf_counter()
+                results = index.range_query(event.query)
+                metrics.query_time_total += time.perf_counter() - started
+                metrics.query_io_total += stats.physical.total - before
+                metrics.query_node_accesses += stats.logical.reads - before_logical
+                metrics.num_queries += 1
+                metrics.results_returned += len(results)
+        return metrics
+
+
+# ----------------------------------------------------------------------
+# Standard index line-up of the experiments
+# ----------------------------------------------------------------------
+STANDARD_INDEXES = ("Bx", "Bx(VP)", "TPR*", "TPR*(VP)")
+
+#: Extended line-up including the original TPR-tree baseline (used by the
+#: TPR-family ablation benchmark; the paper's figures only plot the four
+#: standard indexes).
+EXTENDED_INDEXES = ("Bx", "Bx(VP)", "TPR", "TPR*", "TPR*(VP)")
+
+
+def build_standard_indexes(
+    workload: Workload,
+    params: Optional[WorkloadParameters] = None,
+    which: Sequence[str] = STANDARD_INDEXES,
+    k: int = 2,
+    analyzer_seed: int = 0,
+) -> Dict[str, object]:
+    """Build the paper's four competing indexes for one workload.
+
+    The VP variants run the velocity analyzer over the workload's velocity
+    sample (10,000 points maximum, as in the paper) before the indexes are
+    created.
+    """
+    if params is None:
+        params = WorkloadParameters()
+    indexes: Dict[str, object] = {}
+    partitioning = None
+    if any(name.endswith("(VP)") for name in which):
+        analyzer = VelocityAnalyzer(k=k, seed=analyzer_seed)
+        partitioning = analyzer.analyze(workload.velocity_sample())
+    for name in which:
+        if name == "Bx":
+            indexes[name] = BxTree(
+                buffer=BufferManager(capacity=params.buffer_pages),
+                space=params.space,
+                max_update_interval=params.max_update_interval,
+                page_size=params.page_size,
+            )
+        elif name == "TPR":
+            indexes[name] = TPRTree(
+                buffer=BufferManager(capacity=params.buffer_pages),
+                page_size=params.page_size,
+            )
+        elif name == "TPR*":
+            indexes[name] = TPRStarTree(
+                buffer=BufferManager(capacity=params.buffer_pages),
+                page_size=params.page_size,
+            )
+        elif name == "Bx(VP)":
+            indexes[name] = make_vp_bx_tree(
+                partitioning,
+                space=params.space,
+                buffer_pages=params.buffer_pages,
+                max_update_interval=params.max_update_interval,
+                page_size=params.page_size,
+            )
+        elif name == "TPR*(VP)":
+            indexes[name] = make_vp_tprstar_tree(
+                partitioning,
+                buffer_pages=params.buffer_pages,
+                page_size=params.page_size,
+            )
+        else:
+            raise ValueError(f"unknown index name {name!r}")
+    return indexes
+
+
+def run_comparison(
+    workload: Workload,
+    params: Optional[WorkloadParameters] = None,
+    which: Sequence[str] = STANDARD_INDEXES,
+    k: int = 2,
+) -> List[IndexMetrics]:
+    """Run the full comparison of the standard indexes on one workload."""
+    runner = ExperimentRunner(workload)
+    results: List[IndexMetrics] = []
+    indexes = build_standard_indexes(workload, params=params, which=which, k=k)
+    for name, index in indexes.items():
+        results.append(runner.run(index, name=name))
+    return results
+
+
+def vp_index_for(index: object) -> Optional[VPIndex]:
+    """Return the argument if it is a VP index (convenience for experiments)."""
+    return index if isinstance(index, VPIndex) else None

@@ -1,0 +1,5 @@
+"""Disk-based B+-tree used as the base structure of the Bx-tree."""
+
+from repro.btree.bplus_tree import BPlusTree
+
+__all__ = ["BPlusTree"]

@@ -1,0 +1,280 @@
+"""A paged B+-tree with duplicate-key support.
+
+The Bx-tree (Jensen et al., VLDB 2004) indexes moving objects with a plain
+B+-tree whose keys are one-dimensional Bx values.  This module provides that
+substrate: integer keys, arbitrary Python values, duplicates allowed, and
+every node stored on one simulated disk page so queries and updates incur
+measurable I/O.
+
+Leaves are chained for efficient range scans, which is how the Bx-tree
+enumerates all objects inside a space-filling-curve interval.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.storage.buffer_manager import BufferManager
+from repro.storage.page import entries_per_page
+
+#: A leaf entry stores the 8-byte key plus an object record
+#: (id, position, velocity, reference time) -- about 48 bytes.
+LEAF_ENTRY_BYTES = 56
+#: An interior entry stores a separator key and a child pointer.
+INTERIOR_ENTRY_BYTES = 16
+
+DEFAULT_LEAF_CAPACITY = entries_per_page(LEAF_ENTRY_BYTES)
+DEFAULT_INTERIOR_CAPACITY = entries_per_page(INTERIOR_ENTRY_BYTES)
+
+
+@dataclass
+class _LeafNode:
+    page_id: int
+    keys: List[int] = field(default_factory=list)
+    values: List[Any] = field(default_factory=list)
+    next_leaf: Optional[int] = None
+    is_leaf: bool = True
+
+
+@dataclass
+class _InteriorNode:
+    page_id: int
+    keys: List[int] = field(default_factory=list)  # separator keys, len = len(children) - 1
+    children: List[int] = field(default_factory=list)
+    is_leaf: bool = False
+
+
+class BPlusTree:
+    """B+-tree over simulated paged storage.
+
+    Args:
+        buffer: buffer manager; a private one is created if omitted.
+        leaf_capacity: maximum entries per leaf page.
+        interior_capacity: maximum children per interior page.
+    """
+
+    def __init__(
+        self,
+        buffer: Optional[BufferManager] = None,
+        leaf_capacity: Optional[int] = None,
+        interior_capacity: Optional[int] = None,
+        page_size: Optional[int] = None,
+    ) -> None:
+        if leaf_capacity is None:
+            leaf_capacity = (
+                entries_per_page(LEAF_ENTRY_BYTES, page_size_bytes=page_size)
+                if page_size is not None
+                else DEFAULT_LEAF_CAPACITY
+            )
+        if interior_capacity is None:
+            interior_capacity = (
+                entries_per_page(INTERIOR_ENTRY_BYTES, page_size_bytes=page_size)
+                if page_size is not None
+                else DEFAULT_INTERIOR_CAPACITY
+            )
+        if leaf_capacity < 2 or interior_capacity < 3:
+            raise ValueError("capacities are too small for a valid B+-tree")
+        self.buffer = buffer if buffer is not None else BufferManager()
+        self.leaf_capacity = leaf_capacity
+        self.interior_capacity = interior_capacity
+        root = _LeafNode(page_id=-1)
+        page = self.buffer.new_page(root)
+        root.page_id = page.page_id
+        self.root_page_id = page.page_id
+        self.size = 0
+        self._height = 1
+
+    # ------------------------------------------------------------------
+    # Node helpers
+    # ------------------------------------------------------------------
+    def _node(self, page_id: int):
+        return self.buffer.fetch(page_id).payload
+
+    def _mark_dirty(self, node) -> None:
+        page = self.buffer.fetch(node.page_id)
+        page.payload = node
+        self.buffer.mark_dirty(page)
+
+    def _new_leaf(self) -> _LeafNode:
+        node = _LeafNode(page_id=-1)
+        page = self.buffer.new_page(node)
+        node.page_id = page.page_id
+        return node
+
+    def _new_interior(self) -> _InteriorNode:
+        node = _InteriorNode(page_id=-1)
+        page = self.buffer.new_page(node)
+        node.page_id = page.page_id
+        return node
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def __len__(self) -> int:
+        return self.size
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert ``(key, value)``; duplicate keys are allowed."""
+        split = self._insert_into(self.root_page_id, key, value)
+        if split is not None:
+            separator, new_child_id = split
+            new_root = self._new_interior()
+            new_root.keys = [separator]
+            new_root.children = [self.root_page_id, new_child_id]
+            self.root_page_id = new_root.page_id
+            self._height += 1
+            self._mark_dirty(new_root)
+        self.size += 1
+
+    def delete(self, key: int, value: Any) -> bool:
+        """Delete one entry with ``key`` whose value equals ``value``.
+
+        Underflow is handled lazily (nodes are allowed to become sparse but
+        are removed when empty), which matches the behaviour of the original
+        Bx-tree implementation where expiring time buckets shed entries in
+        bulk.
+
+        Returns:
+            True when a matching entry was found and removed.
+        """
+        path = self._descend_path(key)
+        leaf: _LeafNode = path[-1][0]
+        index = bisect.bisect_left(leaf.keys, key)
+        while index < len(leaf.keys) and leaf.keys[index] == key:
+            if leaf.values[index] == value:
+                del leaf.keys[index]
+                del leaf.values[index]
+                self._mark_dirty(leaf)
+                self.size -= 1
+                self._collapse_if_needed(path)
+                return True
+            index += 1
+        # The entry may live in a subsequent leaf when duplicates span pages.
+        # Empty leaves (left behind by lazy deletion) are skipped, not treated
+        # as the end of the duplicate run.
+        next_id = leaf.next_leaf
+        while next_id is not None:
+            leaf = self._node(next_id)
+            if leaf.keys and leaf.keys[0] > key:
+                break
+            for i, (k, v) in enumerate(zip(leaf.keys, leaf.values)):
+                if k == key and v == value:
+                    del leaf.keys[i]
+                    del leaf.values[i]
+                    self._mark_dirty(leaf)
+                    self.size -= 1
+                    return True
+            next_id = leaf.next_leaf
+        return False
+
+    def search(self, key: int) -> List[Any]:
+        """All values stored under ``key``."""
+        return [value for _, value in self.range_search(key, key)]
+
+    def range_search(self, key_lo: int, key_hi: int) -> List[Tuple[int, Any]]:
+        """All ``(key, value)`` pairs with ``key_lo <= key <= key_hi``."""
+        if key_hi < key_lo:
+            return []
+        results: List[Tuple[int, Any]] = []
+        leaf = self._descend_path(key_lo)[-1][0]
+        while leaf is not None:
+            start = bisect.bisect_left(leaf.keys, key_lo)
+            for i in range(start, len(leaf.keys)):
+                if leaf.keys[i] > key_hi:
+                    return results
+                results.append((leaf.keys[i], leaf.values[i]))
+            if leaf.next_leaf is None:
+                break
+            leaf = self._node(leaf.next_leaf)
+        return results
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """Iterate over every entry in key order."""
+        node = self._node(self.root_page_id)
+        while not node.is_leaf:
+            node = self._node(node.children[0])
+        while node is not None:
+            for key, value in zip(node.keys, node.values):
+                yield key, value
+            node = self._node(node.next_leaf) if node.next_leaf is not None else None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _descend_path(self, key: int) -> List[Tuple[Any, int]]:
+        """Path of ``(node, child_index)`` pairs from the root to the leaf for ``key``."""
+        path: List[Tuple[Any, int]] = []
+        node = self._node(self.root_page_id)
+        while not node.is_leaf:
+            # bisect_left (not bisect_right) so that duplicate keys spanning a
+            # leaf boundary are reached from their leftmost occurrence; the
+            # forward leaf chain then covers the rest.
+            index = bisect.bisect_left(node.keys, key)
+            path.append((node, index))
+            node = self._node(node.children[index])
+        path.append((node, -1))
+        return path
+
+    def _insert_into(self, page_id: int, key: int, value: Any) -> Optional[Tuple[int, int]]:
+        """Insert recursively; returns ``(separator, new_page_id)`` on split."""
+        node = self._node(page_id)
+        if node.is_leaf:
+            index = bisect.bisect_right(node.keys, key)
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            self._mark_dirty(node)
+            if len(node.keys) > self.leaf_capacity:
+                return self._split_leaf(node)
+            return None
+        child_index = bisect.bisect_right(node.keys, key)
+        split = self._insert_into(node.children[child_index], key, value)
+        if split is None:
+            return None
+        separator, new_child_id = split
+        node.keys.insert(child_index, separator)
+        node.children.insert(child_index + 1, new_child_id)
+        self._mark_dirty(node)
+        if len(node.children) > self.interior_capacity:
+            return self._split_interior(node)
+        return None
+
+    def _split_leaf(self, leaf: _LeafNode) -> Tuple[int, int]:
+        sibling = self._new_leaf()
+        mid = len(leaf.keys) // 2
+        sibling.keys = leaf.keys[mid:]
+        sibling.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        sibling.next_leaf = leaf.next_leaf
+        leaf.next_leaf = sibling.page_id
+        self._mark_dirty(leaf)
+        self._mark_dirty(sibling)
+        return sibling.keys[0], sibling.page_id
+
+    def _split_interior(self, node: _InteriorNode) -> Tuple[int, int]:
+        sibling = self._new_interior()
+        mid = len(node.children) // 2
+        separator = node.keys[mid - 1]
+        sibling.keys = node.keys[mid:]
+        sibling.children = node.children[mid:]
+        node.keys = node.keys[: mid - 1]
+        node.children = node.children[:mid]
+        self._mark_dirty(node)
+        self._mark_dirty(sibling)
+        return separator, sibling.page_id
+
+    def _collapse_if_needed(self, path: List[Tuple[Any, int]]) -> None:
+        """Shrink the tree when the root has a single child and no keys."""
+        root = self._node(self.root_page_id)
+        while not root.is_leaf and len(root.children) == 1:
+            child_id = root.children[0]
+            self.buffer.free_page(root.page_id)
+            self.root_page_id = child_id
+            self._height -= 1
+            root = self._node(child_id)

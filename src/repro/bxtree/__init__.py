@@ -1,0 +1,23 @@
+"""The Bx-tree: B+-tree based indexing of moving objects.
+
+The Bx-tree (Jensen et al., VLDB 2004) maps object positions to a
+one-dimensional key with a space-filling curve, prefixes the key with a
+time-bucket (partition) number, and stores the result in a B+-tree.  Range
+queries are enlarged backwards to each partition's reference time using a
+velocity histogram, refined iteratively (Jensen et al., MDM 2006), and the
+enlarged window is decomposed into curve intervals scanned on the B+-tree.
+"""
+
+from repro.bxtree.spacefill import HilbertCurve, ZCurve, SpaceFillingCurve
+from repro.bxtree.grid import Grid
+from repro.bxtree.velocity_histogram import VelocityHistogram
+from repro.bxtree.bx_tree import BxTree
+
+__all__ = [
+    "HilbertCurve",
+    "ZCurve",
+    "SpaceFillingCurve",
+    "Grid",
+    "VelocityHistogram",
+    "BxTree",
+]

@@ -1,0 +1,73 @@
+"""Uniform grid over a rectangular data space.
+
+The grid converts between continuous coordinates and discrete cell indexes.
+It is used both by the Bx-tree (cells are mapped to space-filling-curve
+keys) and by the velocity histogram (cells accumulate velocity extrema).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A ``cells_x`` x ``cells_y`` uniform grid over ``space``."""
+
+    space: Rect
+    cells_x: int
+    cells_y: int
+
+    def __post_init__(self) -> None:
+        if self.cells_x < 1 or self.cells_y < 1:
+            raise ValueError("grid must have at least one cell per dimension")
+        if self.space.width <= 0 or self.space.height <= 0:
+            raise ValueError("grid space must have positive extent")
+
+    # ------------------------------------------------------------------
+    # Cell geometry
+    # ------------------------------------------------------------------
+    @property
+    def cell_width(self) -> float:
+        return self.space.width / self.cells_x
+
+    @property
+    def cell_height(self) -> float:
+        return self.space.height / self.cells_y
+
+    def cell_of(self, point: Point) -> Tuple[int, int]:
+        """Cell containing ``point``; points outside the space are clamped."""
+        cx = int((point.x - self.space.x_min) / self.cell_width)
+        cy = int((point.y - self.space.y_min) / self.cell_height)
+        cx = min(max(cx, 0), self.cells_x - 1)
+        cy = min(max(cy, 0), self.cells_y - 1)
+        return cx, cy
+
+    def cell_rect(self, cx: int, cy: int) -> Rect:
+        """The rectangle covered by cell ``(cx, cy)``."""
+        if not (0 <= cx < self.cells_x and 0 <= cy < self.cells_y):
+            raise ValueError(f"cell ({cx}, {cy}) outside the grid")
+        return Rect(
+            self.space.x_min + cx * self.cell_width,
+            self.space.y_min + cy * self.cell_height,
+            self.space.x_min + (cx + 1) * self.cell_width,
+            self.space.y_min + (cy + 1) * self.cell_height,
+        )
+
+    def cells_overlapping(self, rect: Rect) -> Iterator[Tuple[int, int]]:
+        """All cells that intersect ``rect`` (clipped to the grid)."""
+        lo_x, lo_y = self.cell_of(Point(rect.x_min, rect.y_min))
+        hi_x, hi_y = self.cell_of(Point(rect.x_max, rect.y_max))
+        for cx in range(lo_x, hi_x + 1):
+            for cy in range(lo_y, hi_y + 1):
+                yield cx, cy
+
+    def cell_count_overlapping(self, rect: Rect) -> int:
+        """Number of cells intersecting ``rect`` (without materializing them)."""
+        lo_x, lo_y = self.cell_of(Point(rect.x_min, rect.y_min))
+        hi_x, hi_y = self.cell_of(Point(rect.x_max, rect.y_max))
+        return (hi_x - lo_x + 1) * (hi_y - lo_y + 1)

@@ -1,0 +1,150 @@
+"""Space-filling curves: Hilbert and Z-order (Morton).
+
+The Bx-tree maps 2-D grid cells to 1-D keys with a space-filling curve so
+that spatial proximity is approximately preserved.  The paper's experiments
+use the Hilbert curve; the Z-curve is provided as the alternative the
+original Bx-tree paper also supports (and is used in one ablation bench).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, List, Tuple
+
+
+class SpaceFillingCurve(ABC):
+    """Bijection between grid cells ``(cx, cy)`` and curve indexes.
+
+    Args:
+        order: number of bits per dimension; the grid is ``2^order`` cells on
+            a side and curve indexes span ``[0, 4^order)``.
+    """
+
+    def __init__(self, order: int) -> None:
+        if order < 1 or order > 31:
+            raise ValueError("order must be between 1 and 31")
+        self.order = order
+        self.cells_per_side = 1 << order
+
+    @abstractmethod
+    def encode(self, cx: int, cy: int) -> int:
+        """Curve index of grid cell ``(cx, cy)``."""
+
+    @abstractmethod
+    def decode(self, index: int) -> Tuple[int, int]:
+        """Grid cell of curve index ``index``."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _check_cell(self, cx: int, cy: int) -> None:
+        if not (0 <= cx < self.cells_per_side and 0 <= cy < self.cells_per_side):
+            raise ValueError(
+                f"cell ({cx}, {cy}) outside the {self.cells_per_side}^2 grid"
+            )
+
+    @property
+    def max_index(self) -> int:
+        return self.cells_per_side * self.cells_per_side - 1
+
+    def ranges_for_cells(
+        self, cells: Iterable[Tuple[int, int]], merge_gap: int = 0
+    ) -> List[Tuple[int, int]]:
+        """Merge the curve indexes of ``cells`` into sorted inclusive ranges.
+
+        This is how a rectangular (enlarged) query window becomes a set of
+        B+-tree range scans.  Consecutive indexes always collapse into one
+        range; ``merge_gap`` additionally merges ranges separated by at most
+        that many curve positions, trading a short extra leaf scan for one
+        fewer root-to-leaf descent (the standard "jump" optimization of
+        Bx-tree query processing).
+        """
+        if merge_gap < 0:
+            raise ValueError("merge_gap must be non-negative")
+        indexes = sorted(self.encode(cx, cy) for cx, cy in cells)
+        ranges: List[Tuple[int, int]] = []
+        for index in indexes:
+            if ranges and index <= ranges[-1][1] + 1 + merge_gap:
+                ranges[-1] = (ranges[-1][0], max(ranges[-1][1], index))
+            else:
+                ranges.append((index, index))
+        return ranges
+
+
+class ZCurve(SpaceFillingCurve):
+    """Morton (Z-order) curve: bit interleaving of the cell coordinates."""
+
+    def encode(self, cx: int, cy: int) -> int:
+        self._check_cell(cx, cy)
+        return _interleave(cx) | (_interleave(cy) << 1)
+
+    def decode(self, index: int) -> Tuple[int, int]:
+        if not (0 <= index <= self.max_index):
+            raise ValueError(f"index {index} outside the curve")
+        return _deinterleave(index), _deinterleave(index >> 1)
+
+
+class HilbertCurve(SpaceFillingCurve):
+    """Hilbert curve via the classic rotate-and-reflect construction."""
+
+    def encode(self, cx: int, cy: int) -> int:
+        self._check_cell(cx, cy)
+        rx = ry = 0
+        d = 0
+        x, y = cx, cy
+        s = self.cells_per_side // 2
+        while s > 0:
+            rx = 1 if (x & s) > 0 else 0
+            ry = 1 if (y & s) > 0 else 0
+            d += s * s * ((3 * rx) ^ ry)
+            x, y = _hilbert_rotate(s, x, y, rx, ry)
+            s //= 2
+        return d
+
+    def decode(self, index: int) -> Tuple[int, int]:
+        if not (0 <= index <= self.max_index):
+            raise ValueError(f"index {index} outside the curve")
+        t = index
+        x = y = 0
+        s = 1
+        while s < self.cells_per_side:
+            rx = 1 & (t // 2)
+            ry = 1 & (t ^ rx)
+            x, y = _hilbert_rotate(s, x, y, rx, ry)
+            x += s * rx
+            y += s * ry
+            t //= 4
+            s *= 2
+        return x, y
+
+
+def _hilbert_rotate(s: int, x: int, y: int, rx: int, ry: int) -> Tuple[int, int]:
+    """Rotate/flip the quadrant as required by the Hilbert construction."""
+    if ry == 0:
+        if rx == 1:
+            x = s - 1 - x
+            y = s - 1 - y
+        x, y = y, x
+    return x, y
+
+
+def _interleave(value: int) -> int:
+    """Spread the bits of ``value`` so they occupy even bit positions."""
+    result = 0
+    bit = 0
+    while value:
+        result |= (value & 1) << (2 * bit)
+        value >>= 1
+        bit += 1
+    return result
+
+
+def _deinterleave(value: int) -> int:
+    """Inverse of :func:`_interleave` (collect the even bit positions)."""
+    result = 0
+    bit = 0
+    while value:
+        result |= (value & 1) << bit
+        value >>= 2
+        bit += 1
+    return result

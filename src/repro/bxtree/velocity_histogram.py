@@ -1,0 +1,101 @@
+"""Grid-based velocity histogram.
+
+Section 3.2 of the paper: "histograms on a grid base are maintained for the
+maximum/minimum velocity of different portions of the data space and the
+query window is enlarged according to the maximum/minimum velocity in the
+region it covers."  The histogram stores, per grid cell, the extreme
+velocity components of the objects whose reference position falls in that
+cell.
+
+Exact maintenance of a maximum under deletions would require keeping every
+value; like the original implementation, the histogram only grows on insert
+and is periodically rebuilt from the live objects (``rebuild``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.bxtree.grid import Grid
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.vector import Vector
+
+
+class VelocityHistogram:
+    """Per-cell min/max velocity components over a uniform grid."""
+
+    def __init__(self, grid: Grid) -> None:
+        self.grid = grid
+        shape = (grid.cells_x, grid.cells_y)
+        self._max_vx = np.zeros(shape)
+        self._min_vx = np.zeros(shape)
+        self._max_vy = np.zeros(shape)
+        self._min_vy = np.zeros(shape)
+        self._count = np.zeros(shape, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def add(self, position: Point, velocity: Vector) -> None:
+        """Record an object's velocity in the cell of its position."""
+        cx, cy = self.grid.cell_of(position)
+        if self._count[cx, cy] == 0:
+            self._max_vx[cx, cy] = velocity.vx
+            self._min_vx[cx, cy] = velocity.vx
+            self._max_vy[cx, cy] = velocity.vy
+            self._min_vy[cx, cy] = velocity.vy
+        else:
+            self._max_vx[cx, cy] = max(self._max_vx[cx, cy], velocity.vx)
+            self._min_vx[cx, cy] = min(self._min_vx[cx, cy], velocity.vx)
+            self._max_vy[cx, cy] = max(self._max_vy[cx, cy], velocity.vy)
+            self._min_vy[cx, cy] = min(self._min_vy[cx, cy], velocity.vy)
+        self._count[cx, cy] += 1
+
+    def remove(self, position: Point) -> None:
+        """Note the departure of an object (extrema are kept conservatively)."""
+        cx, cy = self.grid.cell_of(position)
+        if self._count[cx, cy] > 0:
+            self._count[cx, cy] -= 1
+
+    def rebuild(self, entries: Iterable[Tuple[Point, Vector]]) -> None:
+        """Recompute the histogram from scratch from the live objects."""
+        self._max_vx.fill(0.0)
+        self._min_vx.fill(0.0)
+        self._max_vy.fill(0.0)
+        self._min_vy.fill(0.0)
+        self._count.fill(0)
+        for position, velocity in entries:
+            self.add(position, velocity)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def extrema_in(self, rect: Rect) -> Tuple[float, float, float, float]:
+        """``(min_vx, min_vy, max_vx, max_vy)`` over the cells covered by ``rect``.
+
+        Cells with no recorded objects contribute zero velocity (they cannot
+        send objects into the window).  If no covered cell has any objects,
+        all extrema are zero and the query window is not enlarged.
+        """
+        lo_x, lo_y = self.grid.cell_of(Point(rect.x_min, rect.y_min))
+        hi_x, hi_y = self.grid.cell_of(Point(rect.x_max, rect.y_max))
+        counts = self._count[lo_x : hi_x + 1, lo_y : hi_y + 1]
+        mask = counts > 0
+        if not mask.any():
+            return (0.0, 0.0, 0.0, 0.0)
+        min_vx = float(np.min(self._min_vx[lo_x : hi_x + 1, lo_y : hi_y + 1][mask]))
+        min_vy = float(np.min(self._min_vy[lo_x : hi_x + 1, lo_y : hi_y + 1][mask]))
+        max_vx = float(np.max(self._max_vx[lo_x : hi_x + 1, lo_y : hi_y + 1][mask]))
+        max_vy = float(np.max(self._max_vy[lo_x : hi_x + 1, lo_y : hi_y + 1][mask]))
+        return (min_vx, min_vy, max_vx, max_vy)
+
+    def global_extrema(self) -> Tuple[float, float, float, float]:
+        """Extrema over the whole data space."""
+        return self.extrema_in(self.grid.space)
+
+    @property
+    def total_objects(self) -> int:
+        return int(self._count.sum())

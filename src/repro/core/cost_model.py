@@ -1,0 +1,110 @@
+"""Analytic search-space-expansion model (Section 4, Equations 2-7).
+
+The paper's analysis compares, for a simplified scenario (objects travel
+exactly along the x- or y-axis at speed ``v``, node extent ``d``), the
+search space of an unpartitioned index against the combined search space of
+a partitioned index:
+
+* ``A_{N'}(t) = (d + 2 v t)^2``                      (Equation 2)
+* ``AC_{N'}(t) = 2 d^2 + 4 d v t``                   (Equation 3)
+* ``V_S(t_h) = d^2 t_h + 2 d v t_h^2 + 4/3 v^2 t_h^3``  (Equation 4)
+* ``V_{S'}(t_h) = 2 d^2 t_h + 2 d v t_h^2``          (Equation 5)
+* ``ΔV(t_h) = V_{S'} - V_S = d^2 t_h - 4/3 v^2 t_h^3``  (Equation 6)
+* ``dΔV/dt_h = d^2 - 4 v^2 t_h^2``                   (Equation 7)
+
+These closed forms are used by tests (they must agree with the numeric
+sweeping-volume integration of :mod:`repro.geometry.sweep`) and by an
+ablation benchmark that charts where the partitioned index starts winning.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def _check(d: float, v: float) -> None:
+    if d < 0 or v < 0:
+        raise ValueError("extent d and speed v must be non-negative")
+
+
+def unpartitioned_search_area(d: float, v: float, t: float) -> float:
+    """Equation 2: search area of the unpartitioned transformed node at time ``t``."""
+    _check(d, v)
+    return (d + 2.0 * v * t) * (d + 2.0 * v * t)
+
+
+def partitioned_search_area(d: float, v: float, t: float) -> float:
+    """Equation 3: combined search area of the two DVA partitions at time ``t``."""
+    _check(d, v)
+    return 2.0 * d * d + 4.0 * d * v * t
+
+
+def unpartitioned_search_volume(d: float, v: float, t_h: float) -> float:
+    """Equation 4: integral of Equation 2 from 0 to ``t_h``."""
+    _check(d, v)
+    return d * d * t_h + 2.0 * d * v * t_h**2 + (4.0 / 3.0) * v * v * t_h**3
+
+
+def partitioned_search_volume(d: float, v: float, t_h: float) -> float:
+    """Equation 5: integral of Equation 3 from 0 to ``t_h``."""
+    _check(d, v)
+    return 2.0 * d * d * t_h + 2.0 * d * v * t_h**2
+
+
+def search_volume_difference(d: float, v: float, t_h: float) -> float:
+    """Equation 6: ``ΔV(t_h) = V_{S'}(t_h) - V_S(t_h)``.
+
+    Negative values mean the partitioned index searches *less* space.
+    """
+    _check(d, v)
+    return d * d * t_h - (4.0 / 3.0) * v * v * t_h**3
+
+
+def search_volume_difference_rate(d: float, v: float, t_h: float) -> float:
+    """Equation 7: derivative of Equation 6 with respect to ``t_h``."""
+    _check(d, v)
+    return d * d - 4.0 * v * v * t_h * t_h
+
+
+def crossover_time(d: float, v: float) -> float:
+    """Predictive time beyond which the partitioned index searches less space.
+
+    From Equation 6, ``ΔV(t_h) < 0`` once ``t_h > d sqrt(3) / (2 v)``.
+
+    Raises:
+        ValueError: if ``v`` is zero (stationary objects never cross over).
+    """
+    _check(d, v)
+    if v == 0.0:
+        raise ValueError("crossover time is undefined for stationary objects")
+    return d * math.sqrt(3.0) / (2.0 * v)
+
+
+@dataclass(frozen=True)
+class ExpansionComparison:
+    """Search volumes of both index styles at one predictive time."""
+
+    d: float
+    v: float
+    t_h: float
+    unpartitioned: float
+    partitioned: float
+
+    @property
+    def improvement_factor(self) -> float:
+        """How many times smaller the partitioned search volume is."""
+        if self.partitioned == 0.0:
+            return float("inf")
+        return self.unpartitioned / self.partitioned
+
+
+def compare(d: float, v: float, t_h: float) -> ExpansionComparison:
+    """Evaluate both sides of the Section 4 analysis at one point."""
+    return ExpansionComparison(
+        d=d,
+        v=v,
+        t_h=t_h,
+        unpartitioned=unpartitioned_search_volume(d, v, t_h),
+        partitioned=partitioned_search_volume(d, v, t_h),
+    )

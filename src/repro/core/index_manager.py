@@ -1,0 +1,230 @@
+"""The index manager (Sections 5.3 and 5.4).
+
+The index manager owns one underlying moving-object index per DVA partition
+plus one outlier index, and translates the standard index operations:
+
+* **insert** — the object goes to the DVA whose axis is closest to its
+  velocity (in perpendicular distance), unless that distance exceeds the
+  DVA's τ, in which case it goes to the outlier index.  Before insertion
+  into a DVA index the object is rotated into the DVA's coordinate frame.
+* **delete** — a lookup table records which partition each object lives in,
+  so deletion goes straight to the right index (Section 5.3).
+* **update** — a deletion followed by an insertion; the object may migrate
+  between partitions when its direction of travel changes.
+* **range query** — Algorithm 3: the query is rotated into every DVA frame
+  (its transformed range bounded by an axis-aligned MBR), executed on every
+  index, and the union of the results is filtered with the original query.
+
+The underlying indexes only need the small protocol
+``insert/delete/range_query`` shared by :class:`~repro.tprtree.TPRStarTree`
+and :class:`~repro.bxtree.BxTree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
+
+from repro.core.dva import CoordinateFrame
+from repro.core.velocity_analyzer import VelocityPartitioning
+from repro.objects.moving_object import MovingObject
+from repro.objects.queries import (
+    CircularRange,
+    RangeQuery,
+    RectangularRange,
+)
+
+#: Index of the outlier partition in the manager's partition numbering.
+OUTLIER_PARTITION = -1
+
+
+class MovingObjectIndex(Protocol):
+    """Protocol implemented by TPR*/Bx trees (and any future base index)."""
+
+    def insert(self, obj: MovingObject) -> None: ...
+
+    def delete(self, obj: MovingObject) -> bool: ...
+
+    def range_query(self, query: RangeQuery, exact: bool = True) -> List[int]: ...
+
+
+@dataclass
+class _StoredObject:
+    """Bookkeeping for one live object."""
+
+    partition: int
+    original: MovingObject
+    stored: MovingObject
+
+
+class IndexManager:
+    """Routes operations across the DVA indexes and the outlier index."""
+
+    def __init__(
+        self,
+        partitioning: VelocityPartitioning,
+        index_factory: Callable[[int], MovingObjectIndex],
+        outlier_factory: Optional[Callable[[], MovingObjectIndex]] = None,
+    ) -> None:
+        """Create one index per DVA plus the outlier index.
+
+        Args:
+            partitioning: output of the velocity analyzer.
+            index_factory: called with the partition number to build each DVA
+                index (partition numbers are 0..k-1).
+            outlier_factory: builds the outlier index; defaults to calling
+                ``index_factory`` with :data:`OUTLIER_PARTITION`.
+        """
+        self.partitioning = partitioning
+        self.dva_indexes: List[MovingObjectIndex] = [
+            index_factory(i) for i in range(partitioning.k)
+        ]
+        if outlier_factory is not None:
+            self.outlier_index = outlier_factory()
+        else:
+            self.outlier_index = index_factory(OUTLIER_PARTITION)
+        self._directory: Dict[int, _StoredObject] = {}
+
+    # ------------------------------------------------------------------
+    # Partition routing
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        return self.partitioning.k
+
+    def frame_of(self, partition: int) -> Optional[CoordinateFrame]:
+        """Coordinate frame of a DVA partition (None for the outlier index)."""
+        if partition == OUTLIER_PARTITION:
+            return None
+        return self.partitioning.dvas[partition].frame
+
+    def partition_for(self, obj: MovingObject) -> int:
+        """Partition that should host ``obj`` given its current velocity."""
+        partition = self.partitioning.partition_for(obj.velocity)
+        return OUTLIER_PARTITION if partition is None else partition
+
+    def partition_of(self, oid: int) -> Optional[int]:
+        """Partition currently hosting object ``oid`` (None if not stored)."""
+        record = self._directory.get(oid)
+        return record.partition if record is not None else None
+
+    def __len__(self) -> int:
+        return len(self._directory)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, obj: MovingObject) -> int:
+        """Insert an object; returns the partition chosen for it."""
+        if obj.oid in self._directory:
+            raise KeyError(f"object {obj.oid} is already indexed; use update()")
+        partition = self.partition_for(obj)
+        stored = self._transform_object(obj, partition)
+        self._index_of(partition).insert(stored)
+        self._directory[obj.oid] = _StoredObject(
+            partition=partition, original=obj, stored=stored
+        )
+        return partition
+
+    def delete(self, oid: int) -> bool:
+        """Delete object ``oid`` from whichever partition hosts it."""
+        record = self._directory.pop(oid, None)
+        if record is None:
+            return False
+        return self._index_of(record.partition).delete(record.stored)
+
+    def update(self, new: MovingObject) -> int:
+        """Update an object (deletion + insertion, possibly migrating partitions)."""
+        self.delete(new.oid)
+        return self.insert(new)
+
+    # ------------------------------------------------------------------
+    # Queries (Algorithm 3)
+    # ------------------------------------------------------------------
+    def range_query(self, query: RangeQuery) -> List[int]:
+        """Object ids qualifying for ``query``."""
+        results: List[int] = []
+        seen = set()
+        for partition in range(self.partitioning.k):
+            transformed = self.transform_query(query, partition)
+            candidates = self._index_of(partition).range_query(transformed, exact=False)
+            self._filter_into(candidates, query, seen, results)
+        candidates = self.outlier_index.range_query(query, exact=False)
+        self._filter_into(candidates, query, seen, results)
+        return results
+
+    def transform_query(self, query: RangeQuery, partition: int) -> RangeQuery:
+        """Rotate ``query`` into the coordinate frame of ``partition``.
+
+        The transformed range is the axis-aligned MBR of the rotated range
+        (Line 4 of Algorithm 3); circles remain circles because the rotation
+        is rigid.  The query velocity, if any, is rotated as well.
+        """
+        frame = self.frame_of(partition)
+        if frame is None:
+            return query
+        if isinstance(query.range, CircularRange):
+            new_range = CircularRange(
+                center=frame.to_frame_point(query.range.center),
+                radius=query.range.radius,
+            )
+        else:
+            new_range = RectangularRange(frame.to_frame_rect(query.range.rect))
+        velocity = (
+            frame.to_frame_vector(query.velocity) if query.velocity is not None else None
+        )
+        return RangeQuery(
+            range=new_range,
+            start_time=query.start_time,
+            end_time=query.end_time,
+            velocity=velocity,
+            issue_time=query.issue_time,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _index_of(self, partition: int) -> MovingObjectIndex:
+        if partition == OUTLIER_PARTITION:
+            return self.outlier_index
+        return self.dva_indexes[partition]
+
+    def _transform_object(self, obj: MovingObject, partition: int) -> MovingObject:
+        frame = self.frame_of(partition)
+        if frame is None:
+            return obj
+        return frame.to_frame_object(obj)
+
+    def _filter_into(
+        self,
+        candidate_oids: Sequence[int],
+        query: RangeQuery,
+        seen: set,
+        results: List[int],
+    ) -> None:
+        """Line 8 of Algorithm 3: keep candidates the original query accepts."""
+        for oid in candidate_oids:
+            if oid in seen:
+                continue
+            record = self._directory.get(oid)
+            if record is None:
+                continue
+            if query.matches(record.original):
+                seen.add(oid)
+                results.append(oid)
+
+    # ------------------------------------------------------------------
+    # Introspection used by experiments
+    # ------------------------------------------------------------------
+    def partition_sizes(self) -> Dict[int, int]:
+        """Number of live objects per partition (including the outlier)."""
+        sizes: Dict[int, int] = {OUTLIER_PARTITION: 0}
+        for i in range(self.partitioning.k):
+            sizes[i] = 0
+        for record in self._directory.values():
+            sizes[record.partition] += 1
+        return sizes
+
+    def stored_object(self, oid: int) -> Optional[MovingObject]:
+        record = self._directory.get(oid)
+        return record.original if record is not None else None

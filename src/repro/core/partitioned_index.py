@@ -1,0 +1,174 @@
+"""Velocity-partitioned index facades: Bx(VP) and TPR*(VP).
+
+A :class:`VPIndex` bundles a velocity analyzer result, an
+:class:`~repro.core.IndexManager` and a shared buffer pool into an object
+that exposes the same interface as the unpartitioned indexes
+(``insert`` / ``delete`` / ``update`` / ``range_query`` plus a ``buffer``
+with I/O statistics), so the benchmark harness can treat partitioned and
+unpartitioned indexes uniformly.
+
+All sub-indexes (one per DVA plus the outlier index) share a single buffer
+pool of the same size the unpartitioned index gets, so the comparison is not
+biased by extra RAM.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.bxtree.bx_tree import (
+    DEFAULT_CURVE_ORDER,
+    DEFAULT_HISTOGRAM_CELLS,
+    DEFAULT_MAX_UPDATE_INTERVAL,
+    DEFAULT_NUM_BUCKETS,
+    DEFAULT_SPACE,
+    BxTree,
+)
+from repro.core.index_manager import OUTLIER_PARTITION, IndexManager, MovingObjectIndex
+from repro.core.velocity_analyzer import (
+    VelocityAnalyzer,
+    VelocityPartitioning,
+)
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.vector import Vector
+from repro.objects.moving_object import MovingObject
+from repro.objects.queries import RangeQuery
+from repro.storage.buffer_manager import DEFAULT_BUFFER_PAGES, BufferManager
+from repro.tprtree.tprstar_tree import TPRStarTree
+
+
+class VPIndex:
+    """A velocity-partitioned moving-object index."""
+
+    def __init__(
+        self,
+        partitioning: VelocityPartitioning,
+        index_factory: Callable[[int], MovingObjectIndex],
+        buffer: BufferManager,
+        name: str,
+    ) -> None:
+        self.partitioning = partitioning
+        self.buffer = buffer
+        self.name = name
+        self.manager = IndexManager(partitioning, index_factory)
+
+    # ------------------------------------------------------------------
+    # Index protocol (mirrors the unpartitioned indexes)
+    # ------------------------------------------------------------------
+    def insert(self, obj: MovingObject) -> None:
+        self.manager.insert(obj)
+
+    def delete(self, obj: MovingObject) -> bool:
+        return self.manager.delete(obj.oid)
+
+    def update(self, old: MovingObject, new: MovingObject) -> bool:
+        existed = self.manager.partition_of(old.oid) is not None
+        self.manager.update(new)
+        return existed
+
+    def range_query(self, query: RangeQuery, exact: bool = True) -> List[int]:
+        del exact  # the VP query algorithm always applies the exact filter
+        return self.manager.range_query(query)
+
+    def __len__(self) -> int:
+        return len(self.manager)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def dva_indexes(self) -> List[MovingObjectIndex]:
+        return self.manager.dva_indexes
+
+    @property
+    def outlier_index(self) -> MovingObjectIndex:
+        return self.manager.outlier_index
+
+    def partition_sizes(self):
+        return self.manager.partition_sizes()
+
+
+def analyze_sample(
+    sample_velocities: Sequence[Vector],
+    k: int = 2,
+    seed: Optional[int] = 0,
+) -> VelocityPartitioning:
+    """Convenience wrapper: run the velocity analyzer over a velocity sample."""
+    analyzer = VelocityAnalyzer(k=k, seed=seed)
+    return analyzer.analyze(sample_velocities)
+
+
+def rotated_space_bounds(space: Rect, partitioning: VelocityPartitioning) -> List[Rect]:
+    """Bounding box of the data space in each DVA's rotated frame.
+
+    The Bx-tree grid must cover every coordinate a transformed object can
+    take, which is the axis-aligned bound of the rotated space corners.
+    """
+    bounds: List[Rect] = []
+    for dva in partitioning.dvas:
+        corners = [dva.frame.to_frame_point(c) for c in space.corners()]
+        bounds.append(Rect.bounding_points(corners))
+    return bounds
+
+
+def make_vp_bx_tree(
+    partitioning: VelocityPartitioning,
+    space: Rect = DEFAULT_SPACE,
+    buffer: Optional[BufferManager] = None,
+    curve: str = "hilbert",
+    curve_order: int = DEFAULT_CURVE_ORDER,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+    max_update_interval: float = DEFAULT_MAX_UPDATE_INTERVAL,
+    histogram_cells: int = DEFAULT_HISTOGRAM_CELLS,
+    buffer_pages: int = DEFAULT_BUFFER_PAGES,
+    page_size: Optional[int] = None,
+) -> VPIndex:
+    """Build a Bx(VP)-tree: one Bx-tree per DVA plus an outlier Bx-tree."""
+    shared_buffer = buffer if buffer is not None else BufferManager(capacity=buffer_pages)
+    frame_bounds = rotated_space_bounds(space, partitioning)
+
+    def factory(partition: int) -> BxTree:
+        tree_space = space if partition == OUTLIER_PARTITION else frame_bounds[partition]
+        return BxTree(
+            buffer=shared_buffer,
+            space=tree_space,
+            curve=curve,
+            curve_order=curve_order,
+            num_buckets=num_buckets,
+            max_update_interval=max_update_interval,
+            histogram_cells=histogram_cells,
+            page_size=page_size,
+        )
+
+    return VPIndex(partitioning, factory, shared_buffer, name="Bx(VP)")
+
+
+def make_vp_tprstar_tree(
+    partitioning: VelocityPartitioning,
+    buffer: Optional[BufferManager] = None,
+    buffer_pages: int = DEFAULT_BUFFER_PAGES,
+    **tpr_kwargs,
+) -> VPIndex:
+    """Build a TPR*(VP)-tree: one TPR*-tree per DVA plus an outlier TPR*-tree.
+
+    Keyword arguments (``page_size``, ``horizon``, ...) are forwarded to every
+    underlying :class:`~repro.tprtree.TPRStarTree`.
+    """
+    shared_buffer = buffer if buffer is not None else BufferManager(capacity=buffer_pages)
+
+    def factory(partition: int) -> TPRStarTree:
+        del partition  # the TPR*-tree needs no space bounds
+        return TPRStarTree(buffer=shared_buffer, **tpr_kwargs)
+
+    return VPIndex(partitioning, factory, shared_buffer, name="TPR*(VP)")
+
+
+def sample_velocities_from_objects(objects: Sequence[MovingObject]) -> List[Vector]:
+    """Velocity points of a set of objects (input to the velocity analyzer)."""
+    return [obj.velocity for obj in objects]
+
+
+def space_center(space: Rect = DEFAULT_SPACE) -> Point:
+    """Center of the data space (handy for building example queries)."""
+    return space.center

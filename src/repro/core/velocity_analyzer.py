@@ -1,0 +1,131 @@
+"""The velocity analyzer (Section 5, Algorithm 1).
+
+The velocity analyzer consumes a sample of velocity points from the current
+workload and produces a :class:`VelocityPartitioning`: the set of dominant
+velocity axes, each with its outlier threshold τ.  The index manager then
+uses the partitioning to route insertions, deletions and queries.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.dva import DominantVelocityAxis
+from repro.core.outlier import DEFAULT_TAU_HISTOGRAM_BUCKETS, optimal_tau
+from repro.core.pc_kmeans import find_dvas
+from repro.core.pca import first_principal_component
+from repro.geometry.vector import Vector
+
+#: Number of sample velocity points the paper's velocity analyzer uses.
+DEFAULT_SAMPLE_SIZE = 10_000
+
+
+@dataclass(frozen=True)
+class VelocityPartitioning:
+    """The output of the velocity analyzer.
+
+    Attributes:
+        dvas: one :class:`DominantVelocityAxis` (axis + τ) per partition.
+        analysis_time_seconds: wall-clock time spent by the analyzer
+            (reported in Figure 18 of the paper).
+    """
+
+    dvas: List[DominantVelocityAxis]
+    analysis_time_seconds: float = 0.0
+
+    @property
+    def k(self) -> int:
+        return len(self.dvas)
+
+    def partition_for(self, velocity: Vector) -> Optional[int]:
+        """Index of the DVA partition that should host ``velocity``.
+
+        Returns ``None`` when the velocity is farther than τ from every DVA,
+        i.e. the object belongs in the outlier partition (Section 5.3).
+        """
+        best_index = None
+        best_distance = None
+        for index, dva in enumerate(self.dvas):
+            distance = dva.perpendicular_speed(velocity)
+            if best_distance is None or distance < best_distance:
+                best_distance = distance
+                best_index = index
+        if best_index is None:
+            return None
+        if best_distance <= self.dvas[best_index].tau:
+            return best_index
+        return None
+
+
+class VelocityAnalyzer:
+    """Algorithm 1: find DVAs, choose τ per DVA, refine the DVAs.
+
+    Args:
+        k: number of DVA partitions (2 for typical road networks).
+        tau_histogram_buckets: resolution of the τ search histogram.
+        sample_size: maximum number of velocity points analyzed; larger
+            samples are uniformly sub-sampled.
+        seed: seed for the clustering's random initialization and the
+            sub-sampling, so experiments are reproducible.
+    """
+
+    def __init__(
+        self,
+        k: int = 2,
+        tau_histogram_buckets: int = DEFAULT_TAU_HISTOGRAM_BUCKETS,
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.tau_histogram_buckets = tau_histogram_buckets
+        self.sample_size = sample_size
+        self.seed = seed
+
+    def analyze(self, velocities: Sequence[Vector]) -> VelocityPartitioning:
+        """Run Algorithm 1 on a sample of velocity points.
+
+        Raises:
+            ValueError: if the sample has fewer points than ``k``.
+        """
+        started = _time.perf_counter()
+        sample = self._subsample(velocities)
+        # Line 2: find the DVA partitions with PC-distance k-means.
+        clustering = find_dvas(sample, self.k, seed=self.seed)
+        groups = clustering.partition_members(sample)
+
+        dvas: List[DominantVelocityAxis] = []
+        for axis, members in zip(clustering.axes, groups):
+            if not members:
+                dvas.append(DominantVelocityAxis(axis=axis, tau=0.0))
+                continue
+            # Line 4: maximum perpendicular distance threshold τ.
+            speeds = [v.perpendicular_distance_to_axis(axis) for v in members]
+            tau = optimal_tau(speeds, self.tau_histogram_buckets).tau
+            # Line 5: points beyond τ go to the outlier partition;
+            # Line 6: recompute the DVA from the points that remain.
+            kept = [
+                v
+                for v, speed in zip(members, speeds)
+                if speed <= tau
+            ]
+            refined_axis = first_principal_component(kept) if kept else axis
+            dvas.append(DominantVelocityAxis(axis=refined_axis, tau=tau))
+        elapsed = _time.perf_counter() - started
+        return VelocityPartitioning(dvas=dvas, analysis_time_seconds=elapsed)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _subsample(self, velocities: Sequence[Vector]) -> List[Vector]:
+        if len(velocities) < self.k:
+            raise ValueError("the velocity sample must contain at least k points")
+        if len(velocities) <= self.sample_size:
+            return list(velocities)
+        import random
+
+        rng = random.Random(self.seed)
+        return rng.sample(list(velocities), self.sample_size)

@@ -1,0 +1,302 @@
+"""Time-parameterized rectangles: an MBR paired with a VBR.
+
+A :class:`MovingRect` is the fundamental bounding structure of the TPR-tree
+family (Section 3.1 of the paper).  It captures a minimum bounding rectangle
+(MBR) valid at a *reference time* and a velocity bounding rectangle (VBR)
+whose four components give the expansion speed of each MBR edge:
+
+* ``v_x_min`` — speed of the lower x boundary (negative means it moves left),
+* ``v_x_max`` — speed of the upper x boundary,
+* ``v_y_min`` / ``v_y_max`` — same for the y boundaries.
+
+The MBR at a later time ``t`` is obtained by moving every edge at its own
+speed for ``t - reference_time`` time units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.vector import Vector
+
+
+@dataclass(frozen=True)
+class MovingRect:
+    """A rectangle whose edges move linearly with time."""
+
+    rect: Rect
+    v_x_min: float
+    v_y_min: float
+    v_x_max: float
+    v_y_max: float
+    reference_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_moving_point(
+        cls, position: Point, velocity: Vector, reference_time: float = 0.0
+    ) -> "MovingRect":
+        """Degenerate moving rectangle for a moving point object."""
+        return cls(
+            rect=Rect.from_point(position),
+            v_x_min=velocity.vx,
+            v_y_min=velocity.vy,
+            v_x_max=velocity.vx,
+            v_y_max=velocity.vy,
+            reference_time=reference_time,
+        )
+
+    @classmethod
+    def bounding(cls, children: Iterable["MovingRect"], reference_time: float) -> "MovingRect":
+        """Tight bound over ``children``, all expressed at ``reference_time``.
+
+        Children whose reference time differs are first projected to
+        ``reference_time``; the resulting MBR is the union of the projected
+        MBRs and each VBR component is the extreme of the children's
+        components (the rate of expansion of an edge is the fastest child
+        edge in that direction — exactly the TPR-tree's bounding rule).
+        """
+        children = list(children)
+        if not children:
+            raise ValueError("cannot bound an empty collection of moving rectangles")
+        projected = [c.projected_to(reference_time) for c in children]
+        rect = Rect.bounding(p.rect for p in projected)
+        return cls(
+            rect=rect,
+            v_x_min=min(p.v_x_min for p in projected),
+            v_y_min=min(p.v_y_min for p in projected),
+            v_x_max=max(p.v_x_max for p in projected),
+            v_y_max=max(p.v_y_max for p in projected),
+            reference_time=reference_time,
+        )
+
+    # ------------------------------------------------------------------
+    # Projection
+    # ------------------------------------------------------------------
+    def rect_at(self, time: float) -> Rect:
+        """The (expanded) MBR at absolute time ``time``.
+
+        The TPR-tree never shrinks bounds when projecting forward, and when
+        asked about a time before the reference time it conservatively uses
+        the reference-time rectangle.
+        """
+        elapsed = time - self.reference_time
+        if elapsed <= 0.0:
+            return self.rect
+        return Rect(
+            self.rect.x_min + self.v_x_min * elapsed,
+            self.rect.y_min + self.v_y_min * elapsed,
+            self.rect.x_max + self.v_x_max * elapsed,
+            self.rect.y_max + self.v_y_max * elapsed,
+        )
+
+    def projected_to(self, time: float) -> "MovingRect":
+        """Re-anchor the moving rectangle at a new reference time."""
+        if time == self.reference_time:
+            return self
+        return MovingRect(
+            rect=self.rect_at(time),
+            v_x_min=self.v_x_min,
+            v_y_min=self.v_y_min,
+            v_x_max=self.v_x_max,
+            v_y_max=self.v_y_max,
+            reference_time=time,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def velocity_extents(self) -> Tuple[float, float, float, float]:
+        """``(v_x_min, v_y_min, v_x_max, v_y_max)``."""
+        return (self.v_x_min, self.v_y_min, self.v_x_max, self.v_y_max)
+
+    @property
+    def expansion_rate_x(self) -> float:
+        """Rate at which the x extent grows per time unit (>= 0 for a valid bound)."""
+        return self.v_x_max - self.v_x_min
+
+    @property
+    def expansion_rate_y(self) -> float:
+        """Rate at which the y extent grows per time unit."""
+        return self.v_y_max - self.v_y_min
+
+    def area_at(self, time: float) -> float:
+        return self.rect_at(time).area
+
+    def contains(self, other: "MovingRect", start: float, end: float) -> bool:
+        """Conservative containment test over the interval ``[start, end]``.
+
+        True when ``other`` is inside this bound both at ``start`` and at
+        ``end`` *and* every edge of this bound moves at least as fast
+        outward; sufficient for the bounding invariant checks in tests.
+        """
+        return (
+            self.rect_at(start).contains_rect(other.rect_at(start))
+            and self.rect_at(end).contains_rect(other.rect_at(end))
+            and self.v_x_min <= other.v_x_min
+            and self.v_y_min <= other.v_y_min
+            and self.v_x_max >= other.v_x_max
+            and self.v_y_max >= other.v_y_max
+        )
+
+    def intersects_during(self, other: "MovingRect", start: float, end: float) -> bool:
+        """Whether two moving rectangles intersect at any time in ``[start, end]``.
+
+        Solved per dimension: for each axis we compute the sub-interval of
+        ``[start, end]`` during which the axis projections overlap, then the
+        rectangles intersect iff the per-axis intervals have a common point.
+        """
+        if end < start:
+            raise ValueError("end must not precede start")
+        interval = _axis_overlap_interval(
+            self.rect.x_min,
+            self.rect.x_max,
+            self.v_x_min,
+            self.v_x_max,
+            self.reference_time,
+            other.rect.x_min,
+            other.rect.x_max,
+            other.v_x_min,
+            other.v_x_max,
+            other.reference_time,
+            start,
+            end,
+        )
+        if interval is None:
+            return False
+        x_lo, x_hi = interval
+        interval = _axis_overlap_interval(
+            self.rect.y_min,
+            self.rect.y_max,
+            self.v_y_min,
+            self.v_y_max,
+            self.reference_time,
+            other.rect.y_min,
+            other.rect.y_max,
+            other.v_y_min,
+            other.v_y_max,
+            other.reference_time,
+            start,
+            end,
+        )
+        if interval is None:
+            return False
+        y_lo, y_hi = interval
+        return max(x_lo, y_lo) <= min(x_hi, y_hi)
+
+
+def _axis_overlap_interval(
+    a_lo: float,
+    a_hi: float,
+    a_v_lo: float,
+    a_v_hi: float,
+    a_ref: float,
+    b_lo: float,
+    b_hi: float,
+    b_v_lo: float,
+    b_v_hi: float,
+    b_ref: float,
+    start: float,
+    end: float,
+):
+    """Sub-interval of ``[start, end]`` during which two 1-D moving intervals overlap.
+
+    Interval A's boundaries at time t are ``a_lo + a_v_lo * (t - a_ref)`` and
+    ``a_hi + a_v_hi * (t - a_ref)`` (for ``t >= a_ref``; before the reference
+    time the boundary is frozen, matching :meth:`MovingRect.rect_at`).
+    Returns ``None`` when they never overlap inside ``[start, end]``.
+
+    The boundaries are piecewise linear (frozen before the reference time),
+    so rather than solving a closed form we sample the candidate breakpoints
+    and solve linearly between them.  Reference times are almost always
+    ``<= start`` in practice, making the functions purely linear over the
+    window, which the fast path below handles exactly.
+    """
+    # Fast, exact path: both references precede the window, so boundaries are
+    # linear in t over [start, end].
+    if a_ref <= start and b_ref <= start:
+        return _linear_overlap_interval(
+            a_lo + a_v_lo * (start - a_ref),
+            a_hi + a_v_hi * (start - a_ref),
+            a_v_lo,
+            a_v_hi,
+            b_lo + b_v_lo * (start - b_ref),
+            b_hi + b_v_hi * (start - b_ref),
+            b_v_lo,
+            b_v_hi,
+            0.0,
+            end - start,
+            start,
+        )
+
+    # General path: split the window at the reference times and recurse on
+    # each purely linear piece.
+    breakpoints = sorted({start, end, min(max(a_ref, start), end), min(max(b_ref, start), end)})
+    for lo, hi in zip(breakpoints, breakpoints[1:]):
+        if hi <= lo:
+            continue
+        def boundary(lo_val, hi_val, v_lo, v_hi, ref, t):
+            elapsed = max(t - ref, 0.0)
+            return lo_val + v_lo * elapsed, hi_val + v_hi * elapsed
+        a_s = boundary(a_lo, a_hi, a_v_lo, a_v_hi, a_ref, lo)
+        b_s = boundary(b_lo, b_hi, b_v_lo, b_v_hi, b_ref, lo)
+        a_rate = (a_v_lo if lo >= a_ref else 0.0, a_v_hi if lo >= a_ref else 0.0)
+        b_rate = (b_v_lo if lo >= b_ref else 0.0, b_v_hi if lo >= b_ref else 0.0)
+        result = _linear_overlap_interval(
+            a_s[0], a_s[1], a_rate[0], a_rate[1],
+            b_s[0], b_s[1], b_rate[0], b_rate[1],
+            0.0, hi - lo, lo,
+        )
+        if result is not None:
+            return result
+    return None
+
+
+def _linear_overlap_interval(
+    a_lo: float,
+    a_hi: float,
+    a_v_lo: float,
+    a_v_hi: float,
+    b_lo: float,
+    b_hi: float,
+    b_v_lo: float,
+    b_v_hi: float,
+    t0: float,
+    t1: float,
+    offset: float,
+):
+    """Overlap interval of two linearly moving 1-D intervals over ``[t0, t1]``.
+
+    All positions are given at local time ``t0``; ``offset`` converts local
+    times back to absolute times in the returned pair.
+    """
+    # Overlap requires a_lo(t) <= b_hi(t) and b_lo(t) <= a_hi(t).
+    lo, hi = t0, t1
+    for (p, pv, q, qv) in (
+        (a_lo, a_v_lo, b_hi, b_v_hi),  # a_lo <= b_hi
+        (b_lo, b_v_lo, a_hi, a_v_hi),  # b_lo <= a_hi
+    ):
+        # Constraint: p + pv * (t - t0) <= q + qv * (t - t0)
+        diff0 = p - q
+        rate = pv - qv
+        if rate == 0.0:
+            if diff0 > 1e-12:
+                return None
+            continue
+        crossing = t0 - diff0 / rate
+        if rate > 0.0:
+            # Constraint satisfied for t <= crossing.
+            hi = min(hi, crossing)
+        else:
+            lo = max(lo, crossing)
+        if lo > hi:
+            return None
+    if lo > hi:
+        return None
+    return (lo + (offset - t0), hi + (offset - t0))

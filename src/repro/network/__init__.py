@@ -1,0 +1,34 @@
+"""Road networks and synthetic network generators.
+
+The paper generates its moving-object workloads from real road networks
+(Chicago, San Francisco, Melbourne, New York) fed into the Chen et al.
+benchmark generator.  Real map extracts are not available offline, so
+:mod:`repro.network.generators` synthesizes networks with the same
+qualitative properties the paper relies on — most importantly the degree of
+velocity-distribution skew (CH most skewed, then SA, MEL, NY) and the
+relative edge lengths (NY/MEL have many short edges, hence frequent
+updates).
+"""
+
+from repro.network.road_network import RoadNetwork, RoadEdge
+from repro.network.generators import (
+    grid_network,
+    chicago_like,
+    san_francisco_like,
+    melbourne_like,
+    new_york_like,
+    network_for,
+    NETWORK_BUILDERS,
+)
+
+__all__ = [
+    "RoadNetwork",
+    "RoadEdge",
+    "grid_network",
+    "chicago_like",
+    "san_francisco_like",
+    "melbourne_like",
+    "new_york_like",
+    "network_for",
+    "NETWORK_BUILDERS",
+]

@@ -1,0 +1,25 @@
+"""Moving-object data model and query types."""
+
+from repro.objects.moving_object import MovingObject, ObjectUpdate
+from repro.objects.queries import (
+    RangeQuery,
+    CircularRange,
+    RectangularRange,
+    TimeSliceRangeQuery,
+    TimeIntervalRangeQuery,
+    MovingRangeQuery,
+)
+from repro.objects.knn import k_nearest_neighbors, initial_knn_radius
+
+__all__ = [
+    "MovingObject",
+    "ObjectUpdate",
+    "RangeQuery",
+    "CircularRange",
+    "RectangularRange",
+    "TimeSliceRangeQuery",
+    "TimeIntervalRangeQuery",
+    "MovingRangeQuery",
+    "k_nearest_neighbors",
+    "initial_knn_radius",
+]

@@ -1,0 +1,267 @@
+"""Predictive range query types (Section 2.1 of the paper).
+
+Three query types are supported:
+
+* **time-slice range query** — objects inside the range at one future timestamp;
+* **time-interval range query** — objects inside the range at any time within
+  a future interval;
+* **moving range query** — the range itself moves with a velocity during the
+  interval.
+
+The range shape is either rectangular or circular (the paper's default is a
+circular range of radius 100-1000 m).  Every query knows how to decide, for
+a given :class:`~repro.objects.MovingObject`, whether the object qualifies —
+this exact predicate is the ground truth used by tests and by the final
+filtering step of the VP range-query algorithm (Algorithm 3, line 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.geometry.moving_rect import MovingRect
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.vector import Vector
+from repro.objects.moving_object import MovingObject
+
+
+@dataclass(frozen=True)
+class CircularRange:
+    """A circular spatial range."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0.0:
+            raise ValueError("radius must be non-negative")
+
+    def contains(self, point: Point) -> bool:
+        return self.center.squared_distance_to(point) <= self.radius * self.radius
+
+    def bounding_rect(self) -> Rect:
+        return Rect.from_center(self.center, self.radius, self.radius)
+
+
+@dataclass(frozen=True)
+class RectangularRange:
+    """A rectangular spatial range."""
+
+    rect: Rect
+
+    def contains(self, point: Point) -> bool:
+        return self.rect.contains_point(point)
+
+    def bounding_rect(self) -> Rect:
+        return self.rect
+
+    @property
+    def center(self) -> Point:
+        return self.rect.center
+
+
+SpatialRange = Union[CircularRange, RectangularRange]
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A predictive range query.
+
+    Attributes:
+        range: the spatial range (circular or rectangular), given at ``issue_time``.
+        start_time: start of the query time interval (absolute timestamp).
+        end_time: end of the query time interval; equal to ``start_time`` for
+            a time-slice query.
+        velocity: velocity of the range itself (moving range query); ``None``
+            for a stationary range.
+        issue_time: the time the query was issued (current time); the range is
+            anchored at this time and projected forward when it moves.
+    """
+
+    range: SpatialRange
+    start_time: float
+    end_time: float
+    velocity: Optional[Vector] = None
+    issue_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.end_time < self.start_time:
+            raise ValueError("end_time must not precede start_time")
+        if self.start_time < self.issue_time:
+            raise ValueError("query interval cannot start before the issue time")
+
+    # ------------------------------------------------------------------
+    # Classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_time_slice(self) -> bool:
+        return self.end_time == self.start_time and self.velocity is None
+
+    @property
+    def is_moving(self) -> bool:
+        return self.velocity is not None
+
+    @property
+    def predictive_time(self) -> float:
+        """How far into the future the query looks (from the issue time)."""
+        return self.end_time - self.issue_time
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def range_at(self, time: float) -> SpatialRange:
+        """The spatial range at absolute ``time`` (moved if the query moves)."""
+        if self.velocity is None or time == self.issue_time:
+            return self.range
+        elapsed = time - self.issue_time
+        dx = self.velocity.vx * elapsed
+        dy = self.velocity.vy * elapsed
+        if isinstance(self.range, CircularRange):
+            return CircularRange(self.range.center.translate(dx, dy), self.range.radius)
+        return RectangularRange(self.range.rect.translated(dx, dy))
+
+    def bounding_rect_over_interval(self) -> Rect:
+        """MBR covering the range over the whole query interval."""
+        start_rect = self.range_at(self.start_time).bounding_rect()
+        end_rect = self.range_at(self.end_time).bounding_rect()
+        return start_rect.union(end_rect)
+
+    def as_moving_rect(self) -> MovingRect:
+        """The query as a moving rectangle anchored at ``start_time``.
+
+        Used by the TPR cost model and by the TPR-tree search, which both
+        reason about the query's bounding rectangle and velocity.
+        """
+        rect = self.range_at(self.start_time).bounding_rect()
+        vx = self.velocity.vx if self.velocity is not None else 0.0
+        vy = self.velocity.vy if self.velocity is not None else 0.0
+        return MovingRect(
+            rect=rect,
+            v_x_min=vx,
+            v_y_min=vy,
+            v_x_max=vx,
+            v_y_max=vy,
+            reference_time=self.start_time,
+        )
+
+    # ------------------------------------------------------------------
+    # Exact qualification predicate
+    # ------------------------------------------------------------------
+    def matches(self, obj: MovingObject, samples: int = 16) -> bool:
+        """Whether ``obj`` qualifies for this query (exact for our query types).
+
+        For a stationary range the object's relative trajectory is linear, so
+        containment over the interval can be decided from the minimum
+        distance (circular range) or from a per-axis interval intersection
+        (rectangular range).  For a moving range we subtract the query
+        velocity from the object velocity, reducing to the stationary case.
+        """
+        rel_velocity = obj.velocity
+        if self.velocity is not None:
+            rel_velocity = Vector(
+                obj.velocity.vx - self.velocity.vx, obj.velocity.vy - self.velocity.vy
+            )
+        # Object position relative to the (possibly moving) range, expressed
+        # in the frame where the range is fixed at its start_time location.
+        start_range = self.range_at(self.start_time)
+        obj_at_start = obj.position_at(self.start_time)
+        duration = self.end_time - self.start_time
+
+        if isinstance(start_range, CircularRange):
+            return _segment_intersects_circle(
+                obj_at_start,
+                rel_velocity,
+                duration,
+                start_range.center,
+                start_range.radius,
+            )
+        return _segment_intersects_rect(
+            obj_at_start, rel_velocity, duration, start_range.rect
+        )
+
+
+def _segment_intersects_circle(
+    start: Point, velocity: Vector, duration: float, center: Point, radius: float
+) -> bool:
+    """Whether the segment ``start + velocity * [0, duration]`` meets the circle."""
+    # Minimize |p(t) - center|^2 over t in [0, duration].
+    px = start.x - center.x
+    py = start.y - center.y
+    a = velocity.vx * velocity.vx + velocity.vy * velocity.vy
+    b = 2.0 * (px * velocity.vx + py * velocity.vy)
+    c = px * px + py * py
+    if a == 0.0:
+        best = c
+    else:
+        t_star = -b / (2.0 * a)
+        t_star = min(max(t_star, 0.0), duration)
+        best = min(c, a * t_star * t_star + b * t_star + c)
+        end_val = a * duration * duration + b * duration + c
+        best = min(best, end_val)
+    return best <= radius * radius + 1e-9
+
+
+def _segment_intersects_rect(
+    start: Point, velocity: Vector, duration: float, rect: Rect
+) -> bool:
+    """Whether the segment ``start + velocity * [0, duration]`` meets the rectangle.
+
+    Standard slab (Liang-Barsky) clipping of the parametric segment against
+    the rectangle.
+    """
+    t0, t1 = 0.0, duration
+    for (p, v, lo, hi) in (
+        (start.x, velocity.vx, rect.x_min, rect.x_max),
+        (start.y, velocity.vy, rect.y_min, rect.y_max),
+    ):
+        if v == 0.0:
+            if p < lo - 1e-9 or p > hi + 1e-9:
+                return False
+            continue
+        t_enter = (lo - p) / v
+        t_exit = (hi - p) / v
+        if t_enter > t_exit:
+            t_enter, t_exit = t_exit, t_enter
+        t0 = max(t0, t_enter)
+        t1 = min(t1, t_exit)
+        if t0 > t1 + 1e-9:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors for the three query types of Section 2.1
+# ----------------------------------------------------------------------
+def TimeSliceRangeQuery(
+    range: SpatialRange, time: float, issue_time: float = 0.0
+) -> RangeQuery:
+    """Objects inside ``range`` at the single future timestamp ``time``."""
+    return RangeQuery(range=range, start_time=time, end_time=time, issue_time=issue_time)
+
+
+def TimeIntervalRangeQuery(
+    range: SpatialRange, start_time: float, end_time: float, issue_time: float = 0.0
+) -> RangeQuery:
+    """Objects inside ``range`` at any time in ``[start_time, end_time]``."""
+    return RangeQuery(
+        range=range, start_time=start_time, end_time=end_time, issue_time=issue_time
+    )
+
+
+def MovingRangeQuery(
+    range: SpatialRange,
+    velocity: Vector,
+    start_time: float,
+    end_time: float,
+    issue_time: float = 0.0,
+) -> RangeQuery:
+    """Objects intersecting the moving ``range`` during ``[start_time, end_time]``."""
+    return RangeQuery(
+        range=range,
+        velocity=velocity,
+        start_time=start_time,
+        end_time=end_time,
+        issue_time=issue_time,
+    )

@@ -1,0 +1,22 @@
+"""Simulated paged storage with an LRU buffer and I/O accounting.
+
+The paper evaluates disk-based indexes (4 KB pages, a 50-page RAM buffer,
+query/update I/O as the primary metric).  This package provides the same
+substrate in simulation: every index node lives on a :class:`Page`, node
+accesses go through a :class:`BufferManager`, and the buffer counts the
+physical reads and writes that would have hit the disk.
+"""
+
+from repro.storage.page import Page, PAGE_SIZE_BYTES
+from repro.storage.disk_manager import DiskManager
+from repro.storage.buffer_manager import BufferManager
+from repro.storage.stats import IOStats, Counter
+
+__all__ = [
+    "Page",
+    "PAGE_SIZE_BYTES",
+    "DiskManager",
+    "BufferManager",
+    "IOStats",
+    "Counter",
+]

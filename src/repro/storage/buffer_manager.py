@@ -1,0 +1,128 @@
+"""LRU buffer manager.
+
+The paper's experiments use a 50-page RAM buffer (Table 1); leaf accesses
+therefore dominate physical I/O because interior nodes tend to stay
+resident.  The buffer manager implements standard steal/no-force LRU
+buffering over the :class:`~repro.storage.DiskManager`:
+
+* a buffer hit costs no physical I/O;
+* a miss costs one physical read (plus one physical write if the evicted
+  frame is dirty);
+* pinned pages are never evicted.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional
+
+from repro.storage.disk_manager import DiskManager
+from repro.storage.page import Page
+from repro.storage.stats import IOStats
+
+#: RAM buffer size used throughout the experiments (Table 1 of the paper).
+DEFAULT_BUFFER_PAGES = 50
+
+
+class BufferPoolFullError(RuntimeError):
+    """Raised when every frame in the pool is pinned and a new page is needed."""
+
+
+class BufferManager:
+    """A fixed-capacity LRU page buffer."""
+
+    def __init__(
+        self,
+        disk: Optional[DiskManager] = None,
+        capacity: int = DEFAULT_BUFFER_PAGES,
+        stats: Optional[IOStats] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("buffer capacity must be at least one page")
+        self.stats = stats if stats is not None else IOStats()
+        self.disk = disk if disk is not None else DiskManager(self.stats)
+        if disk is not None and stats is None:
+            # Share the disk's stats object so physical I/O is counted once.
+            self.stats = disk.stats
+        self.capacity = capacity
+        self._frames: "OrderedDict[int, Page]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Page lifecycle
+    # ------------------------------------------------------------------
+    def new_page(self, payload: Any = None) -> Page:
+        """Allocate a new page and cache it (dirty) in the buffer."""
+        page = self.disk.allocate(payload)
+        page.mark_dirty()
+        self._admit(page)
+        return page
+
+    def fetch(self, page_id: int) -> Page:
+        """Fetch a page, reading it from disk on a miss."""
+        self.stats.record_logical_read()
+        if page_id in self._frames:
+            self.hits += 1
+            self._frames.move_to_end(page_id)
+            return self._frames[page_id]
+        self.misses += 1
+        page = self.disk.read(page_id)
+        self._admit(page)
+        return page
+
+    def mark_dirty(self, page: Page) -> None:
+        """Record a modification of a buffered page."""
+        self.stats.record_logical_write()
+        page.mark_dirty()
+
+    def free_page(self, page_id: int) -> None:
+        """Drop a page from the buffer and the disk (e.g. after a node merge)."""
+        self._frames.pop(page_id, None)
+        self.disk.free(page_id)
+
+    def flush(self) -> None:
+        """Write every dirty buffered page back to disk."""
+        for page in self._frames.values():
+            if page.dirty:
+                self.disk.write(page)
+
+    def clear(self) -> None:
+        """Flush and empty the buffer (keeps the disk contents)."""
+        self.flush()
+        self._frames.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _admit(self, page: Page) -> None:
+        if page.page_id in self._frames:
+            self._frames.move_to_end(page.page_id)
+            return
+        while len(self._frames) >= self.capacity:
+            self._evict_one()
+        self._frames[page.page_id] = page
+
+    def _evict_one(self) -> None:
+        for page_id, page in self._frames.items():
+            if page.is_pinned:
+                continue
+            if page.dirty:
+                self.disk.write(page)
+            del self._frames[page_id]
+            return
+        raise BufferPoolFullError("all buffer frames are pinned")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,87 @@
+"""Simulated disk: a page-id keyed store with free-list reuse."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.storage.page import Page
+from repro.storage.stats import IOStats
+
+
+class DiskManager:
+    """Allocates, reads, writes and frees simulated disk pages.
+
+    Reads and writes performed directly through the disk manager count as
+    physical I/O.  Indexes normally access pages through a
+    :class:`~repro.storage.BufferManager`, which only falls through to the
+    disk manager on a buffer miss or on eviction of a dirty page.
+    """
+
+    def __init__(self, stats: Optional[IOStats] = None) -> None:
+        self._pages: Dict[int, Page] = {}
+        self._free_ids: List[int] = []
+        self._next_id = 0
+        self.stats = stats if stats is not None else IOStats()
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, payload: Any = None) -> Page:
+        """Allocate a fresh page (or reuse a freed page id)."""
+        if self._free_ids:
+            page_id = self._free_ids.pop()
+        else:
+            page_id = self._next_id
+            self._next_id += 1
+        page = Page(page_id=page_id, payload=payload)
+        self._pages[page_id] = page
+        return page
+
+    def free(self, page_id: int) -> None:
+        """Release a page and recycle its id.
+
+        Raises:
+            KeyError: if the page does not exist.
+        """
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} does not exist")
+        del self._pages[page_id]
+        self._free_ids.append(page_id)
+
+    # ------------------------------------------------------------------
+    # Physical I/O
+    # ------------------------------------------------------------------
+    def read(self, page_id: int) -> Page:
+        """Read a page from "disk" (counted as one physical read)."""
+        try:
+            page = self._pages[page_id]
+        except KeyError:
+            raise KeyError(f"page {page_id} does not exist") from None
+        self.stats.record_physical_read()
+        return page
+
+    def write(self, page: Page) -> None:
+        """Write a page back to "disk" (counted as one physical write)."""
+        if page.page_id not in self._pages:
+            raise KeyError(f"page {page.page_id} does not exist")
+        self._pages[page.page_id] = page
+        page.dirty = False
+        page.write_backs += 1
+        self.stats.record_physical_write()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def allocated_page_ids(self) -> List[int]:
+        return list(self._pages.keys())
+
+    def peek(self, page_id: int) -> Page:
+        """Access a page without recording I/O (testing/debugging only)."""
+        return self._pages[page_id]

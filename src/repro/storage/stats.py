@@ -1,0 +1,111 @@
+"""I/O and operation statistics.
+
+Every experiment in the paper reports average I/O per query and per update.
+The :class:`IOStats` object is shared by a :class:`~repro.storage.DiskManager`
+and its :class:`~repro.storage.BufferManager`, and exposes scoped counters so
+the benchmark harness can attribute physical I/O to the operation (query or
+update) that caused it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+
+@dataclass
+class Counter:
+    """A simple read/write counter."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+    def snapshot(self) -> "Counter":
+        return Counter(self.reads, self.writes)
+
+    def __sub__(self, other: "Counter") -> "Counter":
+        return Counter(self.reads - other.reads, self.writes - other.writes)
+
+
+@dataclass
+class IOStats:
+    """Physical I/O statistics, optionally attributed to named scopes."""
+
+    physical: Counter = field(default_factory=Counter)
+    logical: Counter = field(default_factory=Counter)
+    scopes: Dict[str, Counter] = field(default_factory=dict)
+    _active_scope: Optional[str] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_physical_read(self, count: int = 1) -> None:
+        self.physical.reads += count
+        if self._active_scope is not None:
+            self.scopes[self._active_scope].reads += count
+
+    def record_physical_write(self, count: int = 1) -> None:
+        self.physical.writes += count
+        if self._active_scope is not None:
+            self.scopes[self._active_scope].writes += count
+
+    def record_logical_read(self, count: int = 1) -> None:
+        self.logical.reads += count
+
+    def record_logical_write(self, count: int = 1) -> None:
+        self.logical.writes += count
+
+    # ------------------------------------------------------------------
+    # Scoping
+    # ------------------------------------------------------------------
+    @contextmanager
+    def scope(self, name: str) -> Iterator[Counter]:
+        """Attribute physical I/O recorded inside the block to ``name``.
+
+        Nested scopes are not supported; the harness measures one operation
+        at a time, which is all the experiments need.
+        """
+        if self._active_scope is not None:
+            raise RuntimeError("nested I/O scopes are not supported")
+        counter = self.scopes.setdefault(name, Counter())
+        before = counter.snapshot()
+        self._active_scope = name
+        try:
+            yield counter
+        finally:
+            self._active_scope = None
+        # The delta for this invocation is available to callers via
+        # ``counter - before`` if they captured ``before``; we keep the
+        # cumulative counter in ``scopes``.
+        del before
+
+    def scoped(self, name: str) -> Counter:
+        """Cumulative counter for scope ``name`` (created on demand)."""
+        return self.scopes.setdefault(name, Counter())
+
+    # ------------------------------------------------------------------
+    # Reset / report
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self.physical.reset()
+        self.logical.reset()
+        for counter in self.scopes.values():
+            counter.reset()
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        result = {
+            "physical": {"reads": self.physical.reads, "writes": self.physical.writes},
+            "logical": {"reads": self.logical.reads, "writes": self.logical.writes},
+        }
+        for name, counter in self.scopes.items():
+            result[name] = {"reads": counter.reads, "writes": counter.writes}
+        return result

@@ -1,0 +1,15 @@
+"""TPR-tree and TPR*-tree moving-object indexes.
+
+The TPR-tree (Saltenis et al., SIGMOD 2000) augments the R*-tree with
+velocity bounding rectangles so that node MBRs expand with time; the
+TPR*-tree (Tao et al., VLDB 2003) replaces the R*-tree's insertion
+heuristics with ones driven by the sweeping-region cost model.  Both are
+implemented here over the simulated paged storage layer so that query and
+update I/O can be measured the same way the paper does.
+"""
+
+from repro.tprtree.node import TPRNode, TPREntry
+from repro.tprtree.tpr_tree import TPRTree
+from repro.tprtree.tprstar_tree import TPRStarTree
+
+__all__ = ["TPRNode", "TPREntry", "TPRTree", "TPRStarTree"]

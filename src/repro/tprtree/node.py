@@ -1,0 +1,94 @@
+"""Nodes and entries of the TPR-tree family.
+
+A node lives on one simulated disk page.  Leaf entries reference moving
+objects (a degenerate :class:`~repro.geometry.MovingRect` plus the object
+id); interior entries reference child pages and carry the time-parameterized
+bound of the whole subtree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.geometry.moving_rect import MovingRect
+from repro.storage.page import entries_per_page
+
+#: Size of one TPR entry record: 4 MBR floats + 4 VBR floats + reference time
+#: + child pointer / object id, at 8 bytes each.
+TPR_ENTRY_BYTES = 80
+
+#: Default maximum node fan-out derived from the 4 KB page size.
+DEFAULT_MAX_ENTRIES = entries_per_page(TPR_ENTRY_BYTES)
+
+
+@dataclass
+class TPREntry:
+    """One entry of a TPR-tree node.
+
+    Attributes:
+        bound: time-parameterized bound of the referenced object or subtree.
+        child_page_id: page id of the child node (interior entries only).
+        oid: object id (leaf entries only).
+    """
+
+    bound: MovingRect
+    child_page_id: Optional[int] = None
+    oid: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.child_page_id is None) == (self.oid is None):
+            raise ValueError("an entry references either a child page or an object")
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        return self.oid is not None
+
+
+@dataclass
+class TPRNode:
+    """A TPR-tree node stored in one page payload."""
+
+    page_id: int
+    is_leaf: bool
+    entries: List[TPREntry] = field(default_factory=list)
+    parent_page_id: Optional[int] = None
+
+    def bound(self, reference_time: float) -> MovingRect:
+        """Tight time-parameterized bound over the node's entries."""
+        if not self.entries:
+            raise ValueError("cannot bound an empty node")
+        return MovingRect.bounding((e.bound for e in self.entries), reference_time)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.entries)
+
+    def is_overfull(self, max_entries: int) -> bool:
+        return len(self.entries) > max_entries
+
+    def is_underfull(self, min_entries: int) -> bool:
+        return len(self.entries) < min_entries
+
+    def find_entry_for_child(self, child_page_id: int) -> TPREntry:
+        """Entry pointing at ``child_page_id``.
+
+        Raises:
+            KeyError: if no entry references that child.
+        """
+        for entry in self.entries:
+            if entry.child_page_id == child_page_id:
+                return entry
+        raise KeyError(f"node {self.page_id} has no child {child_page_id}")
+
+    def remove_entry_for_child(self, child_page_id: int) -> TPREntry:
+        entry = self.find_entry_for_child(child_page_id)
+        self.entries.remove(entry)
+        return entry
+
+    def find_leaf_entry(self, oid: int) -> Optional[TPREntry]:
+        """Leaf entry for object ``oid`` or ``None``."""
+        for entry in self.entries:
+            if entry.oid == oid:
+                return entry
+        return None

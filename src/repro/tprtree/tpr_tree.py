@@ -1,0 +1,456 @@
+"""The TPR-tree: a time-parameterized R-tree for moving points.
+
+The tree stores moving objects in a height-balanced R-tree whose node bounds
+are :class:`~repro.geometry.MovingRect` values (an MBR anchored at a
+reference time plus a velocity bounding rectangle).  All structural choices
+(choose-subtree, node split) are driven by a *goodness metric* supplied by
+overridable hooks; the base class uses classic R*-tree heuristics evaluated
+on the bounds projected to the current time, and :class:`repro.tprtree.TPRStarTree`
+overrides the hooks with the sweeping-region cost model of Tao et al.
+
+Every node lives on one simulated disk page and every node visit goes
+through the buffer manager, so the physical-I/O counters reflect exactly
+what the paper measures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.geometry.moving_rect import MovingRect
+from repro.geometry.point import Point
+from repro.objects.moving_object import MovingObject
+from repro.objects.queries import RangeQuery
+from repro.storage.buffer_manager import BufferManager
+from repro.tprtree.node import DEFAULT_MAX_ENTRIES, TPREntry, TPRNode
+
+#: Default time horizon (in timestamps) over which bounds are optimized.
+#: The paper's workloads use a maximum update interval of 120 ts, and the
+#: TPR literature recommends a horizon on the order of the update interval.
+DEFAULT_HORIZON = 60.0
+
+
+class TPRTree:
+    """A TPR-tree over simulated paged storage.
+
+    Args:
+        buffer: buffer manager to use; a private one is created if omitted.
+        max_entries: maximum entries per node (fan-out); defaults to the
+            fan-out implied by a 4 KB page.
+        min_fill: minimum fill factor (fraction of ``max_entries``).
+        horizon: time horizon over which structural decisions integrate
+            the bound expansion.
+    """
+
+    name = "TPR"
+
+    def __init__(
+        self,
+        buffer: Optional[BufferManager] = None,
+        max_entries: Optional[int] = None,
+        min_fill: float = 0.4,
+        horizon: float = DEFAULT_HORIZON,
+        page_size: Optional[int] = None,
+    ) -> None:
+        if max_entries is None:
+            if page_size is not None:
+                from repro.storage.page import entries_per_page
+                from repro.tprtree.node import TPR_ENTRY_BYTES
+
+                max_entries = entries_per_page(TPR_ENTRY_BYTES, page_size_bytes=page_size)
+            else:
+                max_entries = DEFAULT_MAX_ENTRIES
+        if max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        if not 0.0 < min_fill <= 0.5:
+            raise ValueError("min_fill must be in (0, 0.5]")
+        self.buffer = buffer if buffer is not None else BufferManager()
+        self.max_entries = max_entries
+        self.min_entries = max(2, int(max_entries * min_fill))
+        self.horizon = horizon
+        self.current_time = 0.0
+        self.size = 0
+        root = TPRNode(page_id=-1, is_leaf=True)
+        page = self.buffer.new_page(root)
+        root.page_id = page.page_id
+        self.root_page_id = page.page_id
+        self._height = 1
+
+    # ------------------------------------------------------------------
+    # Node access helpers
+    # ------------------------------------------------------------------
+    def _node(self, page_id: int) -> TPRNode:
+        """Fetch a node through the buffer (counts as a node access)."""
+        return self.buffer.fetch(page_id).payload
+
+    def _write_node(self, node: TPRNode) -> None:
+        page = self.buffer.fetch(node.page_id)
+        page.payload = node
+        self.buffer.mark_dirty(page)
+
+    def _new_node(self, is_leaf: bool) -> TPRNode:
+        node = TPRNode(page_id=-1, is_leaf=is_leaf)
+        page = self.buffer.new_page(node)
+        node.page_id = page.page_id
+        return node
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def __len__(self) -> int:
+        return self.size
+
+    def insert(self, obj: MovingObject) -> None:
+        """Insert a moving object."""
+        self.current_time = max(self.current_time, obj.reference_time)
+        entry = TPREntry(bound=obj.as_moving_rect(), oid=obj.oid)
+        self._insert_entry(entry, level=0)
+        self.size += 1
+
+    def delete(self, obj: MovingObject) -> bool:
+        """Delete the object snapshot ``obj``.
+
+        The snapshot must be the one previously inserted (same reference
+        position, velocity and time); the search descends only into subtrees
+        whose bound covers the object's current position, exactly as a
+        disk-based TPR-tree deletion would.
+
+        Returns:
+            True when the object was found and removed.
+        """
+        self.current_time = max(self.current_time, obj.reference_time)
+        target = obj.position_at(self.current_time)
+        path = self._find_leaf_path(self.root_page_id, obj.oid, target, [])
+        if path is None:
+            return False
+        leaf = path[-1]
+        entry = leaf.find_leaf_entry(obj.oid)
+        if entry is None:
+            return False
+        leaf.entries.remove(entry)
+        self._write_node(leaf)
+        self.size -= 1
+        self._condense(path)
+        return True
+
+    def update(self, old: MovingObject, new: MovingObject) -> bool:
+        """Update an object: a deletion of ``old`` followed by an insertion of ``new``."""
+        removed = self.delete(old)
+        self.insert(new)
+        return removed
+
+    def range_query(self, query: RangeQuery, exact: bool = True) -> List[int]:
+        """Object ids qualifying for ``query``.
+
+        Args:
+            query: the predictive range query.
+            exact: when True (default) candidates from the tree traversal are
+                refined with the exact containment predicate; when False the
+                raw candidate set (every object whose bound intersects the
+                query's bounding rectangle over the interval) is returned.
+        """
+        query_rect = query.as_moving_rect()
+        start, end = query.start_time, query.end_time
+        results: List[int] = []
+        candidates = self._search(self.root_page_id, query_rect, start, end)
+        if not exact:
+            return [oid for oid, _ in candidates]
+        for oid, bound in candidates:
+            obj = MovingObject(
+                oid=oid,
+                position=bound.rect.center,
+                velocity=_entry_velocity(bound),
+                reference_time=bound.reference_time,
+            )
+            if query.matches(obj):
+                results.append(oid)
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection (used by the analysis module and by tests)
+    # ------------------------------------------------------------------
+    def iter_leaf_bounds(self) -> Iterator[MovingRect]:
+        """Bounds of every leaf node (used for Figure 7's expansion plots)."""
+        for node in self._iter_nodes():
+            if node.is_leaf and node.entries:
+                yield node.bound(self.current_time)
+
+    def iter_all_bounds(self) -> Iterator[MovingRect]:
+        """Bounds of every node in the tree (used by the cost model)."""
+        for node in self._iter_nodes():
+            if node.entries:
+                yield node.bound(self.current_time)
+
+    def iter_objects(self) -> Iterator[Tuple[int, MovingRect]]:
+        """(oid, bound) of every stored object."""
+        for node in self._iter_nodes():
+            if node.is_leaf:
+                for entry in node.entries:
+                    yield entry.oid, entry.bound
+
+    def _iter_nodes(self) -> Iterator[TPRNode]:
+        stack = [self.root_page_id]
+        while stack:
+            node = self._node(stack.pop())
+            yield node
+            if not node.is_leaf:
+                stack.extend(e.child_page_id for e in node.entries)
+
+    # ------------------------------------------------------------------
+    # Structural metrics (overridden by the TPR*-tree)
+    # ------------------------------------------------------------------
+    def _bound_cost(self, bound: MovingRect) -> float:
+        """Goodness (lower is better) of a node bound.
+
+        The base TPR-tree uses the area of the bound at the current time,
+        i.e. the classic R*-tree objective evaluated on the projected MBR.
+        """
+        return bound.rect_at(self.current_time).area
+
+    def _enlargement_cost(self, bound: MovingRect, extra: MovingRect) -> float:
+        """Increase of :meth:`_bound_cost` if ``extra`` joins ``bound``."""
+        combined = MovingRect.bounding([bound, extra], self.current_time)
+        return self._bound_cost(combined) - self._bound_cost(bound)
+
+    # ------------------------------------------------------------------
+    # Insertion machinery
+    # ------------------------------------------------------------------
+    def _insert_entry(self, entry: TPREntry, level: int) -> None:
+        path = self._choose_path(entry, level)
+        node = path[-1]
+        node.entries.append(entry)
+        if not node.is_leaf:
+            child = self._node(entry.child_page_id)
+            child.parent_page_id = node.page_id
+            self._write_node(child)
+        self._write_node(node)
+        self._handle_overflow_and_adjust(path, base_level=level)
+
+    def _choose_path(self, entry: TPREntry, level: int) -> List[TPRNode]:
+        """Descend from the root to the node at ``level`` that should host ``entry``.
+
+        ``level`` 0 is the leaf level; reinsertion of orphaned subtrees passes
+        the height of the subtree so it is re-attached at the right depth.
+        """
+        path = [self._node(self.root_page_id)]
+        depth_remaining = self._height - 1 - level
+        while depth_remaining > 0:
+            node = path[-1]
+            best_entry = self._pick_child(node, entry.bound)
+            child = self._node(best_entry.child_page_id)
+            child.parent_page_id = node.page_id
+            path.append(child)
+            depth_remaining -= 1
+        return path
+
+    def _pick_child(self, node: TPRNode, bound: MovingRect) -> TPREntry:
+        """Child of ``node`` whose bound degrades least by absorbing ``bound``."""
+        best = None
+        best_key = None
+        for candidate in node.entries:
+            enlargement = self._enlargement_cost(candidate.bound, bound)
+            key = (enlargement, self._bound_cost(candidate.bound))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = candidate
+        assert best is not None
+        return best
+
+    def _handle_overflow_and_adjust(self, path: List[TPRNode], base_level: int = 0) -> None:
+        """Split overfull nodes bottom-up and re-tighten bounds along the path.
+
+        ``base_level`` is the tree level of ``path[-1]`` (0 for ordinary object
+        insertions; higher when an orphaned subtree is being re-attached).
+        """
+        index = len(path) - 1
+        while index >= 0:
+            node = path[index]
+            if node.is_overfull(self.max_entries):
+                self._split_and_propagate(node, path, index, base_level)
+                # _split_and_propagate finishes the upward adjustment itself.
+                return
+            if index > 0:
+                parent = path[index - 1]
+                parent_entry = parent.find_entry_for_child(node.page_id)
+                parent_entry.bound = node.bound(self.current_time)
+                self._write_node(parent)
+            index -= 1
+
+    def _path_level(self, path: List[TPRNode], index: int, base_level: int) -> int:
+        """Tree level of ``path[index]`` given that ``path[-1]`` sits at ``base_level``."""
+        return base_level + (len(path) - 1 - index)
+
+    def _split_and_propagate(
+        self, node: TPRNode, path: List[TPRNode], index: int, base_level: int = 0
+    ) -> None:
+        sibling = self._split(node)
+        if index == 0:
+            self._grow_root(node, sibling)
+            return
+        parent = path[index - 1]
+        parent_entry = parent.find_entry_for_child(node.page_id)
+        parent_entry.bound = node.bound(self.current_time)
+        parent.entries.append(
+            TPREntry(bound=sibling.bound(self.current_time), child_page_id=sibling.page_id)
+        )
+        sibling.parent_page_id = parent.page_id
+        self._write_node(parent)
+        self._write_node(sibling)
+        self._handle_overflow_and_adjust(
+            path[:index], base_level=self._path_level(path, index - 1, base_level)
+        )
+
+    def _grow_root(self, old_root: TPRNode, sibling: TPRNode) -> None:
+        new_root = self._new_node(is_leaf=False)
+        new_root.entries = [
+            TPREntry(bound=old_root.bound(self.current_time), child_page_id=old_root.page_id),
+            TPREntry(bound=sibling.bound(self.current_time), child_page_id=sibling.page_id),
+        ]
+        old_root.parent_page_id = new_root.page_id
+        sibling.parent_page_id = new_root.page_id
+        self.root_page_id = new_root.page_id
+        self._height += 1
+        self._write_node(new_root)
+        self._write_node(old_root)
+        self._write_node(sibling)
+
+    def _split(self, node: TPRNode) -> TPRNode:
+        """Split an overfull node; returns the new sibling.
+
+        Entries are sorted along each axis by the center of their projected
+        rectangle, every legal distribution is scored with
+        :meth:`_split_cost`, and the cheapest distribution wins.
+        """
+        entries = node.entries
+        best: Optional[Tuple[List[TPREntry], List[TPREntry]]] = None
+        best_cost = None
+        for axis in (0, 1):
+            ordered = sorted(
+                entries, key=lambda e: _projected_center(e.bound, self.current_time)[axis]
+            )
+            for split_at in range(self.min_entries, len(ordered) - self.min_entries + 1):
+                group_a = ordered[:split_at]
+                group_b = ordered[split_at:]
+                cost = self._split_cost(group_a, group_b)
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best = (list(group_a), list(group_b))
+        assert best is not None
+        group_a, group_b = best
+        sibling = self._new_node(is_leaf=node.is_leaf)
+        node.entries = group_a
+        sibling.entries = group_b
+        if not node.is_leaf:
+            for entry in sibling.entries:
+                child = self._node(entry.child_page_id)
+                child.parent_page_id = sibling.page_id
+                self._write_node(child)
+        self._write_node(node)
+        self._write_node(sibling)
+        return sibling
+
+    def _split_cost(self, group_a: Sequence[TPREntry], group_b: Sequence[TPREntry]) -> float:
+        bound_a = MovingRect.bounding((e.bound for e in group_a), self.current_time)
+        bound_b = MovingRect.bounding((e.bound for e in group_b), self.current_time)
+        overlap = bound_a.rect_at(self.current_time).intersection_area(
+            bound_b.rect_at(self.current_time)
+        )
+        return self._bound_cost(bound_a) + self._bound_cost(bound_b) + overlap
+
+    # ------------------------------------------------------------------
+    # Deletion machinery
+    # ------------------------------------------------------------------
+    #: Slack (in space units) used when testing whether a subtree bound covers
+    #: the deleted object's current position.  The object often *defines* the
+    #: bound's edge, and projecting the edge and the object to the current
+    #: time accumulates rounding error in different orders; without the slack
+    #: a deletion can miss its leaf and leave a stale duplicate behind.
+    DELETE_CONTAINMENT_SLACK = 1e-3
+
+    def _find_leaf_path(
+        self, page_id: int, oid: int, position: Point, prefix: List[TPRNode]
+    ) -> Optional[List[TPRNode]]:
+        """Root-to-leaf path of nodes leading to the leaf holding ``oid``."""
+        node = self._node(page_id)
+        path = prefix + [node]
+        if node.is_leaf:
+            if node.find_leaf_entry(oid) is not None:
+                return path
+            return None
+        slack = self.DELETE_CONTAINMENT_SLACK
+        for entry in node.entries:
+            rect = entry.bound.rect_at(self.current_time).enlarged(slack, slack)
+            if rect.contains_point(position):
+                found = self._find_leaf_path(entry.child_page_id, oid, position, path)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, path: List[TPRNode]) -> None:
+        """Handle underflow after a deletion (R-tree condense with reinsertion).
+
+        ``path`` is the root-to-leaf path of the deletion; underfull nodes are
+        removed and their surviving entries re-inserted at their original
+        level.
+        """
+        orphans: List[Tuple[TPREntry, int]] = []  # (entry, level)
+        level = 0
+        for index in range(len(path) - 1, 0, -1):
+            current = path[index]
+            parent = path[index - 1]
+            if current.is_underfull(self.min_entries):
+                parent.remove_entry_for_child(current.page_id)
+                for entry in current.entries:
+                    orphans.append((entry, level))
+                self._write_node(parent)
+                self.buffer.free_page(current.page_id)
+            else:
+                parent_entry = parent.find_entry_for_child(current.page_id)
+                if current.entries:
+                    parent_entry.bound = current.bound(self.current_time)
+                self._write_node(parent)
+            level += 1
+        root = path[0]
+        if not root.is_leaf and len(root.entries) == 1:
+            child_id = root.entries[0].child_page_id
+            child = self._node(child_id)
+            child.parent_page_id = None
+            self.root_page_id = child_id
+            self._height -= 1
+            self._write_node(child)
+            self.buffer.free_page(root.page_id)
+        for entry, entry_level in orphans:
+            self._insert_entry(entry, entry_level)
+
+    # ------------------------------------------------------------------
+    # Search machinery
+    # ------------------------------------------------------------------
+    def _search(
+        self, page_id: int, query_rect: MovingRect, start: float, end: float
+    ) -> List[Tuple[int, MovingRect]]:
+        node = self._node(page_id)
+        results: List[Tuple[int, MovingRect]] = []
+        for entry in node.entries:
+            if not entry.bound.intersects_during(query_rect, start, end):
+                continue
+            if node.is_leaf:
+                results.append((entry.oid, entry.bound))
+            else:
+                results.extend(self._search(entry.child_page_id, query_rect, start, end))
+        return results
+
+
+def _projected_center(bound: MovingRect, time: float) -> Tuple[float, float]:
+    center = bound.rect_at(time).center
+    return (center.x, center.y)
+
+
+def _entry_velocity(bound: MovingRect):
+    """Velocity of a degenerate (point) bound."""
+    from repro.geometry.vector import Vector
+
+    return Vector(bound.v_x_min, bound.v_y_min)

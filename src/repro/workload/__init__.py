@@ -1,0 +1,28 @@
+"""Workload generation in the style of the Chen et al. benchmark.
+
+A workload bundles the initial objects, a time-ordered stream of update and
+query events, and the parameters that produced them.  Road-network workloads
+(objects driving along a :class:`~repro.network.RoadNetwork`) reproduce the
+skewed velocity distributions the paper exploits; the uniform workload is
+the skew-free control.
+"""
+
+from repro.workload.events import QueryEvent, UpdateEvent, Workload
+from repro.workload.parameters import WorkloadParameters, DEFAULT_PARAMETERS
+from repro.workload.uniform import UniformWorkloadGenerator
+from repro.workload.network_workload import NetworkWorkloadGenerator
+from repro.workload.query_workload import QueryWorkloadGenerator
+from repro.workload.generator import build_workload, DATASETS
+
+__all__ = [
+    "QueryEvent",
+    "UpdateEvent",
+    "Workload",
+    "WorkloadParameters",
+    "DEFAULT_PARAMETERS",
+    "UniformWorkloadGenerator",
+    "NetworkWorkloadGenerator",
+    "QueryWorkloadGenerator",
+    "build_workload",
+    "DATASETS",
+]

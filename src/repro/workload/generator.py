@@ -1,0 +1,44 @@
+"""Top-level workload builder keyed by the paper's dataset names."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.network.generators import NETWORK_BUILDERS, network_for
+from repro.workload.events import Workload
+from repro.workload.network_workload import NetworkWorkloadGenerator
+from repro.workload.parameters import WorkloadParameters
+from repro.workload.uniform import UniformWorkloadGenerator
+
+#: Dataset names used across the experiments (Figure 19 of the paper).
+DATASETS: List[str] = ["CH", "SA", "MEL", "NY", "uniform"]
+
+
+def build_workload(
+    dataset: str,
+    params: Optional[WorkloadParameters] = None,
+    include_queries: bool = True,
+    seed: Optional[int] = None,
+) -> Workload:
+    """Build the workload for one of the paper's datasets.
+
+    Args:
+        dataset: one of ``CH``, ``SA``, ``MEL``, ``NY`` (road networks) or
+            ``uniform`` (the synthetic skew-free control).
+        params: workload parameters; the scaled-down Table 1 defaults are
+            used when omitted.
+        include_queries: whether to interleave range-query events.
+        seed: overrides the parameter seed for the generator RNG.
+
+    Raises:
+        ValueError: for an unknown dataset name.
+    """
+    if params is None:
+        params = WorkloadParameters()
+    name = dataset.lower()
+    if name == "uniform":
+        return UniformWorkloadGenerator(params, seed=seed).generate(include_queries)
+    if dataset.upper() in NETWORK_BUILDERS:
+        network = network_for(dataset, space=params.space)
+        return NetworkWorkloadGenerator(network, params, seed=seed).generate(include_queries)
+    raise ValueError(f"unknown dataset {dataset!r}; expected one of {DATASETS}")

@@ -1,0 +1,155 @@
+"""Road-network workload generator (Chen et al. benchmark style).
+
+Objects drive along the edges of a :class:`~repro.network.RoadNetwork`.
+Each object starts somewhere on a random edge and repeatedly:
+
+1. moves linearly along its current edge at its current speed;
+2. when it reaches the end of the edge — or when the maximum update
+   interval elapses, whichever comes first — it reports an update with its
+   new position and its new velocity (the direction of the next edge of a
+   drive-forward random walk, at a freshly drawn speed).
+
+Because edges follow the network's dominant directions, the resulting
+velocity distribution shows the skew of Figure 1(b): most velocity points
+lie along a small number of axes, with the network's irregular links
+providing the outliers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.geometry.vector import Vector
+from repro.network.road_network import RoadNetwork
+from repro.objects.moving_object import MovingObject
+from repro.workload.events import UpdateEvent, Workload
+from repro.workload.parameters import WorkloadParameters
+from repro.workload.query_workload import QueryWorkloadGenerator
+
+
+@dataclass
+class _Traveler:
+    """Simulation state of one object driving on the network."""
+
+    obj: MovingObject
+    from_node: int
+    to_node: int
+    remaining_distance: float
+
+
+class NetworkWorkloadGenerator:
+    """Generates a workload of objects driving on a road network."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        params: WorkloadParameters,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.network = network
+        self.params = params
+        self._rng = random.Random(params.seed if seed is None else seed)
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self, include_queries: bool = True) -> Workload:
+        """Build the full workload: initial objects, updates, and queries."""
+        travelers = [self._spawn(oid) for oid in range(self.params.num_objects)]
+        initial = [t.obj for t in travelers]
+        events: List = []
+        for traveler in travelers:
+            events.extend(self._drive(traveler))
+        if include_queries:
+            events.extend(
+                QueryWorkloadGenerator(
+                    self.params, seed=self._rng.randrange(1 << 30)
+                ).generate()
+            )
+        events.sort(key=lambda e: e.time)
+        return Workload(
+            name=self.network.name,
+            space=self.params.space,
+            initial_objects=initial,
+            events=events,
+            max_speed=self.params.max_speed,
+            max_update_interval=self.params.max_update_interval,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _random_speed(self) -> float:
+        """Speeds are drawn between a quarter of the maximum and the maximum."""
+        return self._rng.uniform(0.25 * self.params.max_speed, self.params.max_speed)
+
+    def _spawn(self, oid: int) -> _Traveler:
+        edge = self.network.random_edge(self._rng)
+        if self._rng.random() < 0.5:
+            from_node, to_node = edge.source, edge.target
+        else:
+            from_node, to_node = edge.target, edge.source
+        fraction = self._rng.random()
+        position = self.network.point_along(from_node, to_node, fraction)
+        direction = self.network.edge_direction(from_node, to_node)
+        speed = self._random_speed()
+        obj = MovingObject(
+            oid=oid,
+            position=position,
+            velocity=direction.scaled(speed),
+            reference_time=0.0,
+        )
+        return _Traveler(
+            obj=obj,
+            from_node=from_node,
+            to_node=to_node,
+            remaining_distance=edge.length * (1.0 - fraction),
+        )
+
+    def _drive(self, traveler: _Traveler) -> List[UpdateEvent]:
+        """Simulate one object until the end of the workload duration."""
+        events: List[UpdateEvent] = []
+        time = 0.0
+        while True:
+            speed = traveler.obj.speed
+            if speed <= 0.0:
+                break
+            time_to_node = traveler.remaining_distance / speed
+            interval = min(time_to_node, self.params.max_update_interval)
+            reached_node = time_to_node <= self.params.max_update_interval
+            time += interval
+            if time > self.params.time_duration:
+                break
+            old = traveler.obj
+            position = old.position_at(time)
+            if reached_node:
+                # Arrived (to numerical precision) at to_node: continue along
+                # a new edge chosen by the drive-forward random walk.
+                position = self.network.position(traveler.to_node)
+                next_node = self.network.next_node_random_walk(
+                    traveler.to_node, traveler.from_node, self._rng
+                )
+                direction = self.network.edge_direction(traveler.to_node, next_node)
+                edge_length = self.network.position(traveler.to_node).distance_to(
+                    self.network.position(next_node)
+                )
+                traveler.from_node, traveler.to_node = traveler.to_node, next_node
+                traveler.remaining_distance = edge_length
+            else:
+                # Mid-edge periodic update: keep direction, redraw the speed.
+                traveler.remaining_distance -= speed * interval
+                direction = self.network.edge_direction(
+                    traveler.from_node, traveler.to_node
+                )
+            new_speed = self._random_speed()
+            new = MovingObject(
+                oid=old.oid,
+                position=position,
+                velocity=direction.scaled(new_speed),
+                reference_time=time,
+            )
+            events.append(UpdateEvent(time=time, old=old, new=new))
+            traveler.obj = new
+        return events

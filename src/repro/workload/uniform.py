@@ -1,0 +1,103 @@
+"""Uniform (skew-free) workload generator.
+
+The uniform data set of Section 6 is the control: object positions are
+uniform in the space and velocity directions are uniform over the circle, so
+there are no dominant velocity axes and the VP technique has nothing to
+exploit.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+from repro.objects.moving_object import MovingObject
+from repro.workload.events import UpdateEvent, Workload
+from repro.workload.parameters import WorkloadParameters
+from repro.workload.query_workload import QueryWorkloadGenerator
+
+
+class UniformWorkloadGenerator:
+    """Uniformly distributed objects moving in uniformly random directions."""
+
+    def __init__(self, params: WorkloadParameters, seed: Optional[int] = None) -> None:
+        self.params = params
+        self._rng = random.Random(params.seed if seed is None else seed)
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self, include_queries: bool = True) -> Workload:
+        """Build the full workload: initial objects, updates, and queries."""
+        initial = [self._random_object(oid, time=0.0) for oid in range(self.params.num_objects)]
+        events: List = []
+        events.extend(self._update_events(initial))
+        if include_queries:
+            events.extend(QueryWorkloadGenerator(self.params, seed=self._rng.randrange(1 << 30)).generate())
+        events.sort(key=lambda e: e.time)
+        return Workload(
+            name="uniform",
+            space=self.params.space,
+            initial_objects=initial,
+            events=events,
+            max_speed=self.params.max_speed,
+            max_update_interval=self.params.max_update_interval,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _random_object(self, oid: int, time: float) -> MovingObject:
+        space = self.params.space
+        position = Point(
+            self._rng.uniform(space.x_min, space.x_max),
+            self._rng.uniform(space.y_min, space.y_max),
+        )
+        return MovingObject(
+            oid=oid,
+            position=position,
+            velocity=self._random_velocity(),
+            reference_time=time,
+        )
+
+    def _random_velocity(self) -> Vector:
+        angle = self._rng.uniform(0.0, 2.0 * math.pi)
+        speed = self._rng.uniform(0.0, self.params.max_speed)
+        return Vector(speed * math.cos(angle), speed * math.sin(angle))
+
+    def _update_events(self, initial: List[MovingObject]) -> List[UpdateEvent]:
+        """Each object updates at a random interval up to the maximum.
+
+        The new snapshot keeps the predicted position (linear motion was
+        exact until the update) and draws a fresh random velocity, clamped
+        back into the space so objects do not drift out of the domain.
+        """
+        events: List[UpdateEvent] = []
+        space = self.params.space
+        for obj in initial:
+            current = obj
+            time = 0.0
+            while True:
+                time += self._rng.uniform(
+                    self.params.max_update_interval * 0.25,
+                    self.params.max_update_interval,
+                )
+                if time > self.params.time_duration:
+                    break
+                position = current.position_at(time)
+                position = Point(
+                    min(max(position.x, space.x_min), space.x_max),
+                    min(max(position.y, space.y_min), space.y_max),
+                )
+                updated = MovingObject(
+                    oid=current.oid,
+                    position=position,
+                    velocity=self._random_velocity(),
+                    reference_time=time,
+                )
+                events.append(UpdateEvent(time=time, old=current, new=updated))
+                current = updated
+        return events

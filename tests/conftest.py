@@ -1,0 +1,111 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+import sys
+
+import pytest
+
+# Allow running the tests without installing the package (e.g. straight from
+# a source checkout): put src/ on the path if repro is not importable.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # pragma: no cover - environment dependent
+    sys.path.insert(0, _SRC)
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.vector import Vector
+from repro.objects.moving_object import MovingObject
+from repro.objects.queries import CircularRange, RangeQuery, TimeSliceRangeQuery
+from repro.workload.parameters import WorkloadParameters
+
+
+SMALL_SPACE = Rect(0.0, 0.0, 10_000.0, 10_000.0)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture
+def small_space() -> Rect:
+    return SMALL_SPACE
+
+
+@pytest.fixture
+def small_params(small_space) -> WorkloadParameters:
+    """Tiny but non-trivial parameters for integration tests."""
+    return WorkloadParameters(
+        num_objects=150,
+        max_speed=50.0,
+        max_update_interval=40.0,
+        query_radius=800.0,
+        query_predictive_time=20.0,
+        time_duration=60.0,
+        num_queries=10,
+        buffer_pages=8,
+        page_size=512,
+        space=small_space,
+        seed=7,
+    )
+
+
+def make_objects(
+    count: int,
+    space: Rect = SMALL_SPACE,
+    max_speed: float = 50.0,
+    seed: int = 0,
+    axis_aligned: bool = False,
+    start_time: float = 0.0,
+) -> list:
+    """Random moving objects, optionally with axis-aligned velocities."""
+    rng = random.Random(seed)
+    objects = []
+    for oid in range(count):
+        position = Point(
+            rng.uniform(space.x_min, space.x_max),
+            rng.uniform(space.y_min, space.y_max),
+        )
+        speed = rng.uniform(1.0, max_speed)
+        if axis_aligned:
+            if rng.random() < 0.5:
+                velocity = Vector(speed * rng.choice((-1.0, 1.0)), 0.0)
+            else:
+                velocity = Vector(0.0, speed * rng.choice((-1.0, 1.0)))
+        else:
+            angle = rng.uniform(0.0, 2.0 * math.pi)
+            velocity = Vector(speed * math.cos(angle), speed * math.sin(angle))
+        objects.append(
+            MovingObject(
+                oid=oid, position=position, velocity=velocity, reference_time=start_time
+            )
+        )
+    return objects
+
+
+def brute_force_range(objects, query: RangeQuery) -> set:
+    """Ground-truth answer of a range query by exhaustive checking."""
+    return {obj.oid for obj in objects if query.matches(obj)}
+
+
+def make_circular_query(
+    center: Point, radius: float, time: float, issue_time: float = 0.0
+) -> RangeQuery:
+    return TimeSliceRangeQuery(
+        CircularRange(center=center, radius=radius), time=time, issue_time=issue_time
+    )
+
+
+@pytest.fixture
+def axis_objects():
+    """Objects whose velocities hug the x/y axes (two clear DVAs)."""
+    return make_objects(200, axis_aligned=True, seed=3)
+
+
+@pytest.fixture
+def random_objects():
+    return make_objects(200, axis_aligned=False, seed=5)

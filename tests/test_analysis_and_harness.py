@@ -1,0 +1,159 @@
+"""Tests for the expansion analysis, the experiment harness, and reporting."""
+
+import pytest
+
+from repro.analysis.expansion import (
+    ExpansionSample,
+    expansion_anisotropy,
+    leaf_mbr_expansion_rates,
+    mean_across_rate,
+    mean_along_rate,
+    query_expansion_rates,
+)
+from repro.bench.harness import (
+    ExperimentRunner,
+    IndexMetrics,
+    build_standard_indexes,
+    run_comparison,
+)
+from repro.bench.reporting import format_table, rows_to_csv
+from repro.bxtree.bx_tree import BxTree
+from repro.storage.buffer_manager import BufferManager
+from repro.tprtree.tprstar_tree import TPRStarTree
+from repro.workload.generator import build_workload
+
+from tests.conftest import SMALL_SPACE, make_circular_query, make_objects
+from repro.geometry.point import Point
+
+
+class TestExpansionSamples:
+    def test_anisotropy_of_sample(self):
+        assert ExpansionSample(along=10.0, across=2.0).anisotropy == pytest.approx(5.0)
+        assert ExpansionSample(along=0.0, across=0.0).anisotropy == 1.0
+        assert ExpansionSample(along=5.0, across=0.0).anisotropy == float("inf")
+
+    def test_mean_rates(self):
+        samples = [ExpansionSample(4.0, 1.0), ExpansionSample(6.0, 3.0)]
+        assert mean_along_rate(samples) == pytest.approx(5.0)
+        assert mean_across_rate(samples) == pytest.approx(2.0)
+        assert mean_along_rate([]) is None
+        assert expansion_anisotropy([]) is None
+
+    def test_leaf_rates_reflect_velocity_mix(self):
+        """Axis-aligned objects produce leaves whose expansion is anisotropic
+        after the TPR*-tree groups them by direction; random-direction objects
+        produce roughly isotropic leaves."""
+        skewed_tree = TPRStarTree(buffer=BufferManager(capacity=64), max_entries=8)
+        for obj in make_objects(120, axis_aligned=True, seed=1):
+            skewed_tree.insert(obj)
+        samples = leaf_mbr_expansion_rates(skewed_tree, label="skewed")
+        assert len(samples) > 5
+        assert all(s.label == "skewed" for s in samples)
+
+    def test_query_rates_from_bx_tree(self):
+        tree = BxTree(
+            buffer=BufferManager(capacity=64),
+            space=SMALL_SPACE,
+            curve_order=6,
+            max_update_interval=40.0,
+            page_size=512,
+        )
+        for obj in make_objects(150, seed=2, max_speed=40.0):
+            tree.insert(obj)
+        queries = [
+            make_circular_query(Point(3000, 3000), 500.0, time=30.0),
+            make_circular_query(Point(7000, 7000), 500.0, time=35.0),
+        ]
+        samples = query_expansion_rates(tree, queries, label="Bx")
+        assert samples
+        # Random-direction data: enlargement happens on both axes.
+        assert mean_along_rate(samples) > 0.0
+        assert mean_across_rate(samples) > 0.0
+
+
+class TestIndexMetrics:
+    def test_averages(self):
+        metrics = IndexMetrics(index_name="X", num_queries=4, num_updates=2)
+        metrics.query_io_total = 20
+        metrics.update_io_total = 6
+        metrics.query_time_total = 0.4
+        metrics.update_time_total = 0.1
+        assert metrics.avg_query_io == 5.0
+        assert metrics.avg_update_io == 3.0
+        assert metrics.avg_query_time_ms == pytest.approx(100.0)
+        assert metrics.avg_update_time_ms == pytest.approx(50.0)
+
+    def test_zero_division_safe(self):
+        metrics = IndexMetrics(index_name="X")
+        assert metrics.avg_query_io == 0.0
+        assert metrics.avg_update_time_ms == 0.0
+
+    def test_as_row_contains_key_columns(self):
+        row = IndexMetrics(index_name="X", dataset="CH").as_row()
+        for column in ("index", "dataset", "query_io", "update_io"):
+            assert column in row
+
+
+class TestHarness:
+    def test_run_comparison_small_workload(self, small_params):
+        workload = build_workload("CH", small_params)
+        results = run_comparison(workload, small_params)
+        names = {m.index_name for m in results}
+        assert names == {"Bx", "Bx(VP)", "TPR*", "TPR*(VP)"}
+        by_name = {m.index_name: m for m in results}
+        # Every index must answer every query identically (same result count).
+        counts = {m.results_returned for m in results}
+        assert len(counts) == 1
+        for metrics in results:
+            assert metrics.num_queries == small_params.num_queries
+            assert metrics.num_updates == len(workload.update_events)
+            assert metrics.query_node_accesses > 0
+        # VP variants keep the same buffer budget as their base index.
+        assert by_name["Bx(VP)"].num_queries == by_name["Bx"].num_queries
+
+    def test_build_standard_indexes_subset(self, small_params):
+        workload = build_workload("uniform", small_params)
+        indexes = build_standard_indexes(workload, small_params, which=("Bx",))
+        assert set(indexes) == {"Bx"}
+        with pytest.raises(ValueError):
+            build_standard_indexes(workload, small_params, which=("NotAnIndex",))
+
+    def test_build_extended_lineup_includes_plain_tpr(self, small_params):
+        from repro.bench.harness import EXTENDED_INDEXES
+        from repro.tprtree.tpr_tree import TPRTree
+        from repro.tprtree.tprstar_tree import TPRStarTree
+
+        workload = build_workload("CH", small_params)
+        indexes = build_standard_indexes(workload, small_params, which=EXTENDED_INDEXES)
+        assert type(indexes["TPR"]) is TPRTree
+        assert type(indexes["TPR*"]) is TPRStarTree
+
+    def test_runner_counts_io_per_operation(self, small_params):
+        workload = build_workload("SA", small_params)
+        index = BxTree(
+            buffer=BufferManager(capacity=small_params.buffer_pages),
+            space=small_params.space,
+            max_update_interval=small_params.max_update_interval,
+            page_size=small_params.page_size,
+        )
+        metrics = ExperimentRunner(workload).run(index, name="Bx")
+        assert metrics.num_updates + metrics.num_queries == len(workload.events)
+        assert metrics.build_time >= 0.0
+
+
+class TestReporting:
+    def test_format_table_alignment_and_content(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 222, "c": 3.5}]
+        text = format_table(rows, title="T")
+        assert text.startswith("T\n")
+        assert "222" in text and "xy" in text and "c" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="T")
+
+    def test_rows_to_csv(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+        csv = rows_to_csv(rows)
+        assert csv.splitlines()[0] == "a,b"
+        assert csv.splitlines()[2] == "3,4"
+        assert rows_to_csv([]) == ""

@@ -1,0 +1,146 @@
+"""Unit and property tests for the paged B+-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.btree.bplus_tree import BPlusTree
+from repro.storage.buffer_manager import BufferManager
+
+
+def small_tree(**kwargs) -> BPlusTree:
+    """A tree with tiny node capacities so splits happen early."""
+    kwargs.setdefault("leaf_capacity", 4)
+    kwargs.setdefault("interior_capacity", 4)
+    return BPlusTree(buffer=BufferManager(capacity=64), **kwargs)
+
+
+class TestBasicOperations:
+    def test_insert_and_search(self):
+        tree = small_tree()
+        tree.insert(5, "a")
+        tree.insert(3, "b")
+        tree.insert(8, "c")
+        assert tree.search(3) == ["b"]
+        assert tree.search(99) == []
+        assert len(tree) == 3
+
+    def test_duplicate_keys_are_kept(self):
+        tree = small_tree()
+        tree.insert(7, "first")
+        tree.insert(7, "second")
+        assert sorted(tree.search(7)) == ["first", "second"]
+
+    def test_range_search_inclusive(self):
+        tree = small_tree()
+        for key in range(10):
+            tree.insert(key, key * 10)
+        result = tree.range_search(3, 6)
+        assert [k for k, _ in result] == [3, 4, 5, 6]
+        assert [v for _, v in result] == [30, 40, 50, 60]
+
+    def test_range_search_empty_interval(self):
+        tree = small_tree()
+        tree.insert(1, "a")
+        assert tree.range_search(5, 3) == []
+
+    def test_delete_existing(self):
+        tree = small_tree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.delete(1, "a")
+        assert tree.search(1) == ["b"]
+        assert len(tree) == 1
+
+    def test_delete_missing_returns_false(self):
+        tree = small_tree()
+        tree.insert(1, "a")
+        assert not tree.delete(1, "zzz")
+        assert not tree.delete(2, "a")
+        assert len(tree) == 1
+
+    def test_items_in_key_order(self):
+        tree = small_tree()
+        keys = [9, 1, 5, 3, 7, 2, 8]
+        for key in keys:
+            tree.insert(key, str(key))
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(leaf_capacity=1)
+
+    def test_page_size_derives_capacities(self):
+        tree = BPlusTree(page_size=1024)
+        assert tree.leaf_capacity == (1024 - 32) // 56
+        assert tree.interior_capacity == (1024 - 32) // 16
+
+
+class TestStructure:
+    def test_tree_grows_in_height(self):
+        tree = small_tree()
+        assert tree.height == 1
+        for key in range(50):
+            tree.insert(key, key)
+        assert tree.height >= 3
+
+    def test_leaf_chain_connects_all_entries(self):
+        tree = small_tree()
+        for key in range(40):
+            tree.insert(key, key)
+        assert [k for k, _ in tree.items()] == list(range(40))
+
+    def test_node_accesses_are_counted(self):
+        tree = small_tree()
+        for key in range(30):
+            tree.insert(key, key)
+        logical_before = tree.buffer.stats.logical.reads
+        tree.search(17)
+        assert tree.buffer.stats.logical.reads > logical_before
+
+
+class TestAgainstReferenceModel:
+    def test_random_operations_match_dict(self):
+        rng = random.Random(99)
+        tree = small_tree()
+        reference = []
+        for _ in range(800):
+            action = rng.random()
+            if action < 0.6 or not reference:
+                key = rng.randrange(100)
+                value = rng.randrange(10_000)
+                tree.insert(key, value)
+                reference.append((key, value))
+            else:
+                key, value = reference.pop(rng.randrange(len(reference)))
+                assert tree.delete(key, value)
+        assert len(tree) == len(reference)
+        for key in range(100):
+            expected = sorted(v for k, v in reference if k == key)
+            assert sorted(tree.search(key)) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=200))
+    def test_inserted_keys_are_all_retrievable(self, keys):
+        tree = small_tree()
+        for index, key in enumerate(keys):
+            tree.insert(key, index)
+        assert len(tree) == len(keys)
+        assert sorted(k for k, _ in tree.items()) == sorted(keys)
+        lo, hi = min(keys), max(keys)
+        assert len(tree.range_search(lo, hi)) == len(keys)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=120),
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_range_search_matches_filter(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        tree = small_tree()
+        for index, key in enumerate(keys):
+            tree.insert(key, index)
+        expected = sorted(k for k in keys if lo <= k <= hi)
+        assert sorted(k for k, _ in tree.range_search(lo, hi)) == expected

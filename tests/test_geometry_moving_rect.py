@@ -1,0 +1,129 @@
+"""Unit and property tests for MovingRect (MBR + VBR)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.moving_rect import MovingRect
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.vector import Vector
+
+coord = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+speed = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def moving_points(draw):
+    p = Point(draw(coord), draw(coord))
+    v = Vector(draw(speed), draw(speed))
+    t = draw(st.floats(min_value=0.0, max_value=50.0))
+    return MovingRect.from_moving_point(p, v, t)
+
+
+class TestConstruction:
+    def test_from_moving_point_is_degenerate(self):
+        mr = MovingRect.from_moving_point(Point(1.0, 2.0), Vector(3.0, -4.0), 5.0)
+        assert mr.rect.area == 0.0
+        assert mr.v_x_min == mr.v_x_max == 3.0
+        assert mr.v_y_min == mr.v_y_max == -4.0
+        assert mr.reference_time == 5.0
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            MovingRect.bounding([], 0.0)
+
+    def test_bounding_takes_velocity_extremes(self):
+        a = MovingRect.from_moving_point(Point(0, 0), Vector(2.0, -1.0), 0.0)
+        b = MovingRect.from_moving_point(Point(1, 1), Vector(-3.0, 4.0), 0.0)
+        bound = MovingRect.bounding([a, b], 0.0)
+        assert bound.v_x_min == -3.0
+        assert bound.v_x_max == 2.0
+        assert bound.v_y_min == -1.0
+        assert bound.v_y_max == 4.0
+        assert bound.rect.as_tuple() == (0.0, 0.0, 1.0, 1.0)
+
+
+class TestProjection:
+    def test_rect_at_future_time_expands(self):
+        mr = MovingRect(Rect(0, 0, 1, 1), -1.0, -2.0, 3.0, 4.0, reference_time=0.0)
+        future = mr.rect_at(2.0)
+        assert future.as_tuple() == (-2.0, -4.0, 7.0, 9.0)
+
+    def test_rect_at_past_time_is_frozen(self):
+        mr = MovingRect(Rect(0, 0, 1, 1), -1.0, -1.0, 1.0, 1.0, reference_time=10.0)
+        assert mr.rect_at(5.0) == mr.rect
+
+    def test_projected_to_round_trip(self):
+        mr = MovingRect.from_moving_point(Point(0, 0), Vector(1.0, 1.0), 0.0)
+        projected = mr.projected_to(10.0)
+        assert projected.reference_time == 10.0
+        assert projected.rect.center == Point(10.0, 10.0)
+
+    def test_expansion_rates(self):
+        mr = MovingRect(Rect(0, 0, 1, 1), -2.0, 0.0, 3.0, 1.0)
+        assert mr.expansion_rate_x == 5.0
+        assert mr.expansion_rate_y == 1.0
+
+
+class TestContainsAndIntersects:
+    def test_contains_over_interval(self):
+        child = MovingRect.from_moving_point(Point(5, 5), Vector(1.0, 0.0), 0.0)
+        parent = MovingRect(Rect(0, 0, 10, 10), -1.0, -1.0, 2.0, 1.0, 0.0)
+        assert parent.contains(child, 0.0, 10.0)
+
+    def test_intersects_during_immediate_overlap(self):
+        a = MovingRect(Rect(0, 0, 2, 2), 0, 0, 0, 0, 0.0)
+        b = MovingRect(Rect(1, 1, 3, 3), 0, 0, 0, 0, 0.0)
+        assert a.intersects_during(b, 0.0, 1.0)
+
+    def test_intersects_during_future_meeting(self):
+        # b starts 10 to the right and moves left at speed 2: they meet at t=4.
+        a = MovingRect(Rect(0, 0, 2, 2), 0, 0, 0, 0, 0.0)
+        b = MovingRect(Rect(10, 0, 12, 2), -2.0, 0.0, -2.0, 0.0, 0.0)
+        assert not a.intersects_during(b, 0.0, 3.0)
+        assert a.intersects_during(b, 0.0, 4.1)
+        assert a.intersects_during(b, 3.9, 6.0)
+
+    def test_intersects_during_never(self):
+        a = MovingRect(Rect(0, 0, 1, 1), 0, 0, 0, 0, 0.0)
+        b = MovingRect(Rect(10, 10, 11, 11), 1.0, 1.0, 1.0, 1.0, 0.0)
+        assert not a.intersects_during(b, 0.0, 100.0)
+
+    def test_intersects_during_invalid_interval_raises(self):
+        a = MovingRect(Rect(0, 0, 1, 1), 0, 0, 0, 0, 0.0)
+        with pytest.raises(ValueError):
+            a.intersects_during(a, 5.0, 1.0)
+
+    def test_diverging_objects_never_meet(self):
+        a = MovingRect.from_moving_point(Point(0, 0), Vector(-1.0, 0.0), 0.0)
+        b = MovingRect.from_moving_point(Point(1, 0), Vector(1.0, 0.0), 0.0)
+        assert not a.intersects_during(b, 0.0, 50.0)
+
+
+class TestBoundingInvariant:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(moving_points(), min_size=2, max_size=8), st.floats(min_value=50.0, max_value=200.0))
+    def test_bound_contains_children_at_future_times(self, children, future):
+        reference = max(c.reference_time for c in children)
+        bound = MovingRect.bounding(children, reference)
+        for child in children:
+            child_rect = child.rect_at(future)
+            bound_rect = bound.rect_at(future)
+            grown = bound_rect.enlarged(1e-6, 1e-6)
+            assert grown.contains_rect(child_rect)
+
+    @settings(max_examples=60, deadline=None)
+    @given(moving_points(), moving_points(), st.floats(min_value=0.0, max_value=100.0))
+    def test_intersects_during_agrees_with_sampling(self, a, b, duration):
+        start = max(a.reference_time, b.reference_time)
+        end = start + duration
+        reported = a.intersects_during(b, start, end)
+        sampled = any(
+            a.rect_at(start + duration * i / 200.0).intersects(
+                b.rect_at(start + duration * i / 200.0)
+            )
+            for i in range(201)
+        )
+        # Sampling can only under-detect; it must never contradict a negative.
+        if sampled:
+            assert reported

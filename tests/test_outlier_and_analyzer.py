@@ -1,0 +1,137 @@
+"""Tests for the τ threshold optimization and the velocity analyzer."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.outlier import (
+    expansion_rate_objective,
+    optimal_tau,
+    total_expansion_rate,
+)
+from repro.core.velocity_analyzer import VelocityAnalyzer, VelocityPartitioning
+from repro.core.dva import DominantVelocityAxis
+from repro.geometry.vector import Vector
+
+from tests.test_pca_kmeans import axis_sample
+
+
+class TestObjective:
+    def test_equation_10_shape(self):
+        # Keeping everything (v_yd = v_ymax) gives 0; keeping fewer objects with
+        # a smaller v_yd gives a negative (better) value.
+        assert expansion_rate_objective(100, 10.0, 10.0) == 0.0
+        assert expansion_rate_objective(90, 2.0, 10.0) < 0.0
+
+    def test_equation_9_is_monotone_in_equation_10(self):
+        """For fixed t, a smaller Equation-10 value gives a smaller Equation 9."""
+        constants = dict(t=30.0, n_total=1000, n_per_leaf=20.0, d=100.0, v_xmax=50.0, v_ymax=40.0)
+        candidates = [(900, 5.0), (800, 10.0), (995, 39.0), (400, 1.0)]
+        objective = [expansion_rate_objective(n, v, constants["v_ymax"]) for n, v in candidates]
+        full_rate = [
+            total_expansion_rate(n_d=n, v_yd=v, **constants) for n, v in candidates
+        ]
+        ranked_by_objective = sorted(range(len(candidates)), key=lambda i: objective[i])
+        ranked_by_rate = sorted(range(len(candidates)), key=lambda i: full_rate[i])
+        assert ranked_by_objective == ranked_by_rate
+
+
+class TestOptimalTau:
+    def test_empty_partition_raises(self):
+        with pytest.raises(ValueError):
+            optimal_tau([])
+
+    def test_all_on_axis_gives_zero_tau(self):
+        result = optimal_tau([0.0] * 50)
+        assert result.tau == 0.0
+
+    def test_outliers_are_cut(self):
+        """90% of objects have tiny perpendicular speed, 10% are fast outliers:
+        τ should land between the two groups."""
+        speeds = [0.5] * 900 + [80.0] * 100
+        result = optimal_tau(speeds)
+        assert 0.5 <= result.tau < 80.0
+
+    def test_uniform_speeds_keep_about_half(self):
+        """For a uniform perpendicular-speed distribution Equation 10 is
+        minimized at τ ≈ v_max / 2 (n_d(τ) ∝ τ, so the objective is a parabola
+        with its minimum at the midpoint): about half the objects stay."""
+        rng = random.Random(3)
+        speeds = [rng.uniform(0.0, 50.0) for _ in range(2000)]
+        result = optimal_tau(speeds)
+        kept = sum(1 for s in speeds if s <= result.tau)
+        assert 0.4 < kept / len(speeds) < 0.6
+        assert result.tau == pytest.approx(25.0, rel=0.1)
+
+    def test_tau_minimizes_objective_over_candidates(self):
+        rng = random.Random(4)
+        speeds = [abs(rng.gauss(0, 3)) for _ in range(500)] + [60.0 + rng.random() for _ in range(40)]
+        result = optimal_tau(speeds)
+        best = min(value for _, value in result.candidates)
+        assert result.objective == pytest.approx(best)
+
+    def test_histogram_resolution_changes_granularity(self):
+        speeds = [1.0] * 80 + [30.0] * 20
+        coarse = optimal_tau(speeds, histogram_buckets=3)
+        fine = optimal_tau(speeds, histogram_buckets=300)
+        assert coarse.tau >= fine.tau > 0.0
+
+
+class TestVelocityAnalyzer:
+    def test_analyze_two_axis_sample(self):
+        velocities = axis_sample([0.0, 90.0], points_per_axis=400, noise=1.0, seed=11)
+        partitioning = VelocityAnalyzer(k=2).analyze(velocities)
+        assert partitioning.k == 2
+        angles = sorted(math.degrees(d.axis.angle) % 180.0 for d in partitioning.dvas)
+        assert min(abs(angles[0] - 0.0), abs(angles[0] - 180.0)) < 5.0
+        assert abs(angles[1] - 90.0) < 5.0
+        assert partitioning.analysis_time_seconds > 0.0
+
+    def test_partition_for_routes_by_direction(self):
+        velocities = axis_sample([0.0, 90.0], points_per_axis=400, noise=1.0, seed=12)
+        partitioning = VelocityAnalyzer(k=2).analyze(velocities)
+        along_x = partitioning.partition_for(Vector(50.0, 0.3))
+        along_y = partitioning.partition_for(Vector(0.3, 50.0))
+        assert along_x is not None and along_y is not None
+        assert along_x != along_y
+
+    def test_far_velocity_goes_to_outlier(self):
+        velocities = axis_sample([0.0, 90.0], points_per_axis=400, noise=0.5, seed=13)
+        partitioning = VelocityAnalyzer(k=2).analyze(velocities)
+        assert partitioning.partition_for(Vector(40.0, 40.0)) is None
+
+    def test_outliers_shrink_tau_relative_to_max(self):
+        velocities = axis_sample([0.0], points_per_axis=500, noise=1.0, seed=14)
+        # Add blatant outliers moving diagonally.
+        velocities += [Vector(30.0, 30.0) for _ in range(25)]
+        partitioning = VelocityAnalyzer(k=1).analyze(velocities)
+        max_perp = max(
+            v.perpendicular_distance_to_axis(partitioning.dvas[0].axis) for v in velocities
+        )
+        assert partitioning.dvas[0].tau < max_perp
+
+    def test_sample_size_subsampling(self):
+        velocities = axis_sample([0.0, 90.0], points_per_axis=300, seed=15)
+        analyzer = VelocityAnalyzer(k=2, sample_size=100)
+        partitioning = analyzer.analyze(velocities)
+        assert partitioning.k == 2
+
+    def test_too_small_sample_raises(self):
+        with pytest.raises(ValueError):
+            VelocityAnalyzer(k=2).analyze([Vector(1.0, 0.0)])
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            VelocityAnalyzer(k=0)
+
+    def test_partitioning_with_manual_taus(self):
+        partitioning = VelocityPartitioning(
+            dvas=[
+                DominantVelocityAxis(axis=Vector(1.0, 0.0), tau=1.0),
+                DominantVelocityAxis(axis=Vector(0.0, 1.0), tau=1.0),
+            ]
+        )
+        assert partitioning.partition_for(Vector(10.0, 0.5)) == 0
+        assert partitioning.partition_for(Vector(0.5, 10.0)) == 1
+        assert partitioning.partition_for(Vector(5.0, 5.0)) is None

@@ -1,0 +1,164 @@
+"""Tests for PCA and the DVA-finding clustering algorithms (Section 5.1)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.pc_kmeans import centroid_kmeans_dvas, find_dvas, pca_only_dva
+from repro.core.pca import (
+    explained_variance_ratio,
+    first_principal_component,
+    principal_components,
+)
+from repro.geometry.vector import Vector
+
+
+def axis_sample(angles_degrees, points_per_axis=200, noise=2.0, speed=60.0, seed=0):
+    """Velocity points concentrated along the given axes (both directions)."""
+    rng = random.Random(seed)
+    velocities = []
+    for angle_deg in angles_degrees:
+        angle = math.radians(angle_deg)
+        direction = Vector(math.cos(angle), math.sin(angle))
+        normal = direction.perpendicular()
+        for _ in range(points_per_axis):
+            magnitude = rng.uniform(-speed, speed)
+            wobble = rng.gauss(0.0, noise)
+            velocities.append(
+                Vector(
+                    direction.vx * magnitude + normal.vx * wobble,
+                    direction.vy * magnitude + normal.vy * wobble,
+                )
+            )
+    return velocities
+
+
+def angle_of(axis: Vector) -> float:
+    return math.degrees(axis.angle) % 180.0
+
+
+def angular_difference(a: float, b: float) -> float:
+    diff = abs(a - b) % 180.0
+    return min(diff, 180.0 - diff)
+
+
+class TestPCA:
+    def test_requires_data(self):
+        with pytest.raises(ValueError):
+            principal_components([])
+
+    def test_components_are_orthonormal(self):
+        velocities = axis_sample([30.0])
+        components = principal_components(velocities)
+        (v1, _), (v2, _) = components
+        assert v1.magnitude == pytest.approx(1.0)
+        assert v2.magnitude == pytest.approx(1.0)
+        assert abs(v1.dot(v2)) < 1e-9
+
+    def test_first_component_finds_single_axis(self):
+        velocities = axis_sample([40.0], noise=1.0)
+        axis = first_principal_component(velocities)
+        assert angular_difference(angle_of(axis), 40.0) < 3.0
+
+    def test_variances_sorted_descending(self):
+        velocities = axis_sample([10.0])
+        components = principal_components(velocities)
+        assert components[0][1] >= components[1][1]
+
+    def test_explained_variance_near_one_for_1d_data(self):
+        velocities = axis_sample([75.0], noise=0.5)
+        assert explained_variance_ratio(velocities) > 0.95
+
+    def test_degenerate_input_falls_back_to_x_axis(self):
+        axis = first_principal_component([Vector(0.0, 0.0), Vector(0.0, 0.0)])
+        assert axis == Vector(1.0, 0.0)
+
+    def test_centered_pca_differs_for_shifted_data(self):
+        # A cluster far from the origin: centered PCA sees its internal spread,
+        # uncentered PCA sees mostly the offset direction.
+        rng = random.Random(1)
+        velocities = [Vector(50.0 + rng.gauss(0, 1), rng.gauss(0, 10)) for _ in range(500)]
+        uncentered = first_principal_component(velocities, center=False)
+        centered = first_principal_component(velocities, center=True)
+        assert angular_difference(angle_of(uncentered), 0.0) < 10.0
+        assert angular_difference(angle_of(centered), 90.0) < 10.0
+
+
+class TestFindDVAs:
+    def test_recovers_two_orthogonal_axes(self):
+        velocities = axis_sample([0.0, 90.0], seed=2)
+        result = find_dvas(velocities, k=2)
+        found = sorted(angle_of(axis) for axis in result.axes)
+        assert angular_difference(found[0], 0.0) < 5.0
+        assert angular_difference(found[1], 90.0) < 5.0
+
+    def test_recovers_rotated_axes(self):
+        velocities = axis_sample([27.0, 117.0], seed=3)
+        result = find_dvas(velocities, k=2)
+        found = sorted(angle_of(axis) for axis in result.axes)
+        assert angular_difference(found[0], 27.0) < 6.0
+        assert angular_difference(found[1], 117.0) < 6.0
+
+    def test_assignments_cover_all_points(self):
+        velocities = axis_sample([0.0, 90.0], seed=4)
+        result = find_dvas(velocities, k=2)
+        assert len(result.assignments) == len(velocities)
+        assert set(result.assignments) == {0, 1}
+
+    def test_partition_members_counts(self):
+        velocities = axis_sample([0.0, 90.0], points_per_axis=100, seed=5)
+        result = find_dvas(velocities, k=2)
+        groups = result.partition_members(velocities)
+        assert sum(len(g) for g in groups) == len(velocities)
+        # Roughly balanced between the two axes.
+        assert min(len(g) for g in groups) > 50
+
+    def test_k_must_be_valid(self):
+        with pytest.raises(ValueError):
+            find_dvas([Vector(1, 0)], k=0)
+        with pytest.raises(ValueError):
+            find_dvas([Vector(1, 0)], k=2)
+
+    def test_single_axis_with_k1(self):
+        velocities = axis_sample([60.0], seed=6)
+        result = find_dvas(velocities, k=1)
+        assert angular_difference(angle_of(result.axes[0]), 60.0) < 4.0
+
+    def test_deterministic_given_seed(self):
+        velocities = axis_sample([0.0, 90.0], seed=7)
+        a = find_dvas(velocities, k=2, seed=123)
+        b = find_dvas(velocities, k=2, seed=123)
+        assert a.assignments == b.assignments
+
+
+class TestNaiveBaselines:
+    def test_pca_only_averages_two_axes(self):
+        """Naive approach I: with two DVAs the single PC matches neither axis
+        (Figure 10a) — it lands roughly between them.  Non-orthogonal axes are
+        used because for two equally strong perpendicular axes the scatter
+        matrix is isotropic and the PC direction is arbitrary."""
+        velocities = axis_sample([0.0, 60.0], seed=8)
+        result = pca_only_dva(velocities)
+        angle = angle_of(result.axes[0])
+        assert angular_difference(angle, 0.0) > 15.0
+        assert angular_difference(angle, 60.0) > 15.0
+
+    def test_centroid_kmeans_worse_than_pc_kmeans(self):
+        """Naive approach II groups by closeness to a centroid, so its axes fit
+        the data strictly worse (in perpendicular distance) than Algorithm 2."""
+        velocities = axis_sample([0.0, 90.0], seed=9)
+
+        def mean_perpendicular(result):
+            return sum(
+                v.perpendicular_distance_to_axis(result.axes[a])
+                for v, a in zip(velocities, result.assignments)
+            ) / len(velocities)
+
+        ours = mean_perpendicular(find_dvas(velocities, k=2))
+        naive = mean_perpendicular(centroid_kmeans_dvas(velocities, k=2))
+        assert ours < naive
+
+    def test_centroid_kmeans_requires_enough_points(self):
+        with pytest.raises(ValueError):
+            centroid_kmeans_dvas([Vector(1, 0)], k=2)

@@ -1,0 +1,133 @@
+"""Tests for space-filling curves, the grid, and the velocity histogram."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bxtree.grid import Grid
+from repro.bxtree.spacefill import HilbertCurve, ZCurve
+from repro.bxtree.velocity_histogram import VelocityHistogram
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.vector import Vector
+
+
+class TestCurvesCommon:
+    @pytest.mark.parametrize("curve_cls", [HilbertCurve, ZCurve])
+    def test_encode_decode_roundtrip_exhaustive_small(self, curve_cls):
+        curve = curve_cls(order=3)
+        seen = set()
+        for cx in range(curve.cells_per_side):
+            for cy in range(curve.cells_per_side):
+                index = curve.encode(cx, cy)
+                assert 0 <= index <= curve.max_index
+                assert curve.decode(index) == (cx, cy)
+                seen.add(index)
+        assert len(seen) == curve.cells_per_side**2  # bijection
+
+    @pytest.mark.parametrize("curve_cls", [HilbertCurve, ZCurve])
+    def test_out_of_range_cell_raises(self, curve_cls):
+        curve = curve_cls(order=2)
+        with pytest.raises(ValueError):
+            curve.encode(4, 0)
+        with pytest.raises(ValueError):
+            curve.decode(curve.max_index + 1)
+
+    def test_invalid_order_raises(self):
+        with pytest.raises(ValueError):
+            HilbertCurve(0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    def test_hilbert_roundtrip_order8(self, cx, cy):
+        curve = HilbertCurve(order=8)
+        assert curve.decode(curve.encode(cx, cy)) == (cx, cy)
+
+    def test_hilbert_consecutive_indexes_are_adjacent_cells(self):
+        """The defining locality property of the Hilbert curve."""
+        curve = HilbertCurve(order=4)
+        for index in range(curve.max_index):
+            x1, y1 = curve.decode(index)
+            x2, y2 = curve.decode(index + 1)
+            assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+    def test_ranges_for_cells_merges_consecutive(self):
+        curve = HilbertCurve(order=3)
+        cells = [curve.decode(i) for i in (4, 5, 6, 10, 12)]
+        assert curve.ranges_for_cells(cells) == [(4, 6), (10, 10), (12, 12)]
+
+    def test_ranges_for_cells_merge_gap(self):
+        curve = HilbertCurve(order=3)
+        cells = [curve.decode(i) for i in (4, 8, 20)]
+        assert curve.ranges_for_cells(cells, merge_gap=4) == [(4, 8), (20, 20)]
+        with pytest.raises(ValueError):
+            curve.ranges_for_cells(cells, merge_gap=-1)
+
+
+class TestGrid:
+    def setup_method(self):
+        self.grid = Grid(Rect(0.0, 0.0, 100.0, 50.0), cells_x=10, cells_y=5)
+
+    def test_cell_dimensions(self):
+        assert self.grid.cell_width == 10.0
+        assert self.grid.cell_height == 10.0
+
+    def test_cell_of_interior_point(self):
+        assert self.grid.cell_of(Point(25.0, 15.0)) == (2, 1)
+
+    def test_cell_of_clamps_outside_points(self):
+        assert self.grid.cell_of(Point(-5.0, -5.0)) == (0, 0)
+        assert self.grid.cell_of(Point(1000.0, 1000.0)) == (9, 4)
+
+    def test_cell_rect_roundtrip(self):
+        rect = self.grid.cell_rect(3, 2)
+        assert self.grid.cell_of(rect.center) == (3, 2)
+
+    def test_cell_rect_out_of_range(self):
+        with pytest.raises(ValueError):
+            self.grid.cell_rect(10, 0)
+
+    def test_cells_overlapping(self):
+        cells = list(self.grid.cells_overlapping(Rect(5.0, 5.0, 25.0, 15.0)))
+        assert (0, 0) in cells and (2, 1) in cells
+        assert len(cells) == self.grid.cell_count_overlapping(Rect(5.0, 5.0, 25.0, 15.0))
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            Grid(Rect(0, 0, 1, 1), 0, 5)
+
+
+class TestVelocityHistogram:
+    def setup_method(self):
+        self.hist = VelocityHistogram(Grid(Rect(0, 0, 100, 100), 10, 10))
+
+    def test_extrema_of_empty_histogram_are_zero(self):
+        assert self.hist.extrema_in(Rect(0, 0, 100, 100)) == (0.0, 0.0, 0.0, 0.0)
+
+    def test_add_updates_extrema(self):
+        self.hist.add(Point(5, 5), Vector(10.0, -3.0))
+        self.hist.add(Point(6, 6), Vector(-2.0, 7.0))
+        assert self.hist.extrema_in(Rect(0, 0, 10, 10)) == (-2.0, -3.0, 10.0, 7.0)
+
+    def test_extrema_respect_region(self):
+        self.hist.add(Point(5, 5), Vector(50.0, 50.0))
+        self.hist.add(Point(95, 95), Vector(-50.0, -50.0))
+        min_vx, min_vy, max_vx, max_vy = self.hist.extrema_in(Rect(0, 0, 20, 20))
+        # Only the slow-corner object is in the region, so the fast negative
+        # velocities of the far corner must not leak into the extrema.
+        assert (min_vx, min_vy, max_vx, max_vy) == (50.0, 50.0, 50.0, 50.0)
+
+    def test_remove_decrements_count(self):
+        self.hist.add(Point(5, 5), Vector(1.0, 1.0))
+        self.hist.remove(Point(5, 5))
+        assert self.hist.total_objects == 0
+
+    def test_rebuild(self):
+        self.hist.add(Point(5, 5), Vector(99.0, 99.0))
+        self.hist.rebuild([(Point(50, 50), Vector(1.0, 2.0))])
+        assert self.hist.total_objects == 1
+        assert self.hist.global_extrema() == (1.0, 2.0, 1.0, 2.0)
+
+    def test_global_extrema_covers_everything(self):
+        self.hist.add(Point(1, 1), Vector(-5.0, 0.0))
+        self.hist.add(Point(99, 99), Vector(8.0, -1.0))
+        assert self.hist.global_extrema() == (-5.0, -1.0, 8.0, 0.0)

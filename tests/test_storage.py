@@ -1,0 +1,179 @@
+"""Tests for the simulated storage layer: pages, disk manager, buffer, stats."""
+
+import pytest
+
+from repro.storage.buffer_manager import BufferManager, BufferPoolFullError
+from repro.storage.disk_manager import DiskManager
+from repro.storage.page import PAGE_SIZE_BYTES, Page, entries_per_page
+from repro.storage.stats import Counter, IOStats
+
+
+class TestPage:
+    def test_default_size_is_4kb(self):
+        assert PAGE_SIZE_BYTES == 4096
+        assert Page(page_id=0).size_bytes == 4096
+
+    def test_pin_unpin(self):
+        page = Page(page_id=1)
+        page.pin()
+        assert page.is_pinned
+        page.unpin()
+        assert not page.is_pinned
+
+    def test_unpin_without_pin_raises(self):
+        with pytest.raises(ValueError):
+            Page(page_id=1).unpin()
+
+    def test_entries_per_page(self):
+        assert entries_per_page(80) == (4096 - 32) // 80
+        assert entries_per_page(56, page_size_bytes=1024) == (1024 - 32) // 56
+
+    def test_entries_per_page_minimum_fanout(self):
+        assert entries_per_page(100_000) == 2
+
+    def test_entries_per_page_invalid(self):
+        with pytest.raises(ValueError):
+            entries_per_page(0)
+        with pytest.raises(ValueError):
+            entries_per_page(10, header_bytes=64, page_size_bytes=64)
+
+
+class TestDiskManager:
+    def test_allocate_read_write(self):
+        disk = DiskManager()
+        page = disk.allocate(payload={"a": 1})
+        assert page.page_id in disk
+        fetched = disk.read(page.page_id)
+        assert fetched.payload == {"a": 1}
+        disk.write(fetched)
+        assert disk.stats.physical.reads == 1
+        assert disk.stats.physical.writes == 1
+
+    def test_free_recycles_ids(self):
+        disk = DiskManager()
+        page = disk.allocate()
+        disk.free(page.page_id)
+        new_page = disk.allocate()
+        assert new_page.page_id == page.page_id
+
+    def test_read_missing_raises(self):
+        with pytest.raises(KeyError):
+            DiskManager().read(42)
+
+    def test_free_missing_raises(self):
+        with pytest.raises(KeyError):
+            DiskManager().free(42)
+
+    def test_len_counts_pages(self):
+        disk = DiskManager()
+        disk.allocate()
+        disk.allocate()
+        assert len(disk) == 2
+
+
+class TestBufferManager:
+    def test_hit_does_not_touch_disk(self):
+        buffer = BufferManager(capacity=4)
+        page = buffer.new_page("payload")
+        reads_before = buffer.stats.physical.reads
+        fetched = buffer.fetch(page.page_id)
+        assert fetched.payload == "payload"
+        assert buffer.stats.physical.reads == reads_before
+        assert buffer.hits == 1
+
+    def test_miss_reads_from_disk(self):
+        buffer = BufferManager(capacity=2)
+        pages = [buffer.new_page(i) for i in range(5)]  # forces evictions
+        buffer.fetch(pages[0].page_id)
+        assert buffer.stats.physical.reads >= 1
+        assert buffer.misses >= 1
+
+    def test_lru_eviction_order(self):
+        buffer = BufferManager(capacity=2)
+        a = buffer.new_page("a")
+        b = buffer.new_page("b")
+        buffer.fetch(a.page_id)  # a becomes most recent
+        buffer.new_page("c")  # evicts b
+        assert a.page_id in buffer
+        assert b.page_id not in buffer
+
+    def test_dirty_page_written_back_on_eviction(self):
+        buffer = BufferManager(capacity=1)
+        a = buffer.new_page("a")
+        buffer.mark_dirty(buffer.fetch(a.page_id))
+        buffer.new_page("b")  # evicts dirty a -> physical write
+        assert buffer.stats.physical.writes >= 1
+
+    def test_pinned_pages_not_evicted(self):
+        buffer = BufferManager(capacity=1)
+        a = buffer.new_page("a")
+        buffer.fetch(a.page_id).pin()
+        with pytest.raises(BufferPoolFullError):
+            buffer.new_page("b")
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BufferManager(capacity=0)
+
+    def test_flush_writes_dirty_pages(self):
+        buffer = BufferManager(capacity=4)
+        buffer.new_page("a")
+        buffer.flush()
+        assert buffer.stats.physical.writes >= 1
+
+    def test_shared_stats_with_external_disk(self):
+        disk = DiskManager()
+        buffer = BufferManager(disk=disk, capacity=2)
+        assert buffer.stats is disk.stats
+
+    def test_hit_ratio(self):
+        buffer = BufferManager(capacity=4)
+        page = buffer.new_page("a")
+        buffer.fetch(page.page_id)
+        buffer.fetch(page.page_id)
+        assert buffer.hit_ratio == 1.0
+
+    def test_free_page_removes_everywhere(self):
+        buffer = BufferManager(capacity=4)
+        page = buffer.new_page("a")
+        buffer.free_page(page.page_id)
+        assert page.page_id not in buffer
+        assert page.page_id not in buffer.disk
+
+
+class TestIOStats:
+    def test_counter_arithmetic(self):
+        a = Counter(reads=5, writes=2)
+        b = Counter(reads=3, writes=1)
+        diff = a - b
+        assert diff.reads == 2 and diff.writes == 1
+        assert a.total == 7
+
+    def test_scope_attributes_io(self):
+        stats = IOStats()
+        with stats.scope("query"):
+            stats.record_physical_read(3)
+        stats.record_physical_read(1)
+        assert stats.scoped("query").reads == 3
+        assert stats.physical.reads == 4
+
+    def test_nested_scope_raises(self):
+        stats = IOStats()
+        with stats.scope("outer"):
+            with pytest.raises(RuntimeError):
+                with stats.scope("inner"):
+                    pass
+
+    def test_reset(self):
+        stats = IOStats()
+        stats.record_physical_read()
+        stats.record_logical_write()
+        stats.reset()
+        assert stats.physical.total == 0
+        assert stats.logical.total == 0
+
+    def test_as_dict(self):
+        stats = IOStats()
+        stats.record_physical_write(2)
+        snapshot = stats.as_dict()
+        assert snapshot["physical"]["writes"] == 2

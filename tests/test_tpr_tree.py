@@ -1,0 +1,238 @@
+"""Tests for the TPR-tree and TPR*-tree."""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+from repro.objects.moving_object import MovingObject
+from repro.objects.queries import CircularRange, RectangularRange, TimeSliceRangeQuery
+from repro.geometry.rect import Rect
+from repro.storage.buffer_manager import BufferManager
+from repro.tprtree.node import TPREntry, TPRNode
+from repro.tprtree.tpr_tree import TPRTree
+from repro.tprtree.tprstar_tree import TPRStarTree
+
+from tests.conftest import brute_force_range, make_circular_query, make_objects
+
+
+def small_tree(cls=TPRStarTree, **kwargs) -> TPRTree:
+    kwargs.setdefault("max_entries", 8)
+    kwargs.setdefault("buffer", BufferManager(capacity=128))
+    return cls(**kwargs)
+
+
+class TestNode:
+    def test_entry_must_reference_exactly_one_target(self):
+        bound = MovingObject(1, Point(0, 0), Vector(0, 0)).as_moving_rect()
+        with pytest.raises(ValueError):
+            TPREntry(bound=bound)
+        with pytest.raises(ValueError):
+            TPREntry(bound=bound, child_page_id=1, oid=2)
+
+    def test_node_bound_requires_entries(self):
+        node = TPRNode(page_id=0, is_leaf=True)
+        with pytest.raises(ValueError):
+            node.bound(0.0)
+
+    def test_find_and_remove_child_entry(self):
+        bound = MovingObject(1, Point(0, 0), Vector(0, 0)).as_moving_rect()
+        node = TPRNode(page_id=0, is_leaf=False)
+        node.entries.append(TPREntry(bound=bound, child_page_id=7))
+        assert node.find_entry_for_child(7).child_page_id == 7
+        node.remove_entry_for_child(7)
+        assert node.num_entries == 0
+        with pytest.raises(KeyError):
+            node.find_entry_for_child(7)
+
+
+class TestInsertDelete:
+    @pytest.mark.parametrize("cls", [TPRTree, TPRStarTree])
+    def test_insert_then_delete_all(self, cls):
+        tree = small_tree(cls)
+        objects = make_objects(60, seed=11)
+        for obj in objects:
+            tree.insert(obj)
+        assert len(tree) == 60
+        assert tree.height >= 2
+        for obj in objects:
+            assert tree.delete(obj), f"failed to delete {obj.oid}"
+        assert len(tree) == 0
+
+    def test_delete_missing_returns_false(self):
+        tree = small_tree()
+        objects = make_objects(10)
+        for obj in objects:
+            tree.insert(obj)
+        ghost = MovingObject(999, Point(1.0, 1.0), Vector(0.0, 0.0))
+        assert not tree.delete(ghost)
+
+    def test_update_moves_object(self):
+        tree = small_tree()
+        obj = MovingObject(1, Point(100.0, 100.0), Vector(1.0, 0.0), 0.0)
+        tree.insert(obj)
+        moved = obj.with_update(Point(5000.0, 5000.0), Vector(0.0, 2.0), 10.0)
+        assert tree.update(obj, moved)
+        query = make_circular_query(Point(5000.0, 5020.0), 50.0, time=20.0, issue_time=10.0)
+        assert tree.range_query(query) == [1]
+
+    def test_size_constraints_enforced(self):
+        with pytest.raises(ValueError):
+            TPRTree(max_entries=2)
+        with pytest.raises(ValueError):
+            TPRTree(min_fill=0.9)
+
+    def test_page_size_controls_fanout(self):
+        tree = TPRTree(page_size=1024)
+        assert tree.max_entries == (1024 - 32) // 80
+
+    def test_all_objects_iterable(self):
+        tree = small_tree()
+        objects = make_objects(25, seed=2)
+        for obj in objects:
+            tree.insert(obj)
+        stored = {oid for oid, _ in tree.iter_objects()}
+        assert stored == {obj.oid for obj in objects}
+
+
+class TestBoundInvariants:
+    @pytest.mark.parametrize("cls", [TPRTree, TPRStarTree])
+    def test_parent_bounds_contain_objects_at_future_times(self, cls):
+        tree = small_tree(cls)
+        objects = make_objects(80, seed=21, axis_aligned=True)
+        for obj in objects:
+            tree.insert(obj)
+        for future in (tree.current_time, tree.current_time + 30.0, tree.current_time + 90.0):
+            leaf_rects = [b.rect_at(future) for b in tree.iter_leaf_bounds()]
+            for obj in objects:
+                position = obj.position_at(future)
+                assert any(
+                    rect.enlarged(1e-6, 1e-6).contains_point(position) for rect in leaf_rects
+                ), f"object {obj.oid} escaped every leaf bound at t={future}"
+
+    def test_bounds_remain_valid_after_updates(self, rng):
+        tree = small_tree()
+        objects = {obj.oid: obj for obj in make_objects(40, seed=31)}
+        for obj in objects.values():
+            tree.insert(obj)
+        for step in range(1, 6):
+            time = step * 10.0
+            for oid in rng.sample(sorted(objects), 10):
+                old = objects[oid]
+                new = MovingObject(
+                    oid,
+                    old.position_at(time),
+                    Vector(rng.uniform(-40, 40), rng.uniform(-40, 40)),
+                    time,
+                )
+                tree.update(old, new)
+                objects[oid] = new
+        future = tree.current_time + 20.0
+        leaf_rects = [b.rect_at(future) for b in tree.iter_leaf_bounds()]
+        for obj in objects.values():
+            position = obj.position_at(future)
+            assert any(r.enlarged(1e-6, 1e-6).contains_point(position) for r in leaf_rects)
+
+
+class TestRangeQueries:
+    @pytest.mark.parametrize("cls", [TPRTree, TPRStarTree])
+    def test_matches_brute_force_circular(self, cls):
+        tree = small_tree(cls)
+        objects = make_objects(120, seed=41)
+        for obj in objects:
+            tree.insert(obj)
+        rng = random.Random(7)
+        for _ in range(15):
+            center = Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000))
+            query = make_circular_query(center, 1200.0, time=rng.uniform(0, 40))
+            assert set(tree.range_query(query)) == brute_force_range(objects, query)
+
+    def test_matches_brute_force_rectangular(self):
+        tree = small_tree()
+        objects = make_objects(100, seed=43)
+        for obj in objects:
+            tree.insert(obj)
+        rng = random.Random(17)
+        for _ in range(10):
+            x = rng.uniform(0, 9_000)
+            y = rng.uniform(0, 9_000)
+            query = TimeSliceRangeQuery(
+                RectangularRange(Rect(x, y, x + 1500, y + 1500)), time=rng.uniform(0, 30)
+            )
+            assert set(tree.range_query(query)) == brute_force_range(objects, query)
+
+    def test_inexact_query_is_superset(self):
+        tree = small_tree()
+        objects = make_objects(80, seed=47)
+        for obj in objects:
+            tree.insert(obj)
+        query = make_circular_query(Point(5000, 5000), 2000.0, time=20.0)
+        exact = set(tree.range_query(query, exact=True))
+        candidates = set(tree.range_query(query, exact=False))
+        assert exact <= candidates
+
+    def test_query_on_empty_tree(self):
+        tree = small_tree()
+        query = make_circular_query(Point(0, 0), 100.0, time=1.0)
+        assert tree.range_query(query) == []
+
+
+class TestStructuralIntegrityUnderChurn:
+    """Regression test: deep trees under heavy update churn must never lose
+    objects.  An earlier bug re-attached orphaned subtrees at the wrong level
+    during pick-worst reinsertion, silently dropping whole leaves."""
+
+    @pytest.mark.parametrize("cls", [TPRTree, TPRStarTree])
+    def test_no_object_lost_after_many_updates(self, cls):
+        rng = random.Random(2024)
+        tree = small_tree(cls, max_entries=6)
+        objects = {o.oid: o for o in make_objects(300, seed=61, axis_aligned=True)}
+        for obj in objects.values():
+            tree.insert(obj)
+        assert tree.height >= 3
+        for step in range(1, 9):
+            time = step * 5.0
+            for oid in rng.sample(sorted(objects), 120):
+                old = objects[oid]
+                new = MovingObject(
+                    oid,
+                    old.position_at(time),
+                    Vector(rng.uniform(-40, 40), rng.uniform(-40, 40)),
+                    time,
+                )
+                assert tree.update(old, new), f"lost object {oid} at step {step}"
+                objects[oid] = new
+        stored = [oid for oid, _ in tree.iter_objects()]
+        assert len(stored) == 300
+        assert len(set(stored)) == 300
+        assert len(tree) == 300
+
+
+class TestTPRStarSpecifics:
+    def test_star_tree_groups_by_direction_better(self):
+        """On direction-skewed data the TPR*-tree should produce leaves whose
+        velocity extent is smaller than the plain TPR-tree's (its cost model
+        penalizes grouping objects that move apart)."""
+        objects = make_objects(150, seed=53, axis_aligned=True)
+
+        def mean_expansion(tree):
+            rates = [
+                b.expansion_rate_x + b.expansion_rate_y for b in tree.iter_leaf_bounds()
+            ]
+            return sum(rates) / len(rates)
+
+        plain = small_tree(TPRTree)
+        star = small_tree(TPRStarTree)
+        for obj in objects:
+            plain.insert(obj)
+            star.insert(obj)
+        assert mean_expansion(star) <= mean_expansion(plain) * 1.1
+
+    def test_reinsertion_happens_once_per_level(self):
+        tree = small_tree(TPRStarTree)
+        for obj in make_objects(30, seed=59):
+            tree.insert(obj)
+        # After enough inserts to overflow, the tree is still consistent.
+        assert len(tree) == 30
+        assert {oid for oid, _ in tree.iter_objects()} == set(range(30))

@@ -1,0 +1,207 @@
+"""Tests for the workload generators (uniform, network, queries)."""
+
+import math
+
+import pytest
+
+from repro.core.pc_kmeans import find_dvas
+from repro.network.generators import chicago_like
+from repro.workload.events import QueryEvent, UpdateEvent, Workload
+from repro.workload.generator import DATASETS, build_workload
+from repro.workload.network_workload import NetworkWorkloadGenerator
+from repro.workload.parameters import WorkloadParameters
+from repro.workload.query_workload import QueryWorkloadGenerator
+from repro.workload.uniform import UniformWorkloadGenerator
+
+from repro.objects.moving_object import MovingObject
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
+
+
+def tiny_params(**overrides) -> WorkloadParameters:
+    params = WorkloadParameters(
+        num_objects=120,
+        max_speed=60.0,
+        max_update_interval=30.0,
+        query_radius=400.0,
+        query_predictive_time=15.0,
+        time_duration=60.0,
+        num_queries=8,
+        seed=11,
+    )
+    return params.scaled(**overrides) if overrides else params
+
+
+class TestParameters:
+    def test_scaled_overrides_only_requested_fields(self):
+        params = tiny_params()
+        scaled = params.scaled(max_speed=200.0)
+        assert scaled.max_speed == 200.0
+        assert scaled.num_objects == params.num_objects
+
+    def test_defaults_are_scaled_table1(self):
+        params = WorkloadParameters()
+        assert params.max_speed == 100.0
+        assert params.max_update_interval == 120.0
+        assert params.query_predictive_time == 60.0
+
+
+class TestUniformWorkload:
+    def test_shape(self):
+        workload = UniformWorkloadGenerator(tiny_params()).generate()
+        assert workload.name == "uniform"
+        assert workload.num_objects == 120
+        assert len(workload.query_events) == 8
+        assert len(workload.update_events) > 0
+
+    def test_objects_inside_space_with_bounded_speed(self):
+        params = tiny_params()
+        workload = UniformWorkloadGenerator(params).generate()
+        for obj in workload.initial_objects:
+            assert params.space.contains_point(obj.position)
+            assert obj.speed <= params.max_speed + 1e-9
+
+    def test_update_interval_respected(self):
+        params = tiny_params()
+        workload = UniformWorkloadGenerator(params).generate()
+        last_update = {}
+        for event in workload.update_events:
+            previous = last_update.get(event.oid if hasattr(event, "oid") else event.new.oid, 0.0)
+            assert event.time - previous <= params.max_update_interval + 1e-9
+            last_update[event.new.oid] = event.time
+
+    def test_update_chain_is_consistent(self):
+        """Every update's 'old' snapshot is the previous snapshot of that object."""
+        workload = UniformWorkloadGenerator(tiny_params()).generate(include_queries=False)
+        latest = {obj.oid: obj for obj in workload.initial_objects}
+        for event in workload.sorted_events():
+            assert isinstance(event, UpdateEvent)
+            assert latest[event.old.oid] == event.old
+            latest[event.new.oid] = event.new
+
+    def test_deterministic_for_seed(self):
+        a = UniformWorkloadGenerator(tiny_params(), seed=5).generate()
+        b = UniformWorkloadGenerator(tiny_params(), seed=5).generate()
+        assert a.initial_objects == b.initial_objects
+        assert len(a.events) == len(b.events)
+
+    def test_velocity_directions_are_not_skewed(self):
+        workload = UniformWorkloadGenerator(tiny_params(num_objects=500)).generate(
+            include_queries=False
+        )
+        velocities = workload.velocity_sample()
+        result = find_dvas(velocities, k=2)
+        mean_perp = sum(
+            v.perpendicular_distance_to_axis(result.axes[a])
+            for v, a in zip(velocities, result.assignments)
+        ) / len(velocities)
+        # Uniform directions leave large perpendicular residues even after
+        # the best 2-axis fit (compare with the network test below).
+        assert mean_perp > 5.0
+
+
+class TestNetworkWorkload:
+    def test_objects_start_on_network_edges_and_velocities_follow_them(self):
+        params = tiny_params()
+        network = chicago_like(space=params.space)
+        workload = NetworkWorkloadGenerator(network, params).generate(include_queries=False)
+        directions = {
+            round(math.degrees(d.angle) % 180.0, 0) for d in network.iter_edge_directions()
+        }
+        for obj in workload.initial_objects:
+            angle = round(math.degrees(obj.velocity.angle) % 180.0, 0)
+            assert any(abs(angle - d) <= 1.0 or abs(angle - d) >= 179.0 for d in directions)
+
+    def test_velocity_skew_is_visible(self):
+        params = tiny_params(num_objects=400)
+        network = chicago_like(space=params.space)
+        workload = NetworkWorkloadGenerator(network, params).generate(include_queries=False)
+        velocities = workload.velocity_sample()
+        result = find_dvas(velocities, k=2)
+        mean_perp = sum(
+            v.perpendicular_distance_to_axis(result.axes[a])
+            for v, a in zip(velocities, result.assignments)
+        ) / len(velocities)
+        assert mean_perp < 5.0
+
+    def test_update_chain_consistent_and_positions_continuous(self):
+        params = tiny_params()
+        network = chicago_like(space=params.space)
+        workload = NetworkWorkloadGenerator(network, params).generate(include_queries=False)
+        latest = {obj.oid: obj for obj in workload.initial_objects}
+        for event in workload.sorted_events():
+            previous = latest[event.old.oid]
+            assert previous == event.old
+            predicted = previous.position_at(event.time)
+            # The new reported position continues the old trajectory (objects
+            # drive linearly along an edge between updates).
+            assert predicted.distance_to(event.new.position) < 1.0
+            latest[event.new.oid] = event.new
+
+    def test_speeds_bounded(self):
+        params = tiny_params()
+        network = chicago_like(space=params.space)
+        workload = NetworkWorkloadGenerator(network, params).generate(include_queries=False)
+        for event in workload.update_events:
+            assert event.new.speed <= params.max_speed + 1e-9
+            assert event.new.speed >= 0.25 * params.max_speed - 1e-9
+
+
+class TestQueryWorkload:
+    def test_query_count_and_spread(self):
+        params = tiny_params(num_queries=12)
+        events = QueryWorkloadGenerator(params).generate()
+        assert len(events) == 12
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert max(times) < params.time_duration
+
+    def test_queries_use_predictive_time(self):
+        params = tiny_params()
+        generator = QueryWorkloadGenerator(params)
+        query = generator.make_query(issue_time=10.0)
+        assert query.end_time == pytest.approx(10.0 + params.query_predictive_time)
+        assert query.is_time_slice
+
+    def test_rectangular_mode(self):
+        params = tiny_params(rectangular_queries=True, rectangle_side=900.0)
+        query = QueryWorkloadGenerator(params).make_query(issue_time=0.0)
+        rect = query.range.bounding_rect()
+        assert rect.width == pytest.approx(900.0)
+        assert rect.height == pytest.approx(900.0)
+
+    def test_zero_queries(self):
+        params = tiny_params(num_queries=0)
+        assert QueryWorkloadGenerator(params).generate() == []
+
+
+class TestBuildWorkload:
+    def test_all_datasets_build(self):
+        params = tiny_params(num_objects=60, num_queries=3)
+        for dataset in DATASETS:
+            workload = build_workload(dataset, params)
+            assert workload.num_objects == 60
+            assert len(workload.query_events) == 3
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ValueError):
+            build_workload("mars", tiny_params())
+
+    def test_events_sorted(self):
+        workload = build_workload("CH", tiny_params())
+        times = [e.time for e in workload.sorted_events()]
+        assert times == sorted(times)
+
+    def test_velocity_sample_limit(self):
+        workload = build_workload("SA", tiny_params())
+        assert len(workload.velocity_sample(limit=10)) == 10
+
+    def test_workload_properties(self):
+        workload = Workload(
+            name="x",
+            space=tiny_params().space,
+            initial_objects=[MovingObject(1, Point(0, 0), Vector(1, 1))],
+        )
+        assert workload.num_objects == 1
+        assert workload.update_events == []
+        assert workload.query_events == []
