@@ -1,0 +1,139 @@
+"""Build/query wall-clock micro-harness tracking the perf trajectory.
+
+Runs the figure-19/20-style build + replay pipeline at bench scale and
+writes ``BENCH_speed.json`` with, per index, the wall-clock seconds of
+
+* the **incremental** build (N root-to-leaf insertions — what the harness
+  did before bulk loading existed),
+* the **bulk** build (:func:`bulk_load` bottom-up packing), and
+* the replay phase (average per-query / per-update milliseconds),
+
+so future PRs can diff the numbers instead of guessing.  Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_speed.py            # bench scale
+    PYTHONPATH=src python benchmarks/bench_speed.py --quick    # CI smoke run
+
+``test_speed_harness.py`` invokes the quick mode as part of the test run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # pragma: no cover - environment dependent
+    sys.path.insert(0, _SRC)
+
+from repro.bench.harness import (  # noqa: E402
+    STANDARD_INDEXES,
+    ExperimentRunner,
+    build_standard_indexes,
+)
+from repro.workload.generator import build_workload  # noqa: E402
+from repro.workload.parameters import WorkloadParameters  # noqa: E402
+
+#: Where the results land unless --output overrides it (the repo root).
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_speed.json"
+)
+
+#: Bench scale: the figure-19/20 comparison settings of benchmarks/conftest.py.
+BENCH_PARAMS = dict(num_objects=2_000, time_duration=120.0, num_queries=40)
+
+#: Quick scale for the in-suite smoke invocation.
+QUICK_PARAMS = dict(num_objects=400, time_duration=40.0, num_queries=10)
+
+
+def measure(
+    dataset: str = "SA",
+    params: Optional[WorkloadParameters] = None,
+    which: Sequence[str] = STANDARD_INDEXES,
+) -> Dict[str, object]:
+    """Build every index both ways and replay the event stream once."""
+    if params is None:
+        params = WorkloadParameters(**BENCH_PARAMS)
+    workload = build_workload(dataset, params)
+
+    results: Dict[str, Dict[str, float]] = {}
+
+    # Incremental ("before") builds: one root-to-leaf insertion per object.
+    for name, index in build_standard_indexes(workload, params, which=which).items():
+        started = time.perf_counter()
+        for obj in workload.initial_objects:
+            index.insert(obj)
+        results[name] = {"build_incremental_s": time.perf_counter() - started}
+
+    # Bulk ("after") builds plus the full replay for query/update timings.
+    runner = ExperimentRunner(workload)
+    for name, index in build_standard_indexes(workload, params, which=which).items():
+        metrics = runner.run(index, name=name)
+        row = results[name]
+        row["build_bulk_s"] = metrics.build_time
+        row["build_speedup"] = (
+            row["build_incremental_s"] / metrics.build_time
+            if metrics.build_time > 0.0
+            else float("inf")
+        )
+        row["query_ms"] = metrics.avg_query_time_ms
+        row["update_ms"] = metrics.avg_update_time_ms
+        row["query_io"] = metrics.avg_query_io
+        row["update_io"] = metrics.avg_update_io
+    return {
+        "dataset": dataset,
+        "params": {
+            "num_objects": params.num_objects,
+            "time_duration": params.time_duration,
+            "num_queries": params.num_queries,
+            "buffer_pages": params.buffer_pages,
+            "page_size": params.page_size,
+        },
+        "indexes": {
+            name: {key: round(value, 4) for key, value in row.items()}
+            for name, row in results.items()
+        },
+    }
+
+
+def run(
+    quick: bool = False,
+    output: str = DEFAULT_OUTPUT,
+    dataset: str = "SA",
+    which: Sequence[str] = STANDARD_INDEXES,
+) -> Dict[str, object]:
+    """Measure, write ``output``, and return the report."""
+    overrides = QUICK_PARAMS if quick else BENCH_PARAMS
+    params = WorkloadParameters(**overrides)
+    started = time.perf_counter()
+    report = measure(dataset=dataset, params=params, which=which)
+    report["mode"] = "quick" if quick else "bench"
+    report["total_wall_s"] = round(time.perf_counter() - started, 2)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small smoke-run scale")
+    parser.add_argument("--dataset", default="SA", help="workload dataset (default SA)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT, help="JSON output path")
+    args = parser.parse_args(argv)
+    report = run(quick=args.quick, output=args.output, dataset=args.dataset)
+    for name, row in report["indexes"].items():
+        print(
+            f"{name:10s} build {row['build_incremental_s']:8.3f}s -> "
+            f"{row['build_bulk_s']:7.3f}s ({row['build_speedup']:5.1f}x)  "
+            f"query {row['query_ms']:7.3f}ms  update {row['update_ms']:7.3f}ms"
+        )
+    print(f"wrote {args.output} ({report['total_wall_s']}s total)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,9 @@ from repro.workload.generator import build_workload
 def _run(params):
     workload = build_workload("CH", params)
     indexes = build_standard_indexes(workload, params, which=("TPR", "TPR*", "TPR*(VP)"))
-    runner = ExperimentRunner(workload)
+    # The ablation compares the trees' own insertion heuristics, so the
+    # indexes are insertion-built (the paper's measurement protocol).
+    runner = ExperimentRunner(workload, bulk_build=False)
     return [runner.run(index, name=name).as_row() for name, index in indexes.items()]
 
 

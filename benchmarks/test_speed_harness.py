@@ -1,0 +1,31 @@
+"""Quick-mode invocation of the speed micro-harness (satellite of the
+bulk-loading PR): keeps ``bench_speed.py`` exercised on every test run and
+asserts the headline claim — bulk loading beats incremental building — at
+smoke scale.  The bench-scale numbers live in ``BENCH_speed.json`` at the
+repo root; regenerate them with ``python benchmarks/bench_speed.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import bench_speed
+
+
+def test_quick_mode_writes_report(tmp_path):
+    output = tmp_path / "BENCH_speed.json"
+    report = bench_speed.run(quick=True, output=str(output))
+
+    on_disk = json.loads(output.read_text(encoding="utf-8"))
+    assert on_disk["mode"] == "quick"
+    assert on_disk["indexes"] == report["indexes"]
+
+    for name in ("Bx", "Bx(VP)", "TPR*", "TPR*(VP)"):
+        row = report["indexes"][name]
+        assert row["build_bulk_s"] > 0.0
+        assert row["build_incremental_s"] > 0.0
+        assert row["build_speedup"] > 0.0
+    # The TPR*-tree is the pathological incremental builder (forced
+    # reinsertions); bulk loading wins by >10x on a quiet machine, so even
+    # with heavy scheduling noise it must at least not lose.
+    assert report["indexes"]["TPR*"]["build_speedup"] > 1.0

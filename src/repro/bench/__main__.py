@@ -40,15 +40,17 @@ FIGURES: Dict[str, tuple] = {
 }
 
 
-def _run_figure(name: str, dataset: str, params: WorkloadParameters) -> List[dict]:
+def _run_figure(
+    name: str, dataset: str, params: WorkloadParameters, bulk_build: bool = False
+) -> List[dict]:
     if name == "fig18":
         return experiments.fig18_analyzer_overhead(params=params)
     if name == "fig19":
-        return experiments.fig19_datasets(params=params)
+        return experiments.fig19_datasets(params=params, bulk_build=bulk_build)
     _, driver, takes_dataset = FIGURES[name]
     if takes_dataset:
-        return driver(dataset, params)
-    return driver(params=params)
+        return driver(dataset, params, bulk_build=bulk_build)
+    return driver(params=params, bulk_build=bulk_build)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--queries", type=int, default=None, help="override query count")
     parser.add_argument("--duration", type=float, default=None, help="override time duration")
     parser.add_argument("--output", default=None, help="directory to write CSV tables into")
+    parser.add_argument(
+        "--bulk-build",
+        action="store_true",
+        help="build indexes with bulk_load (fast) instead of the paper's "
+        "insertion-built measurement protocol",
+    )
     return parser
 
 
@@ -91,7 +99,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.makedirs(args.output, exist_ok=True)
     for name in names:
         description = FIGURES[name][0]
-        rows = _run_figure(name, args.dataset, params)
+        rows = _run_figure(name, args.dataset, params, bulk_build=args.bulk_build)
         print(format_table(rows, title=f"{name} — {description}"))
         if args.output:
             path = os.path.join(args.output, f"{name}.csv")

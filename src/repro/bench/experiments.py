@@ -10,6 +10,14 @@ The paper-scale parameters (100K+ objects) are impractical for a pure-Python
 simulator, so each driver takes a :class:`~repro.workload.WorkloadParameters`
 whose defaults are scaled down but keep every ratio that drives the paper's
 qualitative conclusions (see DESIGN.md, "Substitutions").
+
+**Build protocol.**  The comparison drivers default to ``bulk_build=False``:
+the paper's figures compare *insertion-built* indexes (the TPR*-tree's
+choose-subtree/split/reinsertion heuristics are part of what is being
+measured), so the figure assertions are calibrated against that structure.
+Pass ``bulk_build=True`` to build with the ~10-40x faster STR/leaf-packing
+``bulk_load`` path instead — useful for quick looks and tracked separately
+by ``benchmarks/bench_speed.py``.
 """
 
 from __future__ import annotations
@@ -45,13 +53,15 @@ def _default_params(params: Optional[WorkloadParameters]) -> WorkloadParameters:
 # Figure 7: search space expansion, partitioned versus unpartitioned
 # ----------------------------------------------------------------------
 def fig07_search_space_expansion(
-    dataset: str = "CH", params: Optional[WorkloadParameters] = None
+    dataset: str = "CH",
+    params: Optional[WorkloadParameters] = None,
+    bulk_build: bool = False,
 ) -> List[Row]:
     """Leaf-MBR / query expansion rates of the four indexes on one dataset."""
     params = _default_params(params)
     workload = build_workload(dataset, params)
     indexes = build_standard_indexes(workload, params)
-    runner = ExperimentRunner(workload)
+    runner = ExperimentRunner(workload, bulk_build=bulk_build)
     rows: List[Row] = []
     queries = [e.query for e in workload.query_events][:20]
     for name, index in indexes.items():
@@ -88,7 +98,10 @@ def fig07_search_space_expansion(
 # Figures 10/11/13: DVA discovery quality
 # ----------------------------------------------------------------------
 def fig10_dva_discovery(
-    dataset: str = "SA", params: Optional[WorkloadParameters] = None, k: int = 2
+    dataset: str = "SA",
+    params: Optional[WorkloadParameters] = None,
+    k: int = 2,
+    bulk_build: bool = False,
 ) -> List[Row]:
     """Compare the naive DVA-finding approaches against Algorithm 2.
 
@@ -96,6 +109,7 @@ def fig10_dva_discovery(
     point to its assigned axis — small values mean the partitions really are
     near-1D, which is what the VP technique needs.
     """
+    del bulk_build  # accepted for driver-signature uniformity; no index is built
     params = _default_params(params)
     workload = build_workload(dataset, params, include_queries=False)
     velocities = workload.velocity_sample()
@@ -133,13 +147,14 @@ def fig17_tau_threshold(
     params: Optional[WorkloadParameters] = None,
     fixed_taus: Sequence[float] = (0.0, 1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 40.0, 60.0),
     which: Sequence[str] = ("Bx(VP)", "TPR*(VP)"),
+    bulk_build: bool = False,
 ) -> List[Row]:
     """Query I/O of the VP indexes under fixed τ values versus the automatic τ."""
     params = _default_params(params)
     workload = build_workload(dataset, params)
     analyzer = VelocityAnalyzer(k=2)
     auto = analyzer.analyze(workload.velocity_sample())
-    runner = ExperimentRunner(workload)
+    runner = ExperimentRunner(workload, bulk_build=bulk_build)
 
     def run_with(partitioning: VelocityPartitioning, label: str, tau_label: object) -> List[Row]:
         rows: List[Row] = []
@@ -215,13 +230,14 @@ def fig18_analyzer_overhead(
 def fig19_datasets(
     datasets: Sequence[str] = tuple(DATASETS),
     params: Optional[WorkloadParameters] = None,
+    bulk_build: bool = False,
 ) -> List[Row]:
     """Query and update cost of the four indexes across the datasets."""
     params = _default_params(params)
     rows: List[Row] = []
     for dataset in datasets:
         workload = build_workload(dataset, params)
-        for metrics in run_comparison(workload, params):
+        for metrics in run_comparison(workload, params, bulk_build=bulk_build):
             rows.append(metrics.as_row())
     return rows
 
@@ -235,12 +251,13 @@ def _sweep(
     sweep_name: str,
     values: Iterable,
     make_params,
+    bulk_build: bool = False,
 ) -> List[Row]:
     rows: List[Row] = []
     for value in values:
         swept = make_params(params, value)
         workload = build_workload(dataset, swept)
-        for metrics in run_comparison(workload, swept):
+        for metrics in run_comparison(workload, swept, bulk_build=bulk_build):
             row = metrics.as_row()
             row[sweep_name] = value
             rows.append(row)
@@ -251,6 +268,7 @@ def fig20_data_size(
     dataset: str = "SA",
     params: Optional[WorkloadParameters] = None,
     sizes: Sequence[int] = (1_000, 2_000, 3_000, 4_000, 5_000),
+    bulk_build: bool = False,
 ) -> List[Row]:
     """Effect of object cardinality on range-query cost (paper: 100K-500K)."""
     params = _default_params(params)
@@ -260,6 +278,7 @@ def fig20_data_size(
         "num_objects",
         sizes,
         lambda p, v: p.scaled(num_objects=v),
+        bulk_build=bulk_build,
     )
 
 
@@ -267,6 +286,7 @@ def fig21_max_speed(
     dataset: str = "SA",
     params: Optional[WorkloadParameters] = None,
     speeds: Sequence[float] = (20.0, 60.0, 100.0, 140.0, 200.0),
+    bulk_build: bool = False,
 ) -> List[Row]:
     """Effect of the maximum object speed on range-query cost (paper: 20-200)."""
     params = _default_params(params)
@@ -276,6 +296,7 @@ def fig21_max_speed(
         "max_speed",
         speeds,
         lambda p, v: p.scaled(max_speed=v),
+        bulk_build=bulk_build,
     )
 
 
@@ -283,6 +304,7 @@ def fig22_query_radius(
     dataset: str = "SA",
     params: Optional[WorkloadParameters] = None,
     radii: Sequence[float] = (100.0, 250.0, 500.0, 750.0, 1000.0),
+    bulk_build: bool = False,
 ) -> List[Row]:
     """Effect of the circular range radius on query cost (paper: 100-1000 m)."""
     params = _default_params(params)
@@ -292,6 +314,7 @@ def fig22_query_radius(
         "query_radius",
         radii,
         lambda p, v: p.scaled(query_radius=v),
+        bulk_build=bulk_build,
     )
 
 
@@ -299,6 +322,7 @@ def fig23_predictive_time(
     dataset: str = "SA",
     params: Optional[WorkloadParameters] = None,
     times: Sequence[float] = (20.0, 40.0, 60.0, 90.0, 120.0),
+    bulk_build: bool = False,
 ) -> List[Row]:
     """Effect of the query predictive time on query cost (paper: 20-120 ts)."""
     params = _default_params(params)
@@ -308,6 +332,7 @@ def fig23_predictive_time(
         "predictive_time",
         times,
         lambda p, v: p.scaled(query_predictive_time=v),
+        bulk_build=bulk_build,
     )
 
 
@@ -315,6 +340,7 @@ def fig24_predictive_time_rectangular(
     dataset: str = "SA",
     params: Optional[WorkloadParameters] = None,
     times: Sequence[float] = (20.0, 40.0, 60.0, 90.0, 120.0),
+    bulk_build: bool = False,
 ) -> List[Row]:
     """Figure 23 repeated with 1000 m x 1000 m rectangular range queries."""
     params = _default_params(params).scaled(rectangular_queries=True)
@@ -324,6 +350,7 @@ def fig24_predictive_time_rectangular(
         "predictive_time",
         times,
         lambda p, v: p.scaled(query_predictive_time=v),
+        bulk_build=bulk_build,
     )
 
 
@@ -335,11 +362,12 @@ def ablation_vp_parameters(
     params: Optional[WorkloadParameters] = None,
     ks: Sequence[int] = (1, 2, 3, 4),
     sample_sizes: Sequence[int] = (100, 1_000, 10_000),
+    bulk_build: bool = False,
 ) -> List[Row]:
     """Sensitivity of Bx(VP) query cost to the number of DVAs and sample size."""
     params = _default_params(params)
     workload = build_workload(dataset, params)
-    runner = ExperimentRunner(workload)
+    runner = ExperimentRunner(workload, bulk_build=bulk_build)
     rows: List[Row] = []
     for k in ks:
         analyzer = VelocityAnalyzer(k=k)
@@ -379,12 +407,14 @@ def ablation_vp_parameters(
 
 
 def ablation_space_filling_curve(
-    dataset: str = "CH", params: Optional[WorkloadParameters] = None
+    dataset: str = "CH",
+    params: Optional[WorkloadParameters] = None,
+    bulk_build: bool = False,
 ) -> List[Row]:
     """Hilbert versus Z-curve for the (unpartitioned) Bx-tree."""
     params = _default_params(params)
     workload = build_workload(dataset, params)
-    runner = ExperimentRunner(workload)
+    runner = ExperimentRunner(workload, bulk_build=bulk_build)
     rows: List[Row] = []
     for curve in ("hilbert", "z"):
         index = BxTree(

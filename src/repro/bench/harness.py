@@ -26,7 +26,7 @@ from repro.core.velocity_analyzer import VelocityAnalyzer
 from repro.storage.buffer_manager import BufferManager
 from repro.tprtree.tpr_tree import TPRTree
 from repro.tprtree.tprstar_tree import TPRStarTree
-from repro.workload.events import QueryEvent, UpdateEvent, Workload
+from repro.workload.events import UpdateEvent, Workload
 from repro.workload.parameters import WorkloadParameters
 
 
@@ -90,6 +90,7 @@ class IndexMetrics:
             "queries": self.num_queries,
             "updates": self.num_updates,
             "results": self.results_returned,
+            "build_s": round(self.build_time, 3),
         }
         row.update({k: round(v, 4) for k, v in self.extra.items()})
         return row
@@ -100,10 +101,20 @@ IndexBuilder = Callable[[Workload], object]
 
 
 class ExperimentRunner:
-    """Replays a workload against one index and records metrics."""
+    """Replays a workload against one index and records metrics.
 
-    def __init__(self, workload: Workload) -> None:
+    Args:
+        workload: the workload to replay.
+        bulk_build: when True (default) the build phase uses the index's
+            ``bulk_load`` if it has one, so the figure drivers measure
+            steady-state update/query I/O rather than the Python overhead of
+            N root-to-leaf insertions; pass False to force the incremental
+            build path (used by the build-cost comparisons).
+    """
+
+    def __init__(self, workload: Workload, bulk_build: bool = True) -> None:
         self.workload = workload
+        self.bulk_build = bulk_build
 
     def run(self, index, name: Optional[str] = None) -> IndexMetrics:
         """Load the initial objects, replay the events, and report metrics."""
@@ -112,31 +123,38 @@ class ExperimentRunner:
             dataset=self.workload.name,
         )
         stats = index.buffer.stats
+        loader = getattr(index, "bulk_load", None) if self.bulk_build else None
         build_start = time.perf_counter()
-        for obj in self.workload.initial_objects:
-            index.insert(obj)
+        if loader is not None:
+            loader(self.workload.initial_objects)
+        else:
+            for obj in self.workload.initial_objects:
+                index.insert(obj)
         metrics.build_time = time.perf_counter() - build_start
 
-        for event in self.workload.sorted_events():
-            if isinstance(event, UpdateEvent):
-                before = stats.physical.total
-                before_logical = stats.logical.reads
+        # Replay in same-timestamp, same-type batches: identical event order,
+        # but timing and I/O accounting happen per batch.
+        for batch in self.workload.grouped_events():
+            before = stats.physical.total
+            before_logical = stats.logical.reads
+            if isinstance(batch[0], UpdateEvent):
                 started = time.perf_counter()
-                index.update(event.old, event.new)
+                for event in batch:
+                    index.update(event.old, event.new)
                 metrics.update_time_total += time.perf_counter() - started
                 metrics.update_io_total += stats.physical.total - before
                 metrics.update_node_accesses += stats.logical.reads - before_logical
-                metrics.num_updates += 1
-            elif isinstance(event, QueryEvent):
-                before = stats.physical.total
-                before_logical = stats.logical.reads
+                metrics.num_updates += len(batch)
+            else:
+                returned = 0
                 started = time.perf_counter()
-                results = index.range_query(event.query)
+                for event in batch:
+                    returned += len(index.range_query(event.query))
                 metrics.query_time_total += time.perf_counter() - started
                 metrics.query_io_total += stats.physical.total - before
                 metrics.query_node_accesses += stats.logical.reads - before_logical
-                metrics.num_queries += 1
-                metrics.results_returned += len(results)
+                metrics.num_queries += len(batch)
+                metrics.results_returned += returned
         return metrics
 
 
@@ -213,9 +231,10 @@ def run_comparison(
     params: Optional[WorkloadParameters] = None,
     which: Sequence[str] = STANDARD_INDEXES,
     k: int = 2,
+    bulk_build: bool = True,
 ) -> List[IndexMetrics]:
     """Run the full comparison of the standard indexes on one workload."""
-    runner = ExperimentRunner(workload)
+    runner = ExperimentRunner(workload, bulk_build=bulk_build)
     results: List[IndexMetrics] = []
     indexes = build_standard_indexes(workload, params=params, which=which, k=k)
     for name, index in indexes.items():

@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
+from repro.bulk import chunk_count, even_chunks
 from repro.storage.buffer_manager import BufferManager
 from repro.storage.page import entries_per_page
 
@@ -118,6 +119,65 @@ class BPlusTree:
 
     def __len__(self) -> int:
         return self.size
+
+    def bulk_load(self, items: Iterable[Tuple[int, Any]]) -> None:
+        """Build the tree bottom-up from ``(key, value)`` pairs.
+
+        The pairs are sorted by key (stably, so the relative order of
+        duplicates is the insertion order), packed into chained leaves at
+        even fill, and interior levels are built over the leaf run — one
+        pass per level instead of one root-to-leaf descent per entry.
+        Separator keys follow the same convention as incremental splits (the
+        smallest key of the right subtree), so lookups, range scans and
+        subsequent updates behave identically on a bulk-built tree.
+
+        Raises:
+            ValueError: if the tree is not empty.
+        """
+        items = sorted(items, key=lambda pair: pair[0])
+        if self.size:
+            raise ValueError("bulk_load requires an empty tree")
+        if not items:
+            return
+        num_leaves = chunk_count(len(items), self.leaf_capacity)
+        previous: Optional[_LeafNode] = None
+        children: List[int] = []
+        child_min_keys: List[int] = []
+        for chunk in even_chunks(items, num_leaves):
+            # The pre-allocated root page hosts the first leaf.
+            leaf = self._node(self.root_page_id) if previous is None else self._new_leaf()
+            leaf.keys = [key for key, _ in chunk]
+            leaf.values = [value for _, value in chunk]
+            leaf.next_leaf = None
+            if previous is not None:
+                previous.next_leaf = leaf.page_id
+                self._mark_dirty(previous)
+            self._mark_dirty(leaf)
+            children.append(leaf.page_id)
+            child_min_keys.append(leaf.keys[0])
+            previous = leaf
+        height = 1
+        while len(children) > 1:
+            parents: List[int] = []
+            parent_min_keys: List[int] = []
+            num_parents = chunk_count(len(children), self.interior_capacity)
+            grouped = zip(
+                even_chunks(children, num_parents),
+                even_chunks(child_min_keys, num_parents),
+            )
+            for group, group_min_keys in grouped:
+                node = self._new_interior()
+                node.children = group
+                node.keys = group_min_keys[1:]
+                self._mark_dirty(node)
+                parents.append(node.page_id)
+                parent_min_keys.append(group_min_keys[0])
+            children = parents
+            child_min_keys = parent_min_keys
+            height += 1
+        self.root_page_id = children[0]
+        self._height = height
+        self.size = len(items)
 
     def insert(self, key: int, value: Any) -> None:
         """Insert ``(key, value)``; duplicate keys are allowed."""

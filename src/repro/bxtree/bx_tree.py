@@ -124,6 +124,38 @@ class BxTree:
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
+    def bulk_load(self, objects) -> None:
+        """Build the index from ``objects`` with one sorted B+-tree packing.
+
+        Bx keys are computed for every snapshot up front (one pass that also
+        feeds the velocity histogram and the partition counters), then the
+        underlying B+-tree is leaf-packed in key order instead of descending
+        from the root once per object.
+
+        Raises:
+            ValueError: if the index is not empty.
+        """
+        objects = list(objects)
+        if self.size:
+            raise ValueError("bulk_load requires an empty index")
+        if not objects:
+            return
+        curve_size = self._curve_size
+        pairs = []
+        for obj in objects:
+            self.current_time = max(self.current_time, obj.reference_time)
+            partition = self.partition_of(obj.reference_time)
+            self._partition_counts[partition] = (
+                self._partition_counts.get(partition, 0) + 1
+            )
+            position = obj.position_at(self.label_time(partition))
+            self.histogram.add(position, obj.velocity)
+            cell = self.grid.cell_of(position)
+            key = partition * curve_size + self.curve.encode(*cell)
+            pairs.append((key, obj))
+        self.btree.bulk_load(pairs)
+        self.size = len(objects)
+
     def insert(self, obj: MovingObject) -> None:
         """Insert an object snapshot."""
         self.current_time = max(self.current_time, obj.reference_time)

@@ -126,6 +126,44 @@ class IndexManager:
         )
         return partition
 
+    def bulk_load(self, objects: Sequence[MovingObject]) -> Dict[int, int]:
+        """Partition-aware bulk build: route every object, pack each index once.
+
+        All objects are routed to their partition and rotated into its frame
+        in one pass, then every sub-index is built with its own ``bulk_load``
+        (falling back to per-object insertion for index types without one).
+        Returns the number of objects loaded per partition.
+
+        The directory is only committed after every input has been validated
+        and every sub-index loaded, so a rejected input (duplicate oid,
+        non-empty sub-index) does not leave the manager claiming objects its
+        indexes never received.
+
+        Raises:
+            KeyError: if any object id is already indexed or appears twice.
+        """
+        groups: Dict[int, List[MovingObject]] = {}
+        records: Dict[int, _StoredObject] = {}
+        for obj in objects:
+            if obj.oid in self._directory or obj.oid in records:
+                raise KeyError(f"object {obj.oid} is already indexed; use update()")
+            partition = self.partition_for(obj)
+            stored = self._transform_object(obj, partition)
+            records[obj.oid] = _StoredObject(
+                partition=partition, original=obj, stored=stored
+            )
+            groups.setdefault(partition, []).append(stored)
+        for partition, group in groups.items():
+            index = self._index_of(partition)
+            loader = getattr(index, "bulk_load", None)
+            if loader is not None:
+                loader(group)
+            else:
+                for stored in group:
+                    index.insert(stored)
+        self._directory.update(records)
+        return {partition: len(group) for partition, group in groups.items()}
+
     def delete(self, oid: int) -> bool:
         """Delete object ``oid`` from whichever partition hosts it."""
         record = self._directory.pop(oid, None)

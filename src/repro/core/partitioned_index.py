@@ -59,6 +59,16 @@ class VPIndex:
     def insert(self, obj: MovingObject) -> None:
         self.manager.insert(obj)
 
+    def bulk_load(self, objects: Sequence[MovingObject]) -> None:
+        """Bulk-build every partition's index in one pass (see the manager).
+
+        The velocity analysis itself happens once, up front, when the
+        :class:`~repro.core.velocity_analyzer.VelocityPartitioning` passed to
+        the factory functions below is computed — bulk loading only routes
+        and packs.
+        """
+        self.manager.bulk_load(objects)
+
     def delete(self, obj: MovingObject) -> bool:
         return self.manager.delete(obj.oid)
 

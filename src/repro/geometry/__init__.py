@@ -8,6 +8,7 @@ sweeping-region volume integral that underpins the TPR cost model
 (Equations 2-7).
 """
 
+from repro.geometry import kernels
 from repro.geometry.point import Point
 from repro.geometry.vector import Vector
 from repro.geometry.rect import Rect
@@ -21,6 +22,7 @@ from repro.geometry.sweep import (
 )
 
 __all__ = [
+    "kernels",
     "Point",
     "Vector",
     "Rect",

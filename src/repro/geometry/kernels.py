@@ -1,0 +1,443 @@
+"""Allocation-free geometry kernels for the index hot paths.
+
+The object API (:class:`~repro.geometry.Rect`, :class:`~repro.geometry.MovingRect`)
+is the right interface for correctness-critical, low-frequency code: it
+validates its inputs, reads naturally, and is what tests reason about.  But
+the TPR-tree family evaluates its cost metrics thousands of times per
+insertion (choose-subtree scans every child, a split scores every legal
+distribution, pick-worst re-scores every entry), and every one of those
+evaluations used to allocate fresh frozen dataclasses just to throw them
+away.  At bench scale this Python-object churn dominates wall-clock time.
+
+This module is the flat, structure-of-arrays alternative for those loops:
+
+* a *projected rect* is a plain 4-tuple ``(x_min, y_min, x_max, y_max)``;
+* an *extent* is a plain 8-tuple ``(x_min, y_min, x_max, y_max,
+  v_x_min, v_y_min, v_x_max, v_y_max)`` anchored at a caller-tracked time;
+* batch kernels take any sequence of objects shaped like ``MovingRect``
+  (a ``rect`` with ``x_min``/... plus the four VBR components and a
+  ``reference_time``) and return tuples/lists of floats.
+
+When to use what:
+
+* **Object API** — public methods, tests, anything called once per query or
+  per node.  Clarity and validation beat speed there.
+* **Kernels** — per-entry loops inside choose-subtree, split scoring,
+  forced reinsertion, range scans and bulk loading, where the same handful
+  of float operations runs for every candidate and intermediate ``Rect`` /
+  ``MovingRect`` objects would be garbage the moment they are compared.
+
+All kernels follow the TPR-tree projection convention: projecting to a time
+at or before the anchor's reference time returns the reference rectangle
+unchanged (bounds never shrink going backwards).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+ProjectedRect = Tuple[float, float, float, float]
+Extent = Tuple[float, float, float, float, float, float, float, float]
+
+_INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# Projection
+# ----------------------------------------------------------------------
+def project(bound, time: float) -> ProjectedRect:
+    """MBR of ``bound`` (a MovingRect-shaped object) at absolute ``time``."""
+    rect = bound.rect
+    elapsed = time - bound.reference_time
+    if elapsed <= 0.0:
+        return (rect.x_min, rect.y_min, rect.x_max, rect.y_max)
+    return (
+        rect.x_min + bound.v_x_min * elapsed,
+        rect.y_min + bound.v_y_min * elapsed,
+        rect.x_max + bound.v_x_max * elapsed,
+        rect.y_max + bound.v_y_max * elapsed,
+    )
+
+
+def extent_of(bound, time: float) -> Extent:
+    """``bound`` re-anchored at ``time`` as a flat extent tuple."""
+    rect = bound.rect
+    vx0, vy0 = bound.v_x_min, bound.v_y_min
+    vx1, vy1 = bound.v_x_max, bound.v_y_max
+    elapsed = time - bound.reference_time
+    if elapsed <= 0.0:
+        return (rect.x_min, rect.y_min, rect.x_max, rect.y_max, vx0, vy0, vx1, vy1)
+    return (
+        rect.x_min + vx0 * elapsed,
+        rect.y_min + vy0 * elapsed,
+        rect.x_max + vx1 * elapsed,
+        rect.y_max + vy1 * elapsed,
+        vx0,
+        vy0,
+        vx1,
+        vy1,
+    )
+
+
+def batch_project(bounds: Sequence, time: float) -> List[ProjectedRect]:
+    """Project many bounds to ``time`` (one 4-tuple each, no Rect objects)."""
+    return [project(b, time) for b in bounds]
+
+
+def batch_extents(bounds: Sequence, time: float) -> List[Extent]:
+    """Re-anchor many bounds at ``time`` as flat extent tuples."""
+    return [extent_of(b, time) for b in bounds]
+
+
+def batch_centers(bounds: Sequence, time: float) -> List[Tuple[float, float]]:
+    """Centers of the projected MBRs (the STR / split sort keys)."""
+    centers = []
+    for b in bounds:
+        x0, y0, x1, y1 = project(b, time)
+        centers.append(((x0 + x1) * 0.5, (y0 + y1) * 0.5))
+    return centers
+
+
+# ----------------------------------------------------------------------
+# Unions and derived scalar quantities
+# ----------------------------------------------------------------------
+def union_extent(a: Extent, b: Extent) -> Extent:
+    """Union of two extents anchored at the same time (TPR bounding rule)."""
+    return (
+        a[0] if a[0] < b[0] else b[0],
+        a[1] if a[1] < b[1] else b[1],
+        a[2] if a[2] > b[2] else b[2],
+        a[3] if a[3] > b[3] else b[3],
+        a[4] if a[4] < b[4] else b[4],
+        a[5] if a[5] < b[5] else b[5],
+        a[6] if a[6] > b[6] else b[6],
+        a[7] if a[7] > b[7] else b[7],
+    )
+
+
+def bound_extent(bounds: Sequence, time: float) -> Extent:
+    """Tight extent over ``bounds``, all re-anchored at ``time``.
+
+    This is the float core of :meth:`MovingRect.bounding`: the MBR is the
+    union of the projected MBRs and each VBR component is the extreme of the
+    children's components.  No intermediate objects are allocated.
+    """
+    x0 = y0 = vx0 = vy0 = _INF
+    x1 = y1 = vx1 = vy1 = -_INF
+    for b in bounds:
+        rect = b.rect
+        bvx0, bvy0, bvx1, bvy1 = b.v_x_min, b.v_y_min, b.v_x_max, b.v_y_max
+        elapsed = time - b.reference_time
+        if elapsed <= 0.0:
+            bx0, by0, bx1, by1 = rect.x_min, rect.y_min, rect.x_max, rect.y_max
+        else:
+            bx0 = rect.x_min + bvx0 * elapsed
+            by0 = rect.y_min + bvy0 * elapsed
+            bx1 = rect.x_max + bvx1 * elapsed
+            by1 = rect.y_max + bvy1 * elapsed
+        if bx0 < x0:
+            x0 = bx0
+        if by0 < y0:
+            y0 = by0
+        if bx1 > x1:
+            x1 = bx1
+        if by1 > y1:
+            y1 = by1
+        if bvx0 < vx0:
+            vx0 = bvx0
+        if bvy0 < vy0:
+            vy0 = bvy0
+        if bvx1 > vx1:
+            vx1 = bvx1
+        if bvy1 > vy1:
+            vy1 = bvy1
+    if x0 == _INF:
+        raise ValueError("cannot bound an empty collection of moving rectangles")
+    return (x0, y0, x1, y1, vx0, vy0, vx1, vy1)
+
+
+def extent_area(ext: Extent) -> float:
+    """Area of an extent's MBR (at its anchor time)."""
+    return (ext[2] - ext[0]) * (ext[3] - ext[1])
+
+
+def extent_margin(ext: Extent) -> float:
+    """Perimeter of an extent's MBR (at its anchor time)."""
+    return 2.0 * ((ext[2] - ext[0]) + (ext[3] - ext[1]))
+
+
+def intersection_area(a: Extent, b: Extent, elapsed: float = 0.0) -> float:
+    """Overlap area of two extents ``elapsed`` time units after their anchor.
+
+    With ``elapsed == 0`` this is the plain MBR overlap; a positive value
+    projects both extents forward first (used by the TPR* split objective,
+    which penalizes distributions whose halves will overlap at the horizon).
+    """
+    if elapsed > 0.0:
+        ax0 = a[0] + a[4] * elapsed
+        ay0 = a[1] + a[5] * elapsed
+        ax1 = a[2] + a[6] * elapsed
+        ay1 = a[3] + a[7] * elapsed
+        bx0 = b[0] + b[4] * elapsed
+        by0 = b[1] + b[5] * elapsed
+        bx1 = b[2] + b[6] * elapsed
+        by1 = b[3] + b[7] * elapsed
+    else:
+        ax0, ay0, ax1, ay1 = a[0], a[1], a[2], a[3]
+        bx0, by0, bx1, by1 = b[0], b[1], b[2], b[3]
+    dx = (ax1 if ax1 < bx1 else bx1) - (ax0 if ax0 > bx0 else bx0)
+    if dx <= 0.0:
+        return 0.0
+    dy = (ay1 if ay1 < by1 else by1) - (ay0 if ay0 > by0 else by0)
+    if dy <= 0.0:
+        return 0.0
+    return dx * dy
+
+
+# ----------------------------------------------------------------------
+# Cumulative (prefix/suffix) unions for split and reinsert scoring
+# ----------------------------------------------------------------------
+def cumulative_extents(extents: Sequence[Extent]) -> List[Extent]:
+    """``result[i]`` is the union of ``extents[0..i]`` (prefix bounds).
+
+    With a prefix pass over the entries in sort order and a suffix pass over
+    the reversed order, every candidate split distribution's two group
+    bounds are available in O(1), turning the classic O(n^2)-with-allocations
+    split scoring loop into a single fused O(n) sweep.
+    """
+    result: List[Extent] = []
+    current = None
+    for ext in extents:
+        current = ext if current is None else union_extent(current, ext)
+        result.append(current)
+    return result
+
+
+def remove_one_extents(extents: Sequence[Extent]) -> List[Extent]:
+    """``result[i]`` is the union of all extents except ``extents[i]``.
+
+    Built from prefix and suffix unions; the input must have at least two
+    elements.  This powers the TPR*-tree's pick-worst forced reinsertion
+    (score of an entry = cost saved by removing it) in O(n) instead of the
+    naive O(n^2) re-bounding.
+    """
+    n = len(extents)
+    if n < 2:
+        raise ValueError("remove_one_extents needs at least two extents")
+    prefix = cumulative_extents(extents)
+    suffix = cumulative_extents(list(reversed(extents)))
+    result: List[Extent] = [suffix[n - 2]]
+    for i in range(1, n - 1):
+        result.append(union_extent(prefix[i - 1], suffix[n - 2 - i]))
+    result.append(prefix[n - 2])
+    return result
+
+
+# ----------------------------------------------------------------------
+# Sweeping-region integral (the TPR* cost metric)
+# ----------------------------------------------------------------------
+def sweep_volume(
+    width: float,
+    height: float,
+    v_x_min: float,
+    v_y_min: float,
+    v_x_max: float,
+    v_y_max: float,
+    horizon: float,
+) -> float:
+    """Closed-form time-integral of the swept area over ``[0, horizon]``.
+
+    For ``t >= 0`` the bounding box of the start and projected rectangles has
+    extents ``width + px t`` and ``height + py t`` with
+    ``px = max(0, v_x_max) - min(0, v_x_min)`` (similarly ``py``), and the two
+    uncovered corner triangles remove ``qx qy t^2`` where ``qx``/``qy`` are
+    the common (translational) edge displacements per time unit.  The swept
+    area is therefore an exact quadratic in ``t`` and its integral has the
+    closed form used here.  This is the hot path of the TPR*-tree's
+    insertion cost model, hence the float-only signature.
+    """
+    if horizon <= 0.0:
+        return 0.0
+    px = (v_x_max if v_x_max > 0.0 else 0.0) - (v_x_min if v_x_min < 0.0 else 0.0)
+    py = (v_y_max if v_y_max > 0.0 else 0.0) - (v_y_min if v_y_min < 0.0 else 0.0)
+    if v_x_min >= 0.0 and v_x_max >= 0.0:
+        qx = v_x_min if v_x_min < v_x_max else v_x_max
+    elif v_x_min <= 0.0 and v_x_max <= 0.0:
+        qx = -v_x_min if -v_x_min < -v_x_max else -v_x_max
+    else:
+        qx = 0.0
+    if v_y_min >= 0.0 and v_y_max >= 0.0:
+        qy = v_y_min if v_y_min < v_y_max else v_y_max
+    elif v_y_min <= 0.0 and v_y_max <= 0.0:
+        qy = -v_y_min if -v_y_min < -v_y_max else -v_y_max
+    else:
+        qy = 0.0
+    h2 = horizon * horizon
+    h3 = h2 * horizon
+    return (
+        width * height * horizon
+        + (width * py + height * px) * h2 / 2.0
+        + (px * py - qx * qy) * h3 / 3.0
+    )
+
+
+def extent_sweep_volume(ext: Extent, query_extent: float, horizon: float) -> float:
+    """Fused sweep integral of an extent grown by a nominal query size.
+
+    Equivalent to enlarging the extent's MBR by ``query_extent`` on each axis
+    (the transformed-node construction of the cost model) and integrating the
+    swept area over the horizon, without building the intermediate rectangle.
+    """
+    return sweep_volume(
+        (ext[2] - ext[0]) + query_extent,
+        (ext[3] - ext[1]) + query_extent,
+        ext[4],
+        ext[5],
+        ext[6],
+        ext[7],
+        horizon,
+    )
+
+
+# ----------------------------------------------------------------------
+# Moving-window intersection over a time interval
+# ----------------------------------------------------------------------
+def intersects_interval(
+    ax0: float,
+    ay0: float,
+    ax1: float,
+    ay1: float,
+    avx0: float,
+    avy0: float,
+    avx1: float,
+    avy1: float,
+    aref: float,
+    bx0: float,
+    by0: float,
+    bx1: float,
+    by1: float,
+    bvx0: float,
+    bvy0: float,
+    bvx1: float,
+    bvy1: float,
+    bref: float,
+    start: float,
+    end: float,
+) -> bool:
+    """Whether two moving rectangles intersect at any time in ``[start, end]``.
+
+    Float-only twin of :meth:`MovingRect.intersects_during` for the range
+    scan loops: each argument group is an MBR, its VBR and its reference
+    time.  The common case (both reference times at or before ``start``, so
+    every boundary is linear over the window) is solved inline; the rare
+    piecewise case falls back to the object API.
+    """
+    if aref > start or bref > start:  # pragma: no cover - rare in index scans
+        from repro.geometry.moving_rect import MovingRect
+        from repro.geometry.rect import Rect
+
+        a = MovingRect(Rect(ax0, ay0, ax1, ay1), avx0, avy0, avx1, avy1, aref)
+        b = MovingRect(Rect(bx0, by0, bx1, by1), bvx0, bvy0, bvx1, bvy1, bref)
+        return a.intersects_during(b, start, end)
+
+    duration = end - start
+    if duration < 0.0:
+        raise ValueError("end must not precede start")
+
+    # Positions at the start of the window.
+    ea = start - aref
+    eb = start - bref
+    lo = 0.0
+    hi = duration
+    # x axis: a_lo <= b_hi and b_lo <= a_hi as linear constraints in t.
+    for p, pv, q, qv in (
+        (ax0 + avx0 * ea, avx0, bx1 + bvx1 * eb, bvx1),
+        (bx0 + bvx0 * eb, bvx0, ax1 + avx1 * ea, avx1),
+        (ay0 + avy0 * ea, avy0, by1 + bvy1 * eb, bvy1),
+        (by0 + bvy0 * eb, bvy0, ay1 + avy1 * ea, avy1),
+    ):
+        diff0 = p - q
+        rate = pv - qv
+        if rate == 0.0:
+            if diff0 > 1e-12:
+                return False
+            continue
+        crossing = -diff0 / rate
+        if rate > 0.0:
+            if crossing < hi:
+                hi = crossing
+        else:
+            if crossing > lo:
+                lo = crossing
+        if lo > hi:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Exact leaf-refinement predicates (segment versus query range)
+# ----------------------------------------------------------------------
+def segment_intersects_circle(
+    px: float,
+    py: float,
+    vx: float,
+    vy: float,
+    duration: float,
+    cx: float,
+    cy: float,
+    radius: float,
+) -> bool:
+    """Whether the segment ``(px, py) + (vx, vy) * [0, duration]`` meets the circle."""
+    # Minimize |p(t) - center|^2 over t in [0, duration].
+    dx = px - cx
+    dy = py - cy
+    a = vx * vx + vy * vy
+    b = 2.0 * (dx * vx + dy * vy)
+    c = dx * dx + dy * dy
+    if a == 0.0:
+        best = c
+    else:
+        t_star = -b / (2.0 * a)
+        if t_star < 0.0:
+            t_star = 0.0
+        elif t_star > duration:
+            t_star = duration
+        best = a * t_star * t_star + b * t_star + c
+        if c < best:
+            best = c
+        end_val = a * duration * duration + b * duration + c
+        if end_val < best:
+            best = end_val
+    return best <= radius * radius + 1e-9
+
+
+def segment_intersects_rect(
+    px: float,
+    py: float,
+    vx: float,
+    vy: float,
+    duration: float,
+    x_min: float,
+    y_min: float,
+    x_max: float,
+    y_max: float,
+) -> bool:
+    """Liang-Barsky clip of the segment against the rectangle's slabs."""
+    t0 = 0.0
+    t1 = duration
+    for p, v, lo, hi in ((px, vx, x_min, x_max), (py, vy, y_min, y_max)):
+        if v == 0.0:
+            if p < lo - 1e-9 or p > hi + 1e-9:
+                return False
+            continue
+        t_enter = (lo - p) / v
+        t_exit = (hi - p) / v
+        if t_enter > t_exit:
+            t_enter, t_exit = t_exit, t_enter
+        if t_enter > t0:
+            t0 = t_enter
+        if t_exit < t1:
+            t1 = t_exit
+        if t0 > t1 + 1e-9:
+            return False
+    return True

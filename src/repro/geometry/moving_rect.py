@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Tuple
 
+from repro.geometry import kernels
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.geometry.vector import Vector
@@ -60,18 +61,25 @@ class MovingRect:
         MBRs and each VBR component is the extreme of the children's
         components (the rate of expansion of an edge is the fastest child
         edge in that direction — exactly the TPR-tree's bounding rule).
+
+        The projection/union loop runs in the float kernels, so children
+        already anchored at ``reference_time`` (and everything in between)
+        cost no intermediate allocations; a single already-anchored child is
+        returned as-is.
         """
-        children = list(children)
+        if not isinstance(children, (list, tuple)):
+            children = list(children)
         if not children:
             raise ValueError("cannot bound an empty collection of moving rectangles")
-        projected = [c.projected_to(reference_time) for c in children]
-        rect = Rect.bounding(p.rect for p in projected)
+        if len(children) == 1 and children[0].reference_time == reference_time:
+            return children[0]
+        x0, y0, x1, y1, vx0, vy0, vx1, vy1 = kernels.bound_extent(children, reference_time)
         return cls(
-            rect=rect,
-            v_x_min=min(p.v_x_min for p in projected),
-            v_y_min=min(p.v_y_min for p in projected),
-            v_x_max=max(p.v_x_max for p in projected),
-            v_y_max=max(p.v_y_max for p in projected),
+            rect=Rect(x0, y0, x1, y1),
+            v_x_min=vx0,
+            v_y_min=vy0,
+            v_x_max=vx1,
+            v_y_max=vy1,
             reference_time=reference_time,
         )
 
@@ -148,13 +156,53 @@ class MovingRect:
     def intersects_during(self, other: "MovingRect", start: float, end: float) -> bool:
         """Whether two moving rectangles intersect at any time in ``[start, end]``.
 
-        Solved per dimension: for each axis we compute the sub-interval of
-        ``[start, end]`` during which the axis projections overlap, then the
-        rectangles intersect iff the per-axis intervals have a common point.
+        The boundaries are piecewise linear in time (frozen before their
+        reference time), so the window is split at any reference time falling
+        strictly inside it and each purely linear piece is solved exactly:
+        per axis the sub-interval during which the projections overlap, then
+        the rectangles intersect iff the per-axis intervals share a point.
+        In index workloads the reference times precede the window, making the
+        whole window one linear piece — that common case is also what the
+        float kernel in :func:`repro.geometry.kernels.intersects_interval`
+        inlines.
         """
         if end < start:
             raise ValueError("end must not precede start")
-        interval = _axis_overlap_interval(
+        cuts = {start, end}
+        for ref in (self.reference_time, other.reference_time):
+            if start < ref < end:
+                cuts.add(ref)
+        points = sorted(cuts)
+        pieces = list(zip(points, points[1:])) or [(start, end)]
+        for lo, hi in pieces:
+            if self._intersects_linear_piece(other, lo, hi):
+                return True
+        return False
+
+    def _intersects_linear_piece(self, other: "MovingRect", lo: float, hi: float) -> bool:
+        """Intersection test over ``[lo, hi]`` with no reference time inside.
+
+        Each rectangle is either frozen for the whole piece (its reference
+        time is at or past ``hi``) or moves linearly with its full VBR.
+        """
+        duration = hi - lo
+
+        def axis_window(a_lo, a_hi, a_v_lo, a_v_hi, a_ref, b_lo, b_hi, b_v_lo, b_v_hi, b_ref):
+            if a_ref <= lo:
+                a_lo += a_v_lo * (lo - a_ref)
+                a_hi += a_v_hi * (lo - a_ref)
+            else:  # frozen for the whole piece
+                a_v_lo = a_v_hi = 0.0
+            if b_ref <= lo:
+                b_lo += b_v_lo * (lo - b_ref)
+                b_hi += b_v_hi * (lo - b_ref)
+            else:
+                b_v_lo = b_v_hi = 0.0
+            return _linear_overlap_interval(
+                a_lo, a_hi, a_v_lo, a_v_hi, b_lo, b_hi, b_v_lo, b_v_hi, 0.0, duration, lo
+            )
+
+        x_window = axis_window(
             self.rect.x_min,
             self.rect.x_max,
             self.v_x_min,
@@ -165,13 +213,10 @@ class MovingRect:
             other.v_x_min,
             other.v_x_max,
             other.reference_time,
-            start,
-            end,
         )
-        if interval is None:
+        if x_window is None:
             return False
-        x_lo, x_hi = interval
-        interval = _axis_overlap_interval(
+        y_window = axis_window(
             self.rect.y_min,
             self.rect.y_max,
             self.v_y_min,
@@ -182,80 +227,10 @@ class MovingRect:
             other.v_y_min,
             other.v_y_max,
             other.reference_time,
-            start,
-            end,
         )
-        if interval is None:
+        if y_window is None:
             return False
-        y_lo, y_hi = interval
-        return max(x_lo, y_lo) <= min(x_hi, y_hi)
-
-
-def _axis_overlap_interval(
-    a_lo: float,
-    a_hi: float,
-    a_v_lo: float,
-    a_v_hi: float,
-    a_ref: float,
-    b_lo: float,
-    b_hi: float,
-    b_v_lo: float,
-    b_v_hi: float,
-    b_ref: float,
-    start: float,
-    end: float,
-):
-    """Sub-interval of ``[start, end]`` during which two 1-D moving intervals overlap.
-
-    Interval A's boundaries at time t are ``a_lo + a_v_lo * (t - a_ref)`` and
-    ``a_hi + a_v_hi * (t - a_ref)`` (for ``t >= a_ref``; before the reference
-    time the boundary is frozen, matching :meth:`MovingRect.rect_at`).
-    Returns ``None`` when they never overlap inside ``[start, end]``.
-
-    The boundaries are piecewise linear (frozen before the reference time),
-    so rather than solving a closed form we sample the candidate breakpoints
-    and solve linearly between them.  Reference times are almost always
-    ``<= start`` in practice, making the functions purely linear over the
-    window, which the fast path below handles exactly.
-    """
-    # Fast, exact path: both references precede the window, so boundaries are
-    # linear in t over [start, end].
-    if a_ref <= start and b_ref <= start:
-        return _linear_overlap_interval(
-            a_lo + a_v_lo * (start - a_ref),
-            a_hi + a_v_hi * (start - a_ref),
-            a_v_lo,
-            a_v_hi,
-            b_lo + b_v_lo * (start - b_ref),
-            b_hi + b_v_hi * (start - b_ref),
-            b_v_lo,
-            b_v_hi,
-            0.0,
-            end - start,
-            start,
-        )
-
-    # General path: split the window at the reference times and recurse on
-    # each purely linear piece.
-    breakpoints = sorted({start, end, min(max(a_ref, start), end), min(max(b_ref, start), end)})
-    for lo, hi in zip(breakpoints, breakpoints[1:]):
-        if hi <= lo:
-            continue
-        def boundary(lo_val, hi_val, v_lo, v_hi, ref, t):
-            elapsed = max(t - ref, 0.0)
-            return lo_val + v_lo * elapsed, hi_val + v_hi * elapsed
-        a_s = boundary(a_lo, a_hi, a_v_lo, a_v_hi, a_ref, lo)
-        b_s = boundary(b_lo, b_hi, b_v_lo, b_v_hi, b_ref, lo)
-        a_rate = (a_v_lo if lo >= a_ref else 0.0, a_v_hi if lo >= a_ref else 0.0)
-        b_rate = (b_v_lo if lo >= b_ref else 0.0, b_v_hi if lo >= b_ref else 0.0)
-        result = _linear_overlap_interval(
-            a_s[0], a_s[1], a_rate[0], a_rate[1],
-            b_s[0], b_s[1], b_rate[0], b_rate[1],
-            0.0, hi - lo, lo,
-        )
-        if result is not None:
-            return result
-    return None
+        return max(x_window[0], y_window[0]) <= min(x_window[1], y_window[1])
 
 
 def _linear_overlap_interval(

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.geometry import kernels
 from repro.geometry.moving_rect import MovingRect
 from repro.geometry.rect import Rect
 
@@ -131,37 +132,13 @@ def sweeping_volume_closed_form(
 ) -> float:
     """Closed-form time-integral of the swept area over ``[0, horizon]``.
 
-    For ``t >= 0`` the bounding box of the start and projected rectangles has
-    extents ``width + px t`` and ``height + py t`` with
-    ``px = max(0, v_x_max) - min(0, v_x_min)`` (similarly ``py``), and the two
-    uncovered corner triangles remove ``qx qy t^2`` where ``qx``/``qy`` are
-    the common (translational) edge displacements per time unit.  The swept
-    area is therefore an exact quadratic in ``t`` and its integral has the
-    closed form used here.  This function is the hot path of the TPR*-tree's
-    insertion cost model, hence the float-only signature.
+    The swept area is an exact quadratic in ``t`` whose closed-form integral
+    lives in :func:`repro.geometry.kernels.sweep_volume` (the hot path of the
+    TPR*-tree's insertion cost model); this name is kept as the public,
+    documented entry point of the cost model.
     """
-    if horizon <= 0.0:
-        return 0.0
-    px = max(0.0, v_x_max) - min(0.0, v_x_min)
-    py = max(0.0, v_y_max) - min(0.0, v_y_min)
-    if v_x_min >= 0.0 and v_x_max >= 0.0:
-        qx = min(v_x_min, v_x_max)
-    elif v_x_min <= 0.0 and v_x_max <= 0.0:
-        qx = min(-v_x_min, -v_x_max)
-    else:
-        qx = 0.0
-    if v_y_min >= 0.0 and v_y_max >= 0.0:
-        qy = min(v_y_min, v_y_max)
-    elif v_y_min <= 0.0 and v_y_max <= 0.0:
-        qy = min(-v_y_min, -v_y_max)
-    else:
-        qy = 0.0
-    h2 = horizon * horizon
-    h3 = h2 * horizon
-    return (
-        width * height * horizon
-        + (width * py + height * px) * h2 / 2.0
-        + (px * py - qx * qy) * h3 / 3.0
+    return kernels.sweep_volume(
+        width, height, v_x_min, v_y_min, v_x_max, v_y_max, horizon
     )
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from repro.geometry import kernels
 from repro.geometry.moving_rect import MovingRect
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
@@ -158,27 +159,44 @@ class RangeQuery:
         (rectangular range).  For a moving range we subtract the query
         velocity from the object velocity, reducing to the stationary case.
         """
-        rel_velocity = obj.velocity
+        return self.matches_motion(
+            obj.position.x,
+            obj.position.y,
+            obj.velocity.vx,
+            obj.velocity.vy,
+            obj.reference_time,
+        )
+
+    def matches_motion(
+        self, x: float, y: float, vx: float, vy: float, reference_time: float
+    ) -> bool:
+        """:meth:`matches` on a flat motion state (the leaf-filter hot path).
+
+        Index scans hold candidate positions and velocities as plain floats
+        (a degenerate leaf bound, a B+-tree record); this entry point decides
+        qualification without reconstructing ``MovingObject``/``Point``/
+        ``Vector`` objects per candidate.
+        """
+        rel_vx, rel_vy = vx, vy
         if self.velocity is not None:
-            rel_velocity = Vector(
-                obj.velocity.vx - self.velocity.vx, obj.velocity.vy - self.velocity.vy
-            )
+            rel_vx -= self.velocity.vx
+            rel_vy -= self.velocity.vy
         # Object position relative to the (possibly moving) range, expressed
         # in the frame where the range is fixed at its start_time location.
         start_range = self.range_at(self.start_time)
-        obj_at_start = obj.position_at(self.start_time)
+        elapsed = self.start_time - reference_time
+        px = x + vx * elapsed
+        py = y + vy * elapsed
         duration = self.end_time - self.start_time
 
         if isinstance(start_range, CircularRange):
-            return _segment_intersects_circle(
-                obj_at_start,
-                rel_velocity,
-                duration,
-                start_range.center,
-                start_range.radius,
+            center = start_range.center
+            return kernels.segment_intersects_circle(
+                px, py, rel_vx, rel_vy, duration, center.x, center.y, start_range.radius
             )
-        return _segment_intersects_rect(
-            obj_at_start, rel_velocity, duration, start_range.rect
+        rect = start_range.rect
+        return kernels.segment_intersects_rect(
+            px, py, rel_vx, rel_vy, duration, rect.x_min, rect.y_min, rect.x_max, rect.y_max
         )
 
 
@@ -186,49 +204,26 @@ def _segment_intersects_circle(
     start: Point, velocity: Vector, duration: float, center: Point, radius: float
 ) -> bool:
     """Whether the segment ``start + velocity * [0, duration]`` meets the circle."""
-    # Minimize |p(t) - center|^2 over t in [0, duration].
-    px = start.x - center.x
-    py = start.y - center.y
-    a = velocity.vx * velocity.vx + velocity.vy * velocity.vy
-    b = 2.0 * (px * velocity.vx + py * velocity.vy)
-    c = px * px + py * py
-    if a == 0.0:
-        best = c
-    else:
-        t_star = -b / (2.0 * a)
-        t_star = min(max(t_star, 0.0), duration)
-        best = min(c, a * t_star * t_star + b * t_star + c)
-        end_val = a * duration * duration + b * duration + c
-        best = min(best, end_val)
-    return best <= radius * radius + 1e-9
+    return kernels.segment_intersects_circle(
+        start.x, start.y, velocity.vx, velocity.vy, duration, center.x, center.y, radius
+    )
 
 
 def _segment_intersects_rect(
     start: Point, velocity: Vector, duration: float, rect: Rect
 ) -> bool:
-    """Whether the segment ``start + velocity * [0, duration]`` meets the rectangle.
-
-    Standard slab (Liang-Barsky) clipping of the parametric segment against
-    the rectangle.
-    """
-    t0, t1 = 0.0, duration
-    for (p, v, lo, hi) in (
-        (start.x, velocity.vx, rect.x_min, rect.x_max),
-        (start.y, velocity.vy, rect.y_min, rect.y_max),
-    ):
-        if v == 0.0:
-            if p < lo - 1e-9 or p > hi + 1e-9:
-                return False
-            continue
-        t_enter = (lo - p) / v
-        t_exit = (hi - p) / v
-        if t_enter > t_exit:
-            t_enter, t_exit = t_exit, t_enter
-        t0 = max(t0, t_enter)
-        t1 = min(t1, t_exit)
-        if t0 > t1 + 1e-9:
-            return False
-    return True
+    """Whether the segment ``start + velocity * [0, duration]`` meets the rectangle."""
+    return kernels.segment_intersects_rect(
+        start.x,
+        start.y,
+        velocity.vx,
+        velocity.vy,
+        duration,
+        rect.x_min,
+        rect.y_min,
+        rect.x_max,
+        rect.y_max,
+    )
 
 
 # ----------------------------------------------------------------------

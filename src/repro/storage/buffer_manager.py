@@ -37,13 +37,27 @@ class BufferManager:
         capacity: int = DEFAULT_BUFFER_PAGES,
         stats: Optional[IOStats] = None,
     ) -> None:
+        """Create a buffer over ``disk`` (a private disk is created if omitted).
+
+        The buffer and its disk always share one :class:`IOStats` object so
+        every physical read/write is counted exactly once.  Passing both a
+        ``disk`` and a ``stats`` is only allowed when they already agree —
+        silently preferring either object would leave the caller watching
+        counters that the other half of the I/O never reaches.
+        """
         if capacity < 1:
             raise ValueError("buffer capacity must be at least one page")
-        self.stats = stats if stats is not None else IOStats()
-        self.disk = disk if disk is not None else DiskManager(self.stats)
-        if disk is not None and stats is None:
-            # Share the disk's stats object so physical I/O is counted once.
+        if disk is not None and stats is not None and disk.stats is not stats:
+            raise ValueError(
+                "conflicting IOStats: the disk manager already records into its "
+                "own stats object; pass either disk or stats, or the disk's own "
+                "stats object"
+            )
+        if disk is not None:
             self.stats = disk.stats
+        else:
+            self.stats = stats if stats is not None else IOStats()
+        self.disk = disk if disk is not None else DiskManager(self.stats)
         self.capacity = capacity
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
         self.hits = 0

@@ -15,8 +15,11 @@ what the paper measures.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+import math
+from typing import Iterable, Iterator, List, Optional, Tuple
 
+from repro.bulk import chunk_count, even_chunks
+from repro.geometry import kernels
 from repro.geometry.moving_rect import MovingRect
 from repro.geometry.point import Point
 from repro.objects.moving_object import MovingObject
@@ -28,6 +31,11 @@ from repro.tprtree.node import DEFAULT_MAX_ENTRIES, TPREntry, TPRNode
 #: The paper's workloads use a maximum update interval of 120 ts, and the
 #: TPR literature recommends a horizon on the order of the update interval.
 DEFAULT_HORIZON = 60.0
+
+#: Target node fill of an STR bulk load, as a fraction of ``max_entries``.
+#: Slightly below 1.0 leaves headroom so the first trickle of updates after
+#: a bulk build does not immediately split every node.
+DEFAULT_BULK_FILL = 0.9
 
 
 class TPRTree:
@@ -111,6 +119,106 @@ class TPRTree:
         self._insert_entry(entry, level=0)
         self.size += 1
 
+    def bulk_load(self, objects: Iterable[MovingObject], fill: float = DEFAULT_BULK_FILL) -> None:
+        """Build the tree bottom-up from ``objects`` with STR packing.
+
+        Sort-Tile-Recursive packing (Leutenegger et al.): entries are sorted
+        by the x coordinate of their projected center, cut into vertical
+        slabs, each slab sorted by y and cut into nodes; the resulting node
+        bounds feed the same procedure one level up until everything fits in
+        the root.  Compared with N root-to-leaf insertions this performs no
+        choose-subtree scans, no splits and no forced reinsertions, which is
+        what makes build phases tractable at bench scale.
+
+        Every produced node respects the tree's ``min_fill``/fan-out
+        invariants, so subsequent incremental updates behave exactly as on an
+        incrementally built tree.
+
+        Args:
+            objects: the initial population (the tree must be empty).
+            fill: target node fill as a fraction of ``max_entries``.
+
+        Raises:
+            ValueError: if the tree already contains objects.
+        """
+        objects = list(objects)
+        if self.size:
+            raise ValueError("bulk_load requires an empty tree")
+        if not objects:
+            return
+        if not 0.0 < fill <= 1.0:
+            raise ValueError("fill must be in (0, 1]")
+        self.current_time = max(
+            self.current_time, max(o.reference_time for o in objects)
+        )
+        entries = [TPREntry(bound=o.as_moving_rect(), oid=o.oid) for o in objects]
+        levels = 0
+        while len(entries) > self.max_entries:
+            entries = self._pack_level(entries, fill)
+            levels += 1
+        root = self._node(self.root_page_id)
+        root.is_leaf = levels == 0
+        root.entries = entries
+        root.parent_page_id = None
+        if not root.is_leaf:
+            for entry in entries:
+                child = self._node(entry.child_page_id)
+                child.parent_page_id = root.page_id
+                self._write_node(child)
+        self._write_node(root)
+        self._height = levels + 1
+        self.size = len(objects)
+
+    def _pack_level(self, entries: List[TPREntry], fill: float) -> List[TPREntry]:
+        """Pack one level of entries into nodes; returns the parent entries."""
+        t = self.current_time
+        is_leaf = entries[0].is_leaf_entry
+        cap = max(self.min_entries, min(self.max_entries, int(self.max_entries * fill)))
+        num_nodes = self._chunk_count(len(entries), cap)
+        num_slabs = int(math.ceil(math.sqrt(num_nodes)))
+        # Sort on centers projected half a horizon ahead: two objects are
+        # near in that ordering only if they are close in space AND move
+        # compatibly, which approximates the velocity grouping the TPR*
+        # insertion heuristics would have produced (plain time-t STR packs
+        # diverging objects together and the bounds balloon immediately).
+        keyed = list(
+            zip(
+                kernels.batch_centers(
+                    [e.bound for e in entries], t + 0.5 * self.horizon
+                ),
+                entries,
+            )
+        )
+        keyed.sort(key=lambda pair: pair[0][0])
+        parents: List[TPREntry] = []
+        for slab in even_chunks(keyed, num_slabs):
+            slab.sort(key=lambda pair: pair[0][1])
+            for pairs in even_chunks(slab, self._chunk_count(len(slab), cap)):
+                node = self._new_node(is_leaf=is_leaf)
+                node.entries = [entry for _, entry in pairs]
+                if not is_leaf:
+                    for entry in node.entries:
+                        child = self._node(entry.child_page_id)
+                        child.parent_page_id = node.page_id
+                        self._write_node(child)
+                self._write_node(node)
+                parents.append(
+                    TPREntry(bound=node.bound(t), child_page_id=node.page_id)
+                )
+        return parents
+
+    def _chunk_count(self, n: int, cap: int) -> int:
+        """Number of nodes to pack ``n`` entries into without violating fill.
+
+        Starts from ``ceil(n / cap)`` and lowers the count until every node
+        receives at least ``min_entries`` (always possible because
+        ``min_fill <= 0.5`` guarantees two half-full nodes fit in one).
+        """
+        count = chunk_count(n, cap)
+        while count > 1 and n // count < self.min_entries:
+            count -= 1
+        return count
+
     def delete(self, obj: MovingObject) -> bool:
         """Delete the object snapshot ``obj``.
 
@@ -160,13 +268,16 @@ class TPRTree:
         if not exact:
             return [oid for oid, _ in candidates]
         for oid, bound in candidates:
-            obj = MovingObject(
-                oid=oid,
-                position=bound.rect.center,
-                velocity=_entry_velocity(bound),
-                reference_time=bound.reference_time,
-            )
-            if query.matches(obj):
+            # Leaf bounds of moving points are degenerate: the rect corner is
+            # the reference position and (v_x_min, v_y_min) the velocity.
+            rect = bound.rect
+            if query.matches_motion(
+                rect.x_min,
+                rect.y_min,
+                bound.v_x_min,
+                bound.v_y_min,
+                bound.reference_time,
+            ):
                 results.append(oid)
         return results
 
@@ -203,18 +314,38 @@ class TPRTree:
     # ------------------------------------------------------------------
     # Structural metrics (overridden by the TPR*-tree)
     # ------------------------------------------------------------------
-    def _bound_cost(self, bound: MovingRect) -> float:
-        """Goodness (lower is better) of a node bound.
+    # The hot-path hooks take flat kernel extents (8-tuples anchored at the
+    # current time) so choose-subtree, split scoring and forced reinsertion
+    # never build intermediate MovingRect/Rect objects; the MovingRect
+    # wrappers below them remain the convenient entry points for external
+    # callers and one-off evaluations.
+
+    def _extent_cost(self, ext: kernels.Extent) -> float:
+        """Goodness (lower is better) of a node bound given as a kernel extent.
 
         The base TPR-tree uses the area of the bound at the current time,
         i.e. the classic R*-tree objective evaluated on the projected MBR.
         """
-        return bound.rect_at(self.current_time).area
+        return kernels.extent_area(ext)
+
+    def _split_cost_extents(self, ext_a: kernels.Extent, ext_b: kernels.Extent) -> float:
+        """Goodness of a candidate split into two groups with those bounds."""
+        return (
+            self._extent_cost(ext_a)
+            + self._extent_cost(ext_b)
+            + kernels.intersection_area(ext_a, ext_b)
+        )
+
+    def _bound_cost(self, bound: MovingRect) -> float:
+        """:meth:`_extent_cost` of a :class:`MovingRect` bound."""
+        return self._extent_cost(kernels.extent_of(bound, self.current_time))
 
     def _enlargement_cost(self, bound: MovingRect, extra: MovingRect) -> float:
         """Increase of :meth:`_bound_cost` if ``extra`` joins ``bound``."""
-        combined = MovingRect.bounding([bound, extra], self.current_time)
-        return self._bound_cost(combined) - self._bound_cost(bound)
+        t = self.current_time
+        ext = kernels.extent_of(bound, t)
+        combined = kernels.union_extent(ext, kernels.extent_of(extra, t))
+        return self._extent_cost(combined) - self._extent_cost(ext)
 
     # ------------------------------------------------------------------
     # Insertion machinery
@@ -248,12 +379,21 @@ class TPRTree:
         return path
 
     def _pick_child(self, node: TPRNode, bound: MovingRect) -> TPREntry:
-        """Child of ``node`` whose bound degrades least by absorbing ``bound``."""
+        """Child of ``node`` whose bound degrades least by absorbing ``bound``.
+
+        The scan runs entirely on kernel extents: each candidate is projected
+        once, its cost and union-with-the-new-entry cost evaluated with the
+        float hooks, and ties broken by the smaller existing cost.
+        """
+        t = self.current_time
+        ext_new = kernels.extent_of(bound, t)
         best = None
         best_key = None
         for candidate in node.entries:
-            enlargement = self._enlargement_cost(candidate.bound, bound)
-            key = (enlargement, self._bound_cost(candidate.bound))
+            ext = kernels.extent_of(candidate.bound, t)
+            cost = self._extent_cost(ext)
+            enlargement = self._extent_cost(kernels.union_extent(ext, ext_new)) - cost
+            key = (enlargement, cost)
             if best_key is None or key < best_key:
                 best_key = key
                 best = candidate
@@ -322,25 +462,35 @@ class TPRTree:
         """Split an overfull node; returns the new sibling.
 
         Entries are sorted along each axis by the center of their projected
-        rectangle, every legal distribution is scored with
-        :meth:`_split_cost`, and the cheapest distribution wins.
+        rectangle and every legal distribution is scored with
+        :meth:`_split_cost_extents`; the cheapest distribution wins.  Group
+        bounds come from prefix/suffix unions of the sorted kernel extents,
+        so the whole scoring pass is O(n log n) with no intermediate
+        ``MovingRect`` allocations (previously O(n^2) re-bounding).
         """
+        t = self.current_time
         entries = node.entries
-        best: Optional[Tuple[List[TPREntry], List[TPREntry]]] = None
+        n = len(entries)
+        extents = kernels.batch_extents([e.bound for e in entries], t)
+        centers = [((e[0] + e[2]) * 0.5, (e[1] + e[3]) * 0.5) for e in extents]
+        best: Optional[Tuple[List[int], int]] = None
         best_cost = None
         for axis in (0, 1):
-            ordered = sorted(
-                entries, key=lambda e: _projected_center(e.bound, self.current_time)[axis]
-            )
-            for split_at in range(self.min_entries, len(ordered) - self.min_entries + 1):
-                group_a = ordered[:split_at]
-                group_b = ordered[split_at:]
-                cost = self._split_cost(group_a, group_b)
+            order = sorted(range(n), key=lambda i: centers[i][axis])
+            ordered_exts = [extents[i] for i in order]
+            prefix = kernels.cumulative_extents(ordered_exts)
+            suffix = kernels.cumulative_extents(ordered_exts[::-1])
+            for split_at in range(self.min_entries, n - self.min_entries + 1):
+                cost = self._split_cost_extents(
+                    prefix[split_at - 1], suffix[n - split_at - 1]
+                )
                 if best_cost is None or cost < best_cost:
                     best_cost = cost
-                    best = (list(group_a), list(group_b))
+                    best = (order, split_at)
         assert best is not None
-        group_a, group_b = best
+        order, split_at = best
+        group_a = [entries[i] for i in order[:split_at]]
+        group_b = [entries[i] for i in order[split_at:]]
         sibling = self._new_node(is_leaf=node.is_leaf)
         node.entries = group_a
         sibling.entries = group_b
@@ -352,14 +502,6 @@ class TPRTree:
         self._write_node(node)
         self._write_node(sibling)
         return sibling
-
-    def _split_cost(self, group_a: Sequence[TPREntry], group_b: Sequence[TPREntry]) -> float:
-        bound_a = MovingRect.bounding((e.bound for e in group_a), self.current_time)
-        bound_b = MovingRect.bounding((e.bound for e in group_b), self.current_time)
-        overlap = bound_a.rect_at(self.current_time).intersection_area(
-            bound_b.rect_at(self.current_time)
-        )
-        return self._bound_cost(bound_a) + self._bound_cost(bound_b) + overlap
 
     # ------------------------------------------------------------------
     # Deletion machinery
@@ -382,9 +524,11 @@ class TPRTree:
                 return path
             return None
         slack = self.DELETE_CONTAINMENT_SLACK
+        t = self.current_time
+        px, py = position.x, position.y
         for entry in node.entries:
-            rect = entry.bound.rect_at(self.current_time).enlarged(slack, slack)
-            if rect.contains_point(position):
+            x0, y0, x1, y1 = kernels.project(entry.bound, t)
+            if x0 - slack <= px <= x1 + slack and y0 - slack <= py <= y1 + slack:
                 found = self._find_leaf_path(entry.child_page_id, oid, position, path)
                 if found is not None:
                     return found
@@ -434,23 +578,41 @@ class TPRTree:
     ) -> List[Tuple[int, MovingRect]]:
         node = self._node(page_id)
         results: List[Tuple[int, MovingRect]] = []
+        qr = query_rect.rect
+        qx0, qy0, qx1, qy1 = qr.x_min, qr.y_min, qr.x_max, qr.y_max
+        qvx0, qvy0 = query_rect.v_x_min, query_rect.v_y_min
+        qvx1, qvy1 = query_rect.v_x_max, query_rect.v_y_max
+        qref = query_rect.reference_time
+        intersects = kernels.intersects_interval
+        is_leaf = node.is_leaf
         for entry in node.entries:
-            if not entry.bound.intersects_during(query_rect, start, end):
+            bound = entry.bound
+            rect = bound.rect
+            if not intersects(
+                rect.x_min,
+                rect.y_min,
+                rect.x_max,
+                rect.y_max,
+                bound.v_x_min,
+                bound.v_y_min,
+                bound.v_x_max,
+                bound.v_y_max,
+                bound.reference_time,
+                qx0,
+                qy0,
+                qx1,
+                qy1,
+                qvx0,
+                qvy0,
+                qvx1,
+                qvy1,
+                qref,
+                start,
+                end,
+            ):
                 continue
-            if node.is_leaf:
-                results.append((entry.oid, entry.bound))
+            if is_leaf:
+                results.append((entry.oid, bound))
             else:
                 results.extend(self._search(entry.child_page_id, query_rect, start, end))
         return results
-
-
-def _projected_center(bound: MovingRect, time: float) -> Tuple[float, float]:
-    center = bound.rect_at(time).center
-    return (center.x, center.y)
-
-
-def _entry_velocity(bound: MovingRect):
-    """Velocity of a degenerate (point) bound."""
-    from repro.geometry.vector import Vector
-
-    return Vector(bound.v_x_min, bound.v_y_min)

@@ -25,13 +25,12 @@ mirroring the transformed-node construction of the cost model.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
-from repro.geometry.moving_rect import MovingRect
-from repro.geometry.sweep import sweeping_volume_closed_form
+from repro.geometry import kernels
 from repro.objects.moving_object import MovingObject
 from repro.storage.buffer_manager import BufferManager
-from repro.tprtree.node import TPREntry, TPRNode
+from repro.tprtree.node import TPRNode
 from repro.tprtree.tpr_tree import DEFAULT_HORIZON, TPRTree
 
 #: Nominal query side length the tree is optimized for (Section 6 of the
@@ -71,43 +70,19 @@ class TPRStarTree(TPRTree):
     # ------------------------------------------------------------------
     # Cost metric: sweeping volume of the transformed bound over the horizon
     # ------------------------------------------------------------------
-    def _bound_cost(self, bound: MovingRect) -> float:
-        rect = bound.rect_at(self.current_time)
-        return sweeping_volume_closed_form(
-            rect.width + self.nominal_query_extent,
-            rect.height + self.nominal_query_extent,
-            bound.v_x_min,
-            bound.v_y_min,
-            bound.v_x_max,
-            bound.v_y_max,
-            self.horizon,
-        )
+    def _extent_cost(self, ext: kernels.Extent) -> float:
+        """Fused sweep integral of the bound grown by the nominal query extent."""
+        return kernels.extent_sweep_volume(ext, self.nominal_query_extent, self.horizon)
 
-    def _enlargement_cost(self, bound: MovingRect, extra: MovingRect) -> float:
-        """Float-only union cost (the hot path of choose-subtree).
-
-        Avoids constructing intermediate :class:`MovingRect` objects: both
-        bounds are projected to the current time arithmetically, their union
-        extents and velocity extremes are combined, and the closed-form
-        sweeping volume gives the cost.
-        """
-        t = self.current_time
-        a = bound.rect_at(t)
-        b = extra.rect_at(t)
-        x_min = a.x_min if a.x_min < b.x_min else b.x_min
-        y_min = a.y_min if a.y_min < b.y_min else b.y_min
-        x_max = a.x_max if a.x_max > b.x_max else b.x_max
-        y_max = a.y_max if a.y_max > b.y_max else b.y_max
-        union_cost = sweeping_volume_closed_form(
-            (x_max - x_min) + self.nominal_query_extent,
-            (y_max - y_min) + self.nominal_query_extent,
-            min(bound.v_x_min, extra.v_x_min),
-            min(bound.v_y_min, extra.v_y_min),
-            max(bound.v_x_max, extra.v_x_max),
-            max(bound.v_y_max, extra.v_y_max),
-            self.horizon,
+    def _split_cost_extents(self, ext_a: kernels.Extent, ext_b: kernels.Extent) -> float:
+        """Sweeping volumes of the halves plus their overlap now and at the horizon."""
+        overlap = kernels.intersection_area(ext_a, ext_b)
+        overlap_end = kernels.intersection_area(ext_a, ext_b, self.horizon)
+        return (
+            self._extent_cost(ext_a)
+            + self._extent_cost(ext_b)
+            + 0.5 * self.horizon * (overlap + overlap_end)
         )
-        return union_cost - self._bound_cost(bound)
 
     # ------------------------------------------------------------------
     # Insertion with pick-worst forced reinsertion
@@ -142,21 +117,24 @@ class TPRStarTree(TPRTree):
 
         "Pick worst" ranks entries by how much the node's sweeping volume
         shrinks when the entry is removed — entries moving against the
-        grain of the node contribute the most and are evicted first.
+        grain of the node contribute the most and are evicted first.  The
+        leave-one-out bounds come from prefix/suffix unions of the kernel
+        extents, so scoring the whole node is O(n) instead of O(n^2).
         """
-        count = max(1, int(len(node.entries) * REINSERT_FRACTION))
-        scored = []
-        full_cost = self._bound_cost(node.bound(self.current_time))
-        for entry in node.entries:
-            remaining = [e for e in node.entries if e is not entry]
-            remaining_bound = MovingRect.bounding(
-                (e.bound for e in remaining), self.current_time
-            )
-            saving = full_cost - self._bound_cost(remaining_bound)
-            scored.append((saving, entry))
+        t = self.current_time
+        entries = node.entries
+        count = max(1, int(len(entries) * REINSERT_FRACTION))
+        bounds = [e.bound for e in entries]
+        extents = kernels.batch_extents(bounds, t)
+        full_cost = self._extent_cost(kernels.bound_extent(bounds, t))
+        scored = [
+            (full_cost - self._extent_cost(remaining), position)
+            for position, remaining in enumerate(kernels.remove_one_extents(extents))
+        ]
         scored.sort(key=lambda pair: pair[0], reverse=True)
-        evicted = [entry for _, entry in scored[:count]]
-        node.entries = [e for e in node.entries if e not in evicted]
+        evicted_indexes = {position for _, position in scored[:count]}
+        evicted = [entries[position] for _, position in scored[:count]]
+        node.entries = [e for i, e in enumerate(entries) if i not in evicted_indexes]
         self._write_node(node)
         # Tighten the path above the node before re-inserting.
         for upper in range(index, 0, -1):
@@ -167,21 +145,3 @@ class TPRStarTree(TPRTree):
             self._write_node(parent)
         for entry in evicted:
             self._insert_entry(entry, level)
-
-    # ------------------------------------------------------------------
-    # Split objective: sweeping volumes instead of projected areas
-    # ------------------------------------------------------------------
-    def _split_cost(self, group_a: Sequence[TPREntry], group_b: Sequence[TPREntry]) -> float:
-        bound_a = MovingRect.bounding((e.bound for e in group_a), self.current_time)
-        bound_b = MovingRect.bounding((e.bound for e in group_b), self.current_time)
-        overlap = bound_a.rect_at(self.current_time).intersection_area(
-            bound_b.rect_at(self.current_time)
-        )
-        overlap_end = bound_a.rect_at(self.current_time + self.horizon).intersection_area(
-            bound_b.rect_at(self.current_time + self.horizon)
-        )
-        return (
-            self._bound_cost(bound_a)
-            + self._bound_cost(bound_b)
-            + 0.5 * self.horizon * (overlap + overlap_end)
-        )

@@ -80,3 +80,26 @@ class Workload:
     def sorted_events(self) -> List[Event]:
         """Events in time order (stable for equal timestamps)."""
         return sorted(self.events, key=lambda e: e.time)
+
+    def grouped_events(self) -> List[List[Event]]:
+        """Sorted events grouped into same-timestamp, same-type batches.
+
+        Each batch is a maximal run of consecutive events that share a
+        timestamp and a type (all updates or all queries), in the same
+        relative order as :meth:`sorted_events` — replaying the batches in
+        sequence is behaviorally identical to replaying the flat stream.
+        Batch replay lets the harness time and account a whole batch at
+        once, and gives indexes a future hook for physically batching
+        same-timestamp operations.
+        """
+        batches: List[List[Event]] = []
+        for event in self.sorted_events():
+            if (
+                batches
+                and batches[-1][0].time == event.time
+                and type(batches[-1][0]) is type(event)
+            ):
+                batches[-1].append(event)
+            else:
+                batches.append([event])
+        return batches

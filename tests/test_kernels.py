@@ -1,0 +1,263 @@
+"""The flat float kernels must agree exactly with the object API.
+
+Every kernel in :mod:`repro.geometry.kernels` re-implements a hot-path
+computation that also exists (or used to exist) as allocating object-API
+code; these tests pin the two against each other on randomized inputs so
+the index refactors cannot silently drift.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry import kernels
+from repro.geometry.moving_rect import MovingRect
+from repro.geometry.rect import Rect
+from repro.geometry.sweep import sweeping_volume_closed_form
+
+
+def random_moving_rect(rng: random.Random, degenerate: bool = False) -> MovingRect:
+    x0 = rng.uniform(-100.0, 100.0)
+    y0 = rng.uniform(-100.0, 100.0)
+    w = 0.0 if degenerate else rng.uniform(0.0, 50.0)
+    h = 0.0 if degenerate else rng.uniform(0.0, 50.0)
+    vx = rng.uniform(-10.0, 10.0)
+    vy = rng.uniform(-10.0, 10.0)
+    return MovingRect(
+        rect=Rect(x0, y0, x0 + w, y0 + h),
+        v_x_min=vx if degenerate else vx - rng.uniform(0.0, 5.0),
+        v_y_min=vy if degenerate else vy - rng.uniform(0.0, 5.0),
+        v_x_max=vx,
+        v_y_max=vy,
+        reference_time=rng.uniform(0.0, 5.0),
+    )
+
+
+def as_extent(bound: MovingRect, time: float) -> kernels.Extent:
+    projected = bound.projected_to(time)
+    return (
+        projected.rect.x_min,
+        projected.rect.y_min,
+        projected.rect.x_max,
+        projected.rect.y_max,
+        projected.v_x_min,
+        projected.v_y_min,
+        projected.v_x_max,
+        projected.v_y_max,
+    )
+
+
+class TestProjectionKernels:
+    def test_project_matches_rect_at(self):
+        rng = random.Random(1)
+        for _ in range(200):
+            bound = random_moving_rect(rng)
+            time = rng.uniform(-5.0, 20.0)
+            rect = bound.rect_at(time)
+            assert kernels.project(bound, time) == (
+                rect.x_min,
+                rect.y_min,
+                rect.x_max,
+                rect.y_max,
+            )
+
+    def test_extent_of_matches_projected_to(self):
+        rng = random.Random(2)
+        for _ in range(200):
+            bound = random_moving_rect(rng)
+            time = bound.reference_time + rng.uniform(0.0, 10.0)
+            assert kernels.extent_of(bound, time) == as_extent(bound, time)
+
+    def test_batch_helpers_match_scalar(self):
+        rng = random.Random(3)
+        bounds = [random_moving_rect(rng) for _ in range(20)]
+        time = 7.0
+        assert kernels.batch_project(bounds, time) == [
+            kernels.project(b, time) for b in bounds
+        ]
+        assert kernels.batch_extents(bounds, time) == [
+            kernels.extent_of(b, time) for b in bounds
+        ]
+        for (cx, cy), b in zip(kernels.batch_centers(bounds, time), bounds):
+            center = b.rect_at(time).center
+            assert cx == pytest.approx(center.x)
+            assert cy == pytest.approx(center.y)
+
+
+class TestBoundKernels:
+    def test_bound_extent_matches_moving_rect_bounding(self):
+        rng = random.Random(4)
+        for _ in range(50):
+            bounds = [random_moving_rect(rng) for _ in range(rng.randint(1, 12))]
+            time = rng.uniform(0.0, 15.0)
+            bound = MovingRect.bounding(bounds, time)
+            assert kernels.bound_extent(bounds, time) == pytest.approx(
+                as_extent(bound, time)
+            )
+
+    def test_bound_extent_empty_raises(self):
+        with pytest.raises(ValueError):
+            kernels.bound_extent([], 0.0)
+
+    def test_bounding_returns_anchored_single_child_unchanged(self):
+        rng = random.Random(5)
+        bound = random_moving_rect(rng)
+        anchored = bound.projected_to(9.0)
+        assert MovingRect.bounding([anchored], 9.0) is anchored
+
+    def test_remove_one_matches_naive_rebounding(self):
+        rng = random.Random(6)
+        for _ in range(30):
+            bounds = [random_moving_rect(rng) for _ in range(rng.randint(2, 10))]
+            time = 3.0
+            extents = kernels.batch_extents(bounds, time)
+            leave_one_out = kernels.remove_one_extents(extents)
+            for index in range(len(bounds)):
+                rest = bounds[:index] + bounds[index + 1 :]
+                assert leave_one_out[index] == pytest.approx(
+                    kernels.bound_extent(rest, time)
+                )
+
+    def test_cumulative_extents_are_prefix_unions(self):
+        rng = random.Random(7)
+        bounds = [random_moving_rect(rng) for _ in range(8)]
+        extents = kernels.batch_extents(bounds, 1.0)
+        prefix = kernels.cumulative_extents(extents)
+        for index in range(len(bounds)):
+            assert prefix[index] == pytest.approx(
+                kernels.bound_extent(bounds[: index + 1], 1.0)
+            )
+
+    def test_intersection_area_now_and_projected(self):
+        a = (0.0, 0.0, 10.0, 10.0, 1.0, 0.0, 1.0, 0.0)
+        b = (8.0, 2.0, 20.0, 8.0, -1.0, 0.0, -1.0, 0.0)
+        assert kernels.intersection_area(a, b) == pytest.approx(2.0 * 6.0)
+        # After 1 time unit a spans [1, 11], b spans [7, 19]: overlap 4 x 6.
+        assert kernels.intersection_area(a, b, 1.0) == pytest.approx(4.0 * 6.0)
+        disjoint = (100.0, 100.0, 110.0, 110.0, 0.0, 0.0, 0.0, 0.0)
+        assert kernels.intersection_area(a, disjoint) == 0.0
+
+
+class TestSweepKernels:
+    def test_sweep_volume_is_the_closed_form(self):
+        rng = random.Random(8)
+        for _ in range(100):
+            args = (
+                rng.uniform(0.0, 50.0),
+                rng.uniform(0.0, 50.0),
+                rng.uniform(-10.0, 10.0),
+                rng.uniform(-10.0, 10.0),
+                rng.uniform(-10.0, 10.0),
+                rng.uniform(-10.0, 10.0),
+                rng.uniform(0.0, 30.0),
+            )
+            assert kernels.sweep_volume(*args) == sweeping_volume_closed_form(*args)
+
+    def test_extent_sweep_volume_matches_enlarged_rect(self):
+        rng = random.Random(9)
+        for _ in range(50):
+            bound = random_moving_rect(rng)
+            ext = kernels.extent_of(bound, 4.0)
+            grow = rng.uniform(0.0, 100.0)
+            expected = kernels.sweep_volume(
+                (ext[2] - ext[0]) + grow,
+                (ext[3] - ext[1]) + grow,
+                ext[4],
+                ext[5],
+                ext[6],
+                ext[7],
+                25.0,
+            )
+            assert kernels.extent_sweep_volume(ext, grow, 25.0) == expected
+
+
+class TestIntersectionKernel:
+    def _kernel_args(self, a: MovingRect, b: MovingRect, start: float, end: float):
+        return (
+            a.rect.x_min,
+            a.rect.y_min,
+            a.rect.x_max,
+            a.rect.y_max,
+            a.v_x_min,
+            a.v_y_min,
+            a.v_x_max,
+            a.v_y_max,
+            a.reference_time,
+            b.rect.x_min,
+            b.rect.y_min,
+            b.rect.x_max,
+            b.rect.y_max,
+            b.v_x_min,
+            b.v_y_min,
+            b.v_x_max,
+            b.v_y_max,
+            b.reference_time,
+            start,
+            end,
+        )
+
+    def test_matches_intersects_during_on_random_pairs(self):
+        rng = random.Random(10)
+        for _ in range(500):
+            a = random_moving_rect(rng, degenerate=rng.random() < 0.5)
+            b = random_moving_rect(rng)
+            start = max(a.reference_time, b.reference_time) + rng.uniform(0.0, 5.0)
+            end = start + rng.uniform(0.0, 10.0)
+            assert kernels.intersects_interval(
+                *self._kernel_args(a, b, start, end)
+            ) == a.intersects_during(b, start, end)
+
+    def test_reference_time_inside_window_falls_back(self):
+        # b's reference time lies inside the query window, exercising the
+        # piecewise (object API) fallback path.
+        a = MovingRect(Rect(0.0, 0.0, 1.0, 1.0), 0.0, 0.0, 0.0, 0.0, 0.0)
+        b = MovingRect(Rect(5.0, 0.0, 6.0, 1.0), -1.0, 0.0, -1.0, 0.0, 2.0)
+        args = self._kernel_args(a, b, 0.0, 10.0)
+        assert kernels.intersects_interval(*args) == a.intersects_during(b, 0.0, 10.0)
+        assert kernels.intersects_interval(*args)
+
+    def test_invalid_interval_raises(self):
+        a = random_moving_rect(random.Random(11))
+        with pytest.raises(ValueError):
+            kernels.intersects_interval(*self._kernel_args(a, a, 9.0, 8.0))
+
+
+class TestSegmentKernels:
+    def test_circle_predicate_matches_dense_sampling(self):
+        rng = random.Random(12)
+        for _ in range(300):
+            px, py = rng.uniform(-20, 20), rng.uniform(-20, 20)
+            vx, vy = rng.uniform(-5, 5), rng.uniform(-5, 5)
+            duration = rng.uniform(0.0, 10.0)
+            cx, cy, radius = rng.uniform(-20, 20), rng.uniform(-20, 20), rng.uniform(0.1, 10)
+            sampled = any(
+                (px + vx * t - cx) ** 2 + (py + vy * t - cy) ** 2 <= radius * radius
+                for t in [duration * i / 200.0 for i in range(201)]
+            )
+            reported = kernels.segment_intersects_circle(
+                px, py, vx, vy, duration, cx, cy, radius
+            )
+            if sampled:
+                assert reported
+            # The exact predicate may be True when sampling narrowly misses a
+            # grazing contact, so only the inclusion above is asserted.
+
+    def test_rect_predicate_matches_dense_sampling(self):
+        rng = random.Random(13)
+        for _ in range(300):
+            px, py = rng.uniform(-20, 20), rng.uniform(-20, 20)
+            vx, vy = rng.uniform(-5, 5), rng.uniform(-5, 5)
+            duration = rng.uniform(0.0, 10.0)
+            x0, y0 = rng.uniform(-20, 10), rng.uniform(-20, 10)
+            x1, y1 = x0 + rng.uniform(0.0, 15.0), y0 + rng.uniform(0.0, 15.0)
+            sampled = any(
+                x0 <= px + vx * t <= x1 and y0 <= py + vy * t <= y1
+                for t in [duration * i / 200.0 for i in range(201)]
+            )
+            reported = kernels.segment_intersects_rect(
+                px, py, vx, vy, duration, x0, y0, x1, y1
+            )
+            if sampled:
+                assert reported

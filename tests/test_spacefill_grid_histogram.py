@@ -131,3 +131,60 @@ class TestVelocityHistogram:
         self.hist.add(Point(1, 1), Vector(-5.0, 0.0))
         self.hist.add(Point(99, 99), Vector(8.0, -1.0))
         assert self.hist.global_extrema() == (-5.0, -1.0, 8.0, 0.0)
+
+
+def _interleave_reference(value: int) -> int:
+    """The original per-bit interleaving loop, kept as the ground truth."""
+    result = 0
+    bit = 0
+    while value:
+        result |= (value & 1) << (2 * bit)
+        value >>= 1
+        bit += 1
+    return result
+
+
+def _deinterleave_reference(value: int) -> int:
+    """The original per-bit de-interleaving loop, kept as the ground truth."""
+    result = 0
+    bit = 0
+    while value:
+        result |= (value & 1) << bit
+        value >>= 2
+        bit += 1
+    return result
+
+
+class TestMagicNumberInterleave:
+    """The constant-time bit spreading must match the old per-bit loops."""
+
+    from repro.bxtree.spacefill import _deinterleave, _interleave
+
+    _interleave = staticmethod(_interleave)
+    _deinterleave = staticmethod(_deinterleave)
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 31) - 1))
+    def test_interleave_matches_reference(self, value):
+        assert self._interleave(value) == _interleave_reference(value)
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 62) - 1))
+    def test_deinterleave_matches_reference(self, value):
+        assert self._deinterleave(value) == _deinterleave_reference(value)
+
+    def test_boundary_values(self):
+        for value in (0, 1, 2, 3, (1 << 31) - 1, 1 << 30):
+            assert self._interleave(value) == _interleave_reference(value)
+            assert self._deinterleave(self._interleave(value)) == value
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=(1 << 31) - 1),
+        st.integers(min_value=0, max_value=(1 << 31) - 1),
+    )
+    def test_zcurve_encode_matches_reference_composition(self, cx, cy):
+        curve = ZCurve(order=31)
+        assert curve.encode(cx, cy) == _interleave_reference(cx) | (
+            _interleave_reference(cy) << 1
+        )

@@ -126,6 +126,31 @@ class TestBufferManager:
         buffer = BufferManager(disk=disk, capacity=2)
         assert buffer.stats is disk.stats
 
+    def test_conflicting_disk_and_stats_raises(self):
+        disk = DiskManager()
+        with pytest.raises(ValueError):
+            BufferManager(disk=disk, capacity=2, stats=IOStats())
+
+    def test_explicit_stats_matching_disk_is_honored(self):
+        disk = DiskManager()
+        buffer = BufferManager(disk=disk, capacity=2, stats=disk.stats)
+        assert buffer.stats is disk.stats
+        page = buffer.new_page("a")
+        buffer.clear()
+        buffer.fetch(page.page_id)
+        # Every physical read lands on the one shared stats object, once.
+        assert buffer.stats.physical.reads == 1
+
+    def test_explicit_stats_without_disk_records_physical_io(self):
+        stats = IOStats()
+        buffer = BufferManager(capacity=2, stats=stats)
+        assert buffer.stats is stats
+        assert buffer.disk.stats is stats
+        page = buffer.new_page("a")
+        buffer.clear()
+        buffer.fetch(page.page_id)
+        assert stats.physical.reads == 1
+
     def test_hit_ratio(self):
         buffer = BufferManager(capacity=4)
         page = buffer.new_page("a")
