@@ -1,19 +1,25 @@
-"""Build/query wall-clock micro-harness tracking the perf trajectory.
+"""Build/replay wall-clock micro-harness tracking the perf trajectory.
 
 Runs the figure-19/20-style build + replay pipeline at bench scale and
-writes ``BENCH_speed.json`` with, per index, the wall-clock seconds of
+appends an entry to the ``BENCH_speed.json`` **history** with, per index,
 
 * the **incremental** build (N root-to-leaf insertions — what the harness
-  did before bulk loading existed),
-* the **bulk** build (:func:`bulk_load` bottom-up packing), and
-* the replay phase (average per-query / per-update milliseconds),
+  did before bulk loading existed) versus the **bulk** build
+  (:func:`bulk_load` bottom-up packing), and
+* the **per-event** replay (one ``update`` / ``range_query`` call per
+  event) versus the **batched** replay (grouped same-window batches through
+  ``update_batch`` / ``range_query_batch``), with per-operation
+  milliseconds, physical I/O and the derived speedups side by side.
 
-so future PRs can diff the numbers instead of guessing.  Run it directly::
+Earlier runs are retained in the history list so PR-over-PR regressions are
+visible instead of being overwritten.  Run it directly::
 
     PYTHONPATH=src python benchmarks/bench_speed.py            # bench scale
     PYTHONPATH=src python benchmarks/bench_speed.py --quick    # CI smoke run
 
-``test_speed_harness.py`` invokes the quick mode as part of the test run.
+``test_speed_harness.py`` invokes the quick mode as part of the test run
+and asserts the two headline claims — bulk loading beats incremental
+building, and batched replay does not lose to per-event replay.
 """
 
 from __future__ import annotations
@@ -54,10 +60,21 @@ def measure(
     params: Optional[WorkloadParameters] = None,
     which: Sequence[str] = STANDARD_INDEXES,
 ) -> Dict[str, object]:
-    """Build every index both ways and replay the event stream once."""
+    """Build every index both ways and replay the event stream both ways."""
     if params is None:
         params = WorkloadParameters(**BENCH_PARAMS)
     workload = build_workload(dataset, params)
+
+    # Warm the process-wide Hilbert encode table so its one-time build cost
+    # does not land inside whichever replay happens to run first.
+    import numpy as np
+
+    from repro.bxtree.bx_tree import DEFAULT_CURVE_ORDER
+    from repro.bxtree.spacefill import HilbertCurve
+
+    HilbertCurve(DEFAULT_CURVE_ORDER).encode_many(
+        np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.int64)
+    )
 
     results: Dict[str, Dict[str, float]] = {}
 
@@ -68,10 +85,23 @@ def measure(
             index.insert(obj)
         results[name] = {"build_incremental_s": time.perf_counter() - started}
 
-    # Bulk ("after") builds plus the full replay for query/update timings.
-    runner = ExperimentRunner(workload)
+    # Per-event replay: the pre-batching execution model.
+    per_event = ExperimentRunner(workload, batch=False)
     for name, index in build_standard_indexes(workload, params, which=which).items():
-        metrics = runner.run(index, name=name)
+        metrics = per_event.run(index, name=name)
+        row = results[name]
+        row["per_event_query_ms"] = metrics.avg_query_time_ms
+        row["per_event_update_ms"] = metrics.avg_update_time_ms
+        row["per_event_query_io"] = metrics.avg_query_io
+        row["per_event_update_io"] = metrics.avg_update_io
+        row["per_event_update_nodes"] = metrics.avg_update_node_accesses
+        row["per_event_results"] = metrics.results_returned
+
+    # Batched replay (grouped batches through the batch execution path),
+    # which also provides the bulk-build timing.
+    batched = ExperimentRunner(workload, batch=True)
+    for name, index in build_standard_indexes(workload, params, which=which).items():
+        metrics = batched.run(index, name=name)
         row = results[name]
         row["build_bulk_s"] = metrics.build_time
         row["build_speedup"] = (
@@ -83,6 +113,19 @@ def measure(
         row["update_ms"] = metrics.avg_update_time_ms
         row["query_io"] = metrics.avg_query_io
         row["update_io"] = metrics.avg_update_io
+        row["update_nodes"] = metrics.avg_update_node_accesses
+        row["results"] = metrics.results_returned
+        row["update_speedup"] = (
+            row["per_event_update_ms"] / metrics.avg_update_time_ms
+            if metrics.avg_update_time_ms > 0.0
+            else float("inf")
+        )
+        row["query_speedup"] = (
+            row["per_event_query_ms"] / metrics.avg_query_time_ms
+            if metrics.avg_query_time_ms > 0.0
+            else float("inf")
+        )
+        row["results_match"] = float(row["results"] == row["per_event_results"])
     return {
         "dataset": dataset,
         "params": {
@@ -99,21 +142,41 @@ def measure(
     }
 
 
+def load_history(path: str) -> List[Dict[str, object]]:
+    """Existing run history at ``path`` (empty when absent).
+
+    The pre-history format — a single snapshot dictionary — is migrated by
+    treating it as the sole prior entry.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return []
+    if isinstance(data, dict) and isinstance(data.get("history"), list):
+        return data["history"]
+    if isinstance(data, dict) and "indexes" in data:
+        return [data]
+    return []
+
+
 def run(
     quick: bool = False,
     output: str = DEFAULT_OUTPUT,
     dataset: str = "SA",
     which: Sequence[str] = STANDARD_INDEXES,
 ) -> Dict[str, object]:
-    """Measure, write ``output``, and return the report."""
+    """Measure, append to the history at ``output``, and return the report."""
     overrides = QUICK_PARAMS if quick else BENCH_PARAMS
     params = WorkloadParameters(**overrides)
     started = time.perf_counter()
     report = measure(dataset=dataset, params=params, which=which)
     report["mode"] = "quick" if quick else "bench"
     report["total_wall_s"] = round(time.perf_counter() - started, 2)
+    history = load_history(output)
+    history.append(report)
     with open(output, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
+        json.dump({"history": history}, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return report
 
@@ -127,9 +190,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     report = run(quick=args.quick, output=args.output, dataset=args.dataset)
     for name, row in report["indexes"].items():
         print(
-            f"{name:10s} build {row['build_incremental_s']:8.3f}s -> "
-            f"{row['build_bulk_s']:7.3f}s ({row['build_speedup']:5.1f}x)  "
-            f"query {row['query_ms']:7.3f}ms  update {row['update_ms']:7.3f}ms"
+            f"{name:10s} build {row['build_incremental_s']:7.3f}s -> "
+            f"{row['build_bulk_s']:6.3f}s ({row['build_speedup']:5.1f}x)  "
+            f"update {row['per_event_update_ms']:7.4f} -> {row['update_ms']:7.4f}ms "
+            f"({row['update_speedup']:4.2f}x)  "
+            f"query {row['per_event_query_ms']:7.3f} -> {row['query_ms']:7.3f}ms "
+            f"({row['query_speedup']:4.2f}x)"
         )
     print(f"wrote {args.output} ({report['total_wall_s']}s total)")
     return 0

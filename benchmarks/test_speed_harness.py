@@ -1,8 +1,13 @@
-"""Quick-mode invocation of the speed micro-harness (satellite of the
-bulk-loading PR): keeps ``bench_speed.py`` exercised on every test run and
-asserts the headline claim — bulk loading beats incremental building — at
-smoke scale.  The bench-scale numbers live in ``BENCH_speed.json`` at the
-repo root; regenerate them with ``python benchmarks/bench_speed.py``.
+"""Quick-mode invocation of the speed micro-harness: keeps
+``bench_speed.py`` exercised on every test run and asserts the two headline
+perf claims at smoke scale —
+
+* bulk loading beats incremental building (bulk-loading PR), and
+* batched replay does not lose to per-event replay, with identical query
+  results (batched-execution PR).
+
+The bench-scale numbers live in the ``BENCH_speed.json`` history at the
+repo root; regenerate/append with ``python benchmarks/bench_speed.py``.
 """
 
 from __future__ import annotations
@@ -12,20 +17,47 @@ import json
 import bench_speed
 
 
-def test_quick_mode_writes_report(tmp_path):
+def test_quick_mode_appends_history(tmp_path):
     output = tmp_path / "BENCH_speed.json"
-    report = bench_speed.run(quick=True, output=str(output))
+    first = bench_speed.run(quick=True, output=str(output))
+    second = bench_speed.run(quick=True, output=str(output))
 
     on_disk = json.loads(output.read_text(encoding="utf-8"))
-    assert on_disk["mode"] == "quick"
-    assert on_disk["indexes"] == report["indexes"]
+    history = on_disk["history"]
+    assert len(history) == 2, "each run must append, not overwrite"
+    assert history[0]["indexes"] == first["indexes"]
+    assert history[1]["indexes"] == second["indexes"]
+    assert all(entry["mode"] == "quick" for entry in history)
 
     for name in ("Bx", "Bx(VP)", "TPR*", "TPR*(VP)"):
-        row = report["indexes"][name]
+        row = second["indexes"][name]
         assert row["build_bulk_s"] > 0.0
         assert row["build_incremental_s"] > 0.0
         assert row["build_speedup"] > 0.0
+        # Batched and per-event replay must return the same query answers.
+        assert row["results_match"] == 1.0, name
+        # Batched replay must not collapse: even with scheduler noise at
+        # smoke scale it stays within a wide band of the per-event path
+        # (the bench-scale history is where the ≥2x Bx-family win lives).
+        assert row["update_speedup"] > 0.6, (name, row["update_speedup"])
     # The TPR*-tree is the pathological incremental builder (forced
     # reinsertions); bulk loading wins by >10x on a quiet machine, so even
     # with heavy scheduling noise it must at least not lose.
-    assert report["indexes"]["TPR*"]["build_speedup"] > 1.0
+    assert second["indexes"]["TPR*"]["build_speedup"] > 1.0
+    # Deterministic (noise-free) form of "batched replay is not slower":
+    # shared descents mean the Bx family touches no more nodes per update
+    # than the per-event path.
+    for name in ("Bx", "Bx(VP)"):
+        row = second["indexes"][name]
+        assert row["update_nodes"] <= row["per_event_update_nodes"], name
+
+
+def test_history_migrates_legacy_snapshot(tmp_path):
+    output = tmp_path / "BENCH_speed.json"
+    legacy = {"mode": "bench", "indexes": {"Bx": {"update_ms": 1.0}}}
+    output.write_text(json.dumps(legacy), encoding="utf-8")
+    report = bench_speed.run(quick=True, output=str(output))
+    history = json.loads(output.read_text(encoding="utf-8"))["history"]
+    assert len(history) == 2
+    assert history[0] == legacy
+    assert history[1]["indexes"] == report["indexes"]

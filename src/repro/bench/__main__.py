@@ -41,16 +41,20 @@ FIGURES: Dict[str, tuple] = {
 
 
 def _run_figure(
-    name: str, dataset: str, params: WorkloadParameters, bulk_build: bool = False
+    name: str,
+    dataset: str,
+    params: WorkloadParameters,
+    bulk_build: bool = False,
+    batch: bool = True,
 ) -> List[dict]:
     if name == "fig18":
         return experiments.fig18_analyzer_overhead(params=params)
     if name == "fig19":
-        return experiments.fig19_datasets(params=params, bulk_build=bulk_build)
+        return experiments.fig19_datasets(params=params, bulk_build=bulk_build, batch=batch)
     _, driver, takes_dataset = FIGURES[name]
     if takes_dataset:
-        return driver(dataset, params, bulk_build=bulk_build)
-    return driver(params=params, bulk_build=bulk_build)
+        return driver(dataset, params, bulk_build=bulk_build, batch=batch)
+    return driver(params=params, bulk_build=bulk_build, batch=batch)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,6 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="build indexes with bulk_load (fast) instead of the paper's "
         "insertion-built measurement protocol",
+    )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="replay events one by one instead of through the grouped "
+        "batch execution path (update_batch / range_query_batch); useful "
+        "for demonstrating both paths of the batched pipeline",
     )
     return parser
 
@@ -99,7 +110,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.makedirs(args.output, exist_ok=True)
     for name in names:
         description = FIGURES[name][0]
-        rows = _run_figure(name, args.dataset, params, bulk_build=args.bulk_build)
+        rows = _run_figure(
+            name,
+            args.dataset,
+            params,
+            bulk_build=args.bulk_build,
+            batch=not args.no_batch,
+        )
         print(format_table(rows, title=f"{name} — {description}"))
         if args.output:
             path = os.path.join(args.output, f"{name}.csv")

@@ -8,13 +8,34 @@ measurable I/O.
 
 Leaves are chained for efficient range scans, which is how the Bx-tree
 enumerates all objects inside a space-filling-curve interval.
+
+Node keys are stored in flat ``array('q')`` buffers (8-byte signed ints)
+with a parallel Python value list on leaves, so searches and splits run
+``bisect``/slice operations over contiguous memory instead of chasing a
+list of boxed ints.
+
+Two call surfaces are exposed, mirroring ``geometry/kernels.py``:
+
+* the **per-operation API** (``insert`` / ``delete`` / ``replace`` /
+  ``range_search``) descends from the root once per call — use it for
+  isolated operations and validated public call sites;
+* the **batch API** (``insert_batch`` / ``delete_batch`` /
+  ``range_search_batch``) sorts its work by key and sweeps the tree left to
+  right, reusing the descent path whenever the next key still belongs to
+  the current leaf — use it whenever several operations arrive together
+  (the Bx-tree's grouped update/query batches), because the shared descents
+  are what turn N root-to-leaf walks into one sweep.
+
+Both surfaces leave identical tree contents for identical inputs; only the
+number of node visits differs.
 """
 
 from __future__ import annotations
 
 import bisect
+from array import array
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bulk import chunk_count, even_chunks
 from repro.storage.buffer_manager import BufferManager
@@ -30,10 +51,31 @@ DEFAULT_LEAF_CAPACITY = entries_per_page(LEAF_ENTRY_BYTES)
 DEFAULT_INTERIOR_CAPACITY = entries_per_page(INTERIOR_ENTRY_BYTES)
 
 
+def _key_array(keys: Iterable[int] = ()) -> array:
+    """Flat 8-byte-int key buffer (the node key representation)."""
+    return array("q", keys)
+
+
+def _cumulative_upper(path: Sequence[Tuple[Any, int]]) -> Optional[int]:
+    """Smallest separator to the right of a descent prefix (None = unbounded).
+
+    Every key strictly below this bound descends through the same child
+    sequence as the recorded path prefix, which is what lets a batch sweep
+    resume from a cached ancestor instead of the root.
+    """
+    upper: Optional[int] = None
+    for node, index in path:
+        if index < len(node.keys):
+            separator = node.keys[index]
+            if upper is None or separator < upper:
+                upper = separator
+    return upper
+
+
 @dataclass
 class _LeafNode:
     page_id: int
-    keys: List[int] = field(default_factory=list)
+    keys: array = field(default_factory=_key_array)
     values: List[Any] = field(default_factory=list)
     next_leaf: Optional[int] = None
     is_leaf: bool = True
@@ -42,7 +84,7 @@ class _LeafNode:
 @dataclass
 class _InteriorNode:
     page_id: int
-    keys: List[int] = field(default_factory=list)  # separator keys, len = len(children) - 1
+    keys: array = field(default_factory=_key_array)  # separators, len = len(children) - 1
     children: List[int] = field(default_factory=list)
     is_leaf: bool = False
 
@@ -146,7 +188,7 @@ class BPlusTree:
         for chunk in even_chunks(items, num_leaves):
             # The pre-allocated root page hosts the first leaf.
             leaf = self._node(self.root_page_id) if previous is None else self._new_leaf()
-            leaf.keys = [key for key, _ in chunk]
+            leaf.keys = _key_array(key for key, _ in chunk)
             leaf.values = [value for _, value in chunk]
             leaf.next_leaf = None
             if previous is not None:
@@ -168,7 +210,7 @@ class BPlusTree:
             for group, group_min_keys in grouped:
                 node = self._new_interior()
                 node.children = group
-                node.keys = group_min_keys[1:]
+                node.keys = _key_array(group_min_keys[1:])
                 self._mark_dirty(node)
                 parents.append(node.page_id)
                 parent_min_keys.append(group_min_keys[0])
@@ -181,16 +223,17 @@ class BPlusTree:
 
     def insert(self, key: int, value: Any) -> None:
         """Insert ``(key, value)``; duplicate keys are allowed."""
-        split = self._insert_into(self.root_page_id, key, value)
-        if split is not None:
-            separator, new_child_id = split
-            new_root = self._new_interior()
-            new_root.keys = [separator]
-            new_root.children = [self.root_page_id, new_child_id]
-            self.root_page_id = new_root.page_id
-            self._height += 1
-            self._mark_dirty(new_root)
-        self.size += 1
+        path, leaf, _ = self._descend_insert(key)
+        self._leaf_insert(path, leaf, key, value)
+
+    def insert_batch(self, pairs: Iterable[Tuple[int, Any]]) -> None:
+        """Insert many pairs in one key-ordered sweep with shared descents.
+
+        The pairs are sorted by key (stably, so duplicates keep their
+        arrival order and the final tree contents match inserting the batch
+        pair by pair in key order); see :meth:`apply_batch` for the sweep.
+        """
+        self.apply_batch((), list(pairs))
 
     def delete(self, key: int, value: Any) -> bool:
         """Delete one entry with ``key`` whose value equals ``value``.
@@ -203,34 +246,187 @@ class BPlusTree:
         Returns:
             True when a matching entry was found and removed.
         """
-        path = self._descend_path(key)
-        leaf: _LeafNode = path[-1][0]
-        index = bisect.bisect_left(leaf.keys, key)
-        while index < len(leaf.keys) and leaf.keys[index] == key:
-            if leaf.values[index] == value:
-                del leaf.keys[index]
-                del leaf.values[index]
+        removed = self._delete_from_leaf(self._descend_delete(key), key, value)
+        if removed:
+            self._collapse_if_needed()
+        return removed
+
+    def delete_batch(self, pairs: Sequence[Tuple[int, Any]]) -> List[bool]:
+        """Delete many ``(key, value)`` pairs in one key-ordered sweep.
+
+        Returns per-pair success flags aligned with the *input* order.  The
+        descent path is shared between adjacent keys exactly as in
+        :meth:`insert_batch`; root collapse (the only structural effect of
+        lazy deletion) is checked once per batch instead of once per pair.
+        """
+        return self.apply_batch(list(pairs), ())[0]
+
+    def apply_batch(
+        self,
+        deletes: Sequence[Tuple[int, Any]],
+        inserts: Sequence[Tuple[int, Any]],
+        upserts: Sequence[Tuple[int, Any, Any]] = (),
+    ) -> Tuple[List[bool], List[bool]]:
+        """Apply a mixed batch of operations in one key-ordered sweep.
+
+        ``deletes`` holds ``(key, value)`` pairs, ``inserts`` ``(key,
+        value)`` pairs, and ``upserts`` ``(key, old_value, new_value)``
+        triples: an upsert replaces ``old_value`` in place when present and
+        degrades to an insertion of ``new_value`` otherwise (the Bx-tree's
+        same-key update).  All three work lists are sorted by key and
+        merged, so the sweep advances monotonically through the leaf chain
+        and every leaf neighbourhood is visited once per batch — operations
+        that target the same region (the common case for a moving-object
+        update whose old and new keys are close) hit the buffer while it is
+        still hot, instead of paying separate passes.
+
+        Descent sharing works at two levels.  While the next key still
+        falls inside the cached leaf, no descent happens at all; when it
+        falls off the leaf but stays under the cached *parent* (whose
+        subtree spans hundreds of key positions at realistic fan-outs), the
+        sweep resumes one level up with a single node visit instead of a
+        full root-to-leaf walk.  Reuse is conservative: ascending keys
+        guarantee the cached ancestors still cover the key, and any split
+        invalidates both cursors so structural changes go through the
+        ordinary machinery.
+
+        Returns ``(delete_flags, upsert_flags)``: per-deletion success and
+        per-upsert replaced-in-place flags, aligned with their inputs.
+        """
+        delete_flags = [False] * len(deletes)
+        upsert_flags = [False] * len(upserts)
+        # One merged work list of (key, kind, index); kind ids keep the sort
+        # stable and cheap.  Relative order among equal keys is irrelevant:
+        # a batch never deletes a value it also inserts.
+        work = sorted(
+            [(key, 0, i) for i, (key, _) in enumerate(deletes)]
+            + [(key, 1, i) for i, (key, _, _) in enumerate(upserts)]
+            + [(key, 2, i) for i, (key, _) in enumerate(inserts)]
+        )
+        # Scan cursor (bisect_left convention) for deletes/upserts, and
+        # insert cursor (bisect_right convention).  Each is (leaf, parent,
+        # parent_upper, leaf_upper); None marks an empty cursor slot.
+        scan_leaf: Optional[_LeafNode] = None
+        scan_parent: Optional[_InteriorNode] = None
+        scan_parent_upper: Optional[int] = None
+        insert_leaf: Optional[_LeafNode] = None
+        insert_upper: Optional[int] = None
+        insert_parent: Optional[_InteriorNode] = None
+        insert_parent_upper: Optional[int] = None
+        any_removed = False
+        leaf_capacity = self.leaf_capacity
+
+        def locate_scan_leaf(key: int) -> _LeafNode:
+            nonlocal scan_leaf, scan_parent, scan_parent_upper
+            # Reuse while the key lies inside the cached leaf: forward reuse
+            # is always correct (ascending keys + the chain walk), but past
+            # the leaf's last key a descent beats walking the cold chain.
+            if scan_leaf is not None and scan_leaf.keys and key <= scan_leaf.keys[-1]:
+                return scan_leaf
+            if scan_parent is not None and (
+                scan_parent_upper is None or key <= scan_parent_upper
+            ):
+                index = bisect.bisect_left(scan_parent.keys, key)
+                scan_leaf = self._node(scan_parent.children[index])
+                return scan_leaf
+            path = self._descend_path(key)
+            scan_leaf = path[-1][0]
+            interior = path[:-1]
+            scan_parent = interior[-1][0] if interior else None
+            scan_parent_upper = _cumulative_upper(interior[:-1])
+            return scan_leaf
+
+        def do_insert(key: int, value: Any) -> None:
+            nonlocal scan_leaf, scan_parent, scan_parent_upper
+            nonlocal insert_leaf, insert_upper, insert_parent, insert_parent_upper
+            leaf = None
+            if insert_leaf is not None and (insert_upper is None or key < insert_upper):
+                leaf = insert_leaf
+            elif insert_parent is not None and (
+                insert_parent_upper is None or key < insert_parent_upper
+            ):
+                index = bisect.bisect_right(insert_parent.keys, key)
+                leaf = self._node(insert_parent.children[index])
+                insert_leaf = leaf
+                insert_upper = (
+                    insert_parent.keys[index]
+                    if index < len(insert_parent.keys)
+                    else insert_parent_upper
+                )
+            if leaf is not None and len(leaf.keys) < leaf_capacity:
+                index = bisect.bisect_right(leaf.keys, key)
+                leaf.keys.insert(index, key)
+                leaf.values.insert(index, value)
                 self._mark_dirty(leaf)
-                self.size -= 1
-                self._collapse_if_needed(path)
-                return True
-            index += 1
-        # The entry may live in a subsequent leaf when duplicates span pages.
-        # Empty leaves (left behind by lazy deletion) are skipped, not treated
-        # as the end of the duplicate run.
-        next_id = leaf.next_leaf
-        while next_id is not None:
-            leaf = self._node(next_id)
-            if leaf.keys and leaf.keys[0] > key:
-                break
-            for i, (k, v) in enumerate(zip(leaf.keys, leaf.values)):
-                if k == key and v == value:
-                    del leaf.keys[i]
-                    del leaf.values[i]
+                self.size += 1
+                return
+            # Cursor miss, or the target leaf is full and the (possible)
+            # split needs the complete root-to-leaf path: descend fully.
+            path, leaf, upper = self._descend_insert(key)
+            if self._leaf_insert(path, leaf, key, value):
+                # The split restructured interior nodes; both cursors may
+                # reference stale subtree boundaries, so drop them.
+                scan_leaf = scan_parent = None
+                scan_parent_upper = None
+                insert_leaf = insert_parent = None
+                insert_upper = insert_parent_upper = None
+            else:
+                insert_leaf, insert_upper = leaf, upper
+                insert_parent = path[-1][0] if path else None
+                insert_parent_upper = _cumulative_upper(path[:-1])
+
+        for key, kind, index in work:
+            if kind == 2:
+                do_insert(key, inserts[index][1])
+            elif kind == 0:
+                if self._delete_from_leaf(locate_scan_leaf(key), key, deletes[index][1]):
+                    delete_flags[index] = True
+                    any_removed = True
+            else:
+                _, old_value, new_value = upserts[index]
+                if self._replace_from_leaf(locate_scan_leaf(key), key, old_value, new_value):
+                    upsert_flags[index] = True
+                else:
+                    do_insert(key, new_value)
+        if any_removed:
+            self._collapse_if_needed()
+        return delete_flags, upsert_flags
+
+    def replace(self, key: int, old_value: Any, new_value: Any) -> bool:
+        """Replace the value of one ``(key, old_value)`` entry in place.
+
+        This is the Bx-tree same-key update fast path: when an object's new
+        snapshot maps to the same Bx key, one descent suffices where
+        ``delete`` + ``insert`` would pay two.  The entry keeps its position
+        among duplicates of ``key``.
+
+        Returns:
+            True when a matching entry was found and replaced.
+        """
+        return self._replace_from_leaf(
+            self._descend_delete(key), key, old_value, new_value
+        )
+
+    def _replace_from_leaf(
+        self, leaf: _LeafNode, key: int, old_value: Any, new_value: Any
+    ) -> bool:
+        """Replace one ``(key, old_value)`` entry starting at ``leaf`` (chain-walks)."""
+        index = bisect.bisect_left(leaf.keys, key)
+        while leaf is not None:
+            while index < len(leaf.keys) and leaf.keys[index] == key:
+                if leaf.values[index] == old_value:
+                    leaf.values[index] = new_value
                     self._mark_dirty(leaf)
-                    self.size -= 1
                     return True
-            next_id = leaf.next_leaf
+                index += 1
+            # Duplicates may continue in later leaves; empty leaves (lazy
+            # deletion) are skipped rather than treated as the end.
+            if index < len(leaf.keys) or leaf.next_leaf is None:
+                return False
+            leaf = self._node(leaf.next_leaf)
+            if leaf.keys and leaf.keys[0] > key:
+                return False
+            index = bisect.bisect_left(leaf.keys, key)
         return False
 
     def search(self, key: int) -> List[Any]:
@@ -252,6 +448,41 @@ class BPlusTree:
             if leaf.next_leaf is None:
                 break
             leaf = self._node(leaf.next_leaf)
+        return results
+
+    def range_search_batch(
+        self, ranges: Sequence[Tuple[int, int]]
+    ) -> List[List[Tuple[int, Any]]]:
+        """Run many inclusive range scans in one left-to-right sweep.
+
+        Results are aligned with the input order.  The ranges are visited
+        sorted by lower bound; when the next range starts inside the leaf
+        where the previous scan ended, the root-to-leaf descent is skipped
+        and the scan continues from that leaf.  Each individual scan visits
+        exactly the leaves :meth:`range_search` would, so candidate order
+        per range is identical — only shared descents are saved.
+        """
+        results: List[List[Tuple[int, Any]]] = [[] for _ in ranges]
+        order = sorted(range(len(ranges)), key=lambda i: ranges[i][0])
+        leaf: Optional[_LeafNode] = None
+        for i in order:
+            key_lo, key_hi = ranges[i]
+            if key_hi < key_lo:
+                continue
+            if leaf is None or not leaf.keys or not leaf.keys[0] < key_lo <= leaf.keys[-1]:
+                leaf = self._descend_path(key_lo)[-1][0]
+            out = results[i]
+            node: Optional[_LeafNode] = leaf
+            while node is not None:
+                keys = node.keys
+                start = bisect.bisect_left(keys, key_lo)
+                stop = bisect.bisect_right(keys, key_hi)
+                for j in range(start, stop):
+                    out.append((keys[j], node.values[j]))
+                if stop < len(keys) or node.next_leaf is None:
+                    break
+                node = self._node(node.next_leaf)
+            leaf = node if node is not None else leaf
         return results
 
     def items(self) -> Iterator[Tuple[int, Any]]:
@@ -281,28 +512,100 @@ class BPlusTree:
         path.append((node, -1))
         return path
 
-    def _insert_into(self, page_id: int, key: int, value: Any) -> Optional[Tuple[int, int]]:
-        """Insert recursively; returns ``(separator, new_page_id)`` on split."""
-        node = self._node(page_id)
-        if node.is_leaf:
+    def _descend_insert(
+        self, key: int
+    ) -> Tuple[List[Tuple[_InteriorNode, int]], _LeafNode, Optional[int]]:
+        """Descend for an insertion of ``key`` (``bisect_right`` convention).
+
+        Returns ``(path, leaf, upper)`` where ``path`` holds the interior
+        ``(node, child_index)`` pairs and ``upper`` is the smallest
+        separator to the right of the descent — an insertion of any key
+        strictly below ``upper`` provably lands in the same leaf, which is
+        the invariant the batch sweep uses to reuse the path.
+        """
+        path: List[Tuple[_InteriorNode, int]] = []
+        node = self._node(self.root_page_id)
+        upper: Optional[int] = None
+        while not node.is_leaf:
             index = bisect.bisect_right(node.keys, key)
-            node.keys.insert(index, key)
-            node.values.insert(index, value)
+            if index < len(node.keys):
+                separator = node.keys[index]
+                if upper is None or separator < upper:
+                    upper = separator
+            path.append((node, index))
+            node = self._node(node.children[index])
+        return path, node, upper
+
+    def _descend_delete(self, key: int) -> _LeafNode:
+        """Descend to the leftmost leaf for ``key`` (``bisect_left`` convention)."""
+        node = self._node(self.root_page_id)
+        while not node.is_leaf:
+            node = self._node(node.children[bisect.bisect_left(node.keys, key)])
+        return node
+
+    def _leaf_insert(
+        self,
+        path: List[Tuple[_InteriorNode, int]],
+        leaf: _LeafNode,
+        key: int,
+        value: Any,
+    ) -> bool:
+        """Insert into a located leaf; returns True when a split occurred."""
+        index = bisect.bisect_right(leaf.keys, key)
+        leaf.keys.insert(index, key)
+        leaf.values.insert(index, value)
+        self._mark_dirty(leaf)
+        self.size += 1
+        if len(leaf.keys) > self.leaf_capacity:
+            self._split_up(path, leaf)
+            return True
+        return False
+
+    def _split_up(self, path: List[Tuple[_InteriorNode, int]], leaf: _LeafNode) -> None:
+        """Split an overfull leaf and propagate splits up the recorded path."""
+        separator, new_child_id = self._split_leaf(leaf)
+        for node, child_index in reversed(path):
+            node.keys.insert(child_index, separator)
+            node.children.insert(child_index + 1, new_child_id)
             self._mark_dirty(node)
-            if len(node.keys) > self.leaf_capacity:
-                return self._split_leaf(node)
-            return None
-        child_index = bisect.bisect_right(node.keys, key)
-        split = self._insert_into(node.children[child_index], key, value)
-        if split is None:
-            return None
-        separator, new_child_id = split
-        node.keys.insert(child_index, separator)
-        node.children.insert(child_index + 1, new_child_id)
-        self._mark_dirty(node)
-        if len(node.children) > self.interior_capacity:
-            return self._split_interior(node)
-        return None
+            if len(node.children) <= self.interior_capacity:
+                return
+            separator, new_child_id = self._split_interior(node)
+        new_root = self._new_interior()
+        new_root.keys = _key_array((separator,))
+        new_root.children = [self.root_page_id, new_child_id]
+        self.root_page_id = new_root.page_id
+        self._height += 1
+        self._mark_dirty(new_root)
+
+    def _delete_from_leaf(self, leaf: _LeafNode, key: int, value: Any) -> bool:
+        """Remove one ``(key, value)`` entry starting at ``leaf`` (chain-walks)."""
+        index = bisect.bisect_left(leaf.keys, key)
+        while index < len(leaf.keys) and leaf.keys[index] == key:
+            if leaf.values[index] == value:
+                del leaf.keys[index]
+                del leaf.values[index]
+                self._mark_dirty(leaf)
+                self.size -= 1
+                return True
+            index += 1
+        # The entry may live in a subsequent leaf when duplicates span pages.
+        # Empty leaves (left behind by lazy deletion) are skipped, not treated
+        # as the end of the duplicate run.
+        next_id = leaf.next_leaf
+        while next_id is not None:
+            leaf = self._node(next_id)
+            if leaf.keys and leaf.keys[0] > key:
+                break
+            for i, (k, v) in enumerate(zip(leaf.keys, leaf.values)):
+                if k == key and v == value:
+                    del leaf.keys[i]
+                    del leaf.values[i]
+                    self._mark_dirty(leaf)
+                    self.size -= 1
+                    return True
+            next_id = leaf.next_leaf
+        return False
 
     def _split_leaf(self, leaf: _LeafNode) -> Tuple[int, int]:
         sibling = self._new_leaf()
@@ -329,7 +632,7 @@ class BPlusTree:
         self._mark_dirty(sibling)
         return separator, sibling.page_id
 
-    def _collapse_if_needed(self, path: List[Tuple[Any, int]]) -> None:
+    def _collapse_if_needed(self) -> None:
         """Shrink the tree when the root has a single child and no keys."""
         root = self._node(self.root_page_id)
         while not root.is_leaf and len(root.children) == 1:

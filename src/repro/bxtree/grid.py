@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Tuple
 
+import numpy as np
+
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 
@@ -46,6 +48,26 @@ class Grid:
         cx = min(max(cx, 0), self.cells_x - 1)
         cy = min(max(cy, 0), self.cells_y - 1)
         return cx, cy
+
+    def cells_of_arrays(
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`cell_of` over coordinate arrays (clamped)."""
+        cx = ((xs - self.space.x_min) / self.cell_width).astype(np.int64)
+        cy = ((ys - self.space.y_min) / self.cell_height).astype(np.int64)
+        # minimum/maximum instead of np.clip: same result, less per-call
+        # overhead (np.clip re-validates its bounds on every invocation).
+        np.minimum(cx, self.cells_x - 1, out=cx)
+        np.maximum(cx, 0, out=cx)
+        np.minimum(cy, self.cells_y - 1, out=cy)
+        np.maximum(cy, 0, out=cy)
+        return cx, cy
+
+    def cell_span(self, rect: Rect) -> Tuple[int, int, int, int]:
+        """Inclusive cell-index span ``(lo_x, lo_y, hi_x, hi_y)`` covering ``rect``."""
+        lo_x, lo_y = self.cell_of(Point(rect.x_min, rect.y_min))
+        hi_x, hi_y = self.cell_of(Point(rect.x_max, rect.y_max))
+        return lo_x, lo_y, hi_x, hi_y
 
     def cell_rect(self, cx: int, cy: int) -> Rect:
         """The rectangle covered by cell ``(cx, cy)``."""

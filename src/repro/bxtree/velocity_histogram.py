@@ -35,12 +35,17 @@ class VelocityHistogram:
         self._max_vy = np.zeros(shape)
         self._min_vy = np.zeros(shape)
         self._count = np.zeros(shape, dtype=np.int64)
+        #: Monotone change counter; bumped by every mutation so derived
+        #: values (the global extrema below) can be cached safely.
+        self._version = 0
+        self._global_extrema_cache: Optional[Tuple[int, Tuple[float, float, float, float]]] = None
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def add(self, position: Point, velocity: Vector) -> None:
         """Record an object's velocity in the cell of its position."""
+        self._version += 1
         cx, cy = self.grid.cell_of(position)
         if self._count[cx, cy] == 0:
             self._max_vx[cx, cy] = velocity.vx
@@ -56,12 +61,62 @@ class VelocityHistogram:
 
     def remove(self, position: Point) -> None:
         """Note the departure of an object (extrema are kept conservatively)."""
+        self._version += 1
         cx, cy = self.grid.cell_of(position)
         if self._count[cx, cy] > 0:
             self._count[cx, cy] -= 1
 
+    def add_batch(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        vxs: np.ndarray,
+        vys: np.ndarray,
+    ) -> None:
+        """Vectorized :meth:`add` over parallel position/velocity arrays.
+
+        A cell that is empty when the batch arrives takes its extrema from
+        the batch alone (the reset branch of :meth:`add`), while occupied
+        cells union the new velocities in.  Note one deliberate divergence
+        from interleaved scalar replay: when a batch both empties a cell
+        and repopulates it, the batched remove-then-add order always takes
+        the reset branch, whereas some scalar interleavings would have
+        unioned into the stale (wider) extrema first.  The batched state is
+        the *tighter* of the two and still covers every live occupant, so
+        query enlargement stays conservative and exact answers are
+        unaffected — only candidate counts can shrink.
+        """
+        if xs.size == 0:
+            return
+        self._version += 1
+        cx, cy = self.grid.cells_of_arrays(xs, ys)
+        empty = self._count[cx, cy] == 0
+        if empty.any():
+            ecx, ecy = cx[empty], cy[empty]
+            # Sentinels: every reset cell receives at least one add below.
+            self._max_vx[ecx, ecy] = -np.inf
+            self._min_vx[ecx, ecy] = np.inf
+            self._max_vy[ecx, ecy] = -np.inf
+            self._min_vy[ecx, ecy] = np.inf
+        cells = (cx, cy)
+        np.maximum.at(self._max_vx, cells, vxs)
+        np.minimum.at(self._min_vx, cells, vxs)
+        np.maximum.at(self._max_vy, cells, vys)
+        np.minimum.at(self._min_vy, cells, vys)
+        np.add.at(self._count, cells, 1)
+
+    def remove_batch(self, xs: np.ndarray, ys: np.ndarray) -> None:
+        """Vectorized :meth:`remove` (counts never drop below zero)."""
+        if xs.size == 0:
+            return
+        self._version += 1
+        cx, cy = self.grid.cells_of_arrays(xs, ys)
+        np.subtract.at(self._count, (cx, cy), 1)
+        np.maximum(self._count, 0, out=self._count)
+
     def rebuild(self, entries: Iterable[Tuple[Point, Vector]]) -> None:
         """Recompute the histogram from scratch from the live objects."""
+        self._version += 1
         self._max_vx.fill(0.0)
         self._min_vx.fill(0.0)
         self._max_vy.fill(0.0)
@@ -93,8 +148,18 @@ class VelocityHistogram:
         return (min_vx, min_vy, max_vx, max_vy)
 
     def global_extrema(self) -> Tuple[float, float, float, float]:
-        """Extrema over the whole data space."""
-        return self.extrema_in(self.grid.space)
+        """Extrema over the whole data space.
+
+        Cached per histogram version: query enlargement reads the global
+        extrema once per partition per query, so between updates this turns
+        a full-grid masked reduction into a tuple lookup.
+        """
+        cached = self._global_extrema_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        extrema = self.extrema_in(self.grid.space)
+        self._global_extrema_cache = (self._version, extrema)
+        return extrema
 
     @property
     def total_objects(self) -> int:

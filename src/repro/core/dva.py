@@ -52,11 +52,25 @@ class CoordinateFrame:
         return Vector(vector.dot(self.axis), vector.dot(self.normal))
 
     def to_frame_object(self, obj: MovingObject) -> MovingObject:
-        """Express a moving object in the frame's coordinates."""
+        """Express a moving object in the frame's coordinates.
+
+        Inlines the rotation arithmetic (bit-identical to the point/vector
+        helpers) because this sits on the index manager's per-object update
+        path, where the intermediate ``Vector`` allocations are measurable.
+        """
+        ax, ay = self.axis.vx, self.axis.vy
+        position = obj.position
+        velocity = obj.velocity
         return MovingObject(
             oid=obj.oid,
-            position=self.to_frame_point(obj.position),
-            velocity=self.to_frame_vector(obj.velocity),
+            position=Point(
+                position.x * ax + position.y * ay,
+                position.x * -ay + position.y * ax,
+            ),
+            velocity=Vector(
+                velocity.vx * ax + velocity.vy * ay,
+                velocity.vx * -ay + velocity.vy * ax,
+            ),
             reference_time=obj.reference_time,
         )
 

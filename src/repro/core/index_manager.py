@@ -23,7 +23,7 @@ and :class:`~repro.bxtree.BxTree`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Protocol, Sequence
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.core.dva import CoordinateFrame
 from repro.core.velocity_analyzer import VelocityPartitioning
@@ -176,6 +176,73 @@ class IndexManager:
         self.delete(new.oid)
         return self.insert(new)
 
+    def update_batch(self, objects: Sequence[MovingObject]) -> List[int]:
+        """Apply a batch of updates; returns the partition chosen per object.
+
+        The batch is classified in one vectorized pass (perpendicular
+        distances to every DVA for the whole batch at once instead of N
+        scalar loops), rotated into its target frames, and grouped by
+        partition, so each underlying index receives one batched call:
+        same-partition updates go through the index's ``update_batch``
+        (where the Bx-tree collapses same-key updates into in-place
+        replacements), migrations become one grouped ``delete_batch`` per
+        source partition and one grouped ``insert_batch`` per target.
+        Directory state ends up exactly as under pair-by-pair ``update``.
+        """
+        objects = list(objects)
+        if not objects:
+            return []
+        oids = [obj.oid for obj in objects]
+        if len(objects) == 1 or len(set(oids)) != len(oids):
+            # Repeated oids: relative order matters, take the scalar path.
+            return [self.update(obj) for obj in objects]
+        assigned = self.partitioning.partition_for_batch(
+            [obj.velocity for obj in objects]
+        )
+        partitions = [
+            OUTLIER_PARTITION if partition is None else partition
+            for partition in assigned
+        ]
+        same: Dict[int, List[Tuple[MovingObject, MovingObject]]] = {}
+        deletes: Dict[int, List[MovingObject]] = {}
+        inserts: Dict[int, List[MovingObject]] = {}
+        for obj, partition in zip(objects, partitions):
+            record = self._directory.get(obj.oid)
+            stored = self._transform_object(obj, partition)
+            if record is not None and record.partition == partition:
+                same.setdefault(partition, []).append((record.stored, stored))
+            else:
+                if record is not None:
+                    deletes.setdefault(record.partition, []).append(record.stored)
+                inserts.setdefault(partition, []).append(stored)
+            self._directory[obj.oid] = _StoredObject(
+                partition=partition, original=obj, stored=stored
+            )
+        # One mixed batch per touched index: its deletions (migrations out),
+        # insertions (migrations in) and same-partition updates run in a
+        # single sweep instead of three.
+        for partition in sorted(set(same) | set(deletes) | set(inserts)):
+            index = self._index_of(partition)
+            batch_apply = getattr(index, "apply_batch", None)
+            group_deletes = deletes.get(partition, [])
+            group_inserts = inserts.get(partition, [])
+            group_updates = same.get(partition, [])
+            if batch_apply is not None:
+                batch_apply(
+                    deletes=group_deletes,
+                    inserts=group_inserts,
+                    updates=group_updates,
+                )
+                continue
+            for stored in group_deletes:
+                index.delete(stored)
+            for old_stored, new_stored in group_updates:
+                index.delete(old_stored)
+                index.insert(new_stored)
+            for stored in group_inserts:
+                index.insert(stored)
+        return partitions
+
     # ------------------------------------------------------------------
     # Queries (Algorithm 3)
     # ------------------------------------------------------------------
@@ -189,6 +256,40 @@ class IndexManager:
             self._filter_into(candidates, query, seen, results)
         candidates = self.outlier_index.range_query(query, exact=False)
         self._filter_into(candidates, query, seen, results)
+        return results
+
+    def range_query_batch(self, queries: Sequence[RangeQuery]) -> List[List[int]]:
+        """Algorithm 3 over a whole query batch; results align with the input.
+
+        The loop nesting is inverted relative to :meth:`range_query`: each
+        DVA rotates every query of the batch once and hands the whole group
+        to the sub-index's ``range_query_batch`` (shared descents /
+        traversals), with per-query exact filtering preserving exactly the
+        per-query answers and answer order of the scalar method.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        results: List[List[int]] = [[] for _ in queries]
+        seen: List[set] = [set() for _ in queries]
+
+        def run(index: MovingObjectIndex, transformed: List[RangeQuery]) -> None:
+            batch = getattr(index, "range_query_batch", None)
+            if batch is not None:
+                candidate_lists = batch(transformed, exact=False)
+            else:
+                candidate_lists = [
+                    index.range_query(query, exact=False) for query in transformed
+                ]
+            for qi, candidates in enumerate(candidate_lists):
+                self._filter_into(candidates, queries[qi], seen[qi], results[qi])
+
+        for partition in range(self.partitioning.k):
+            run(
+                self._index_of(partition),
+                [self.transform_query(query, partition) for query in queries],
+            )
+        run(self.outlier_index, queries)
         return results
 
     def transform_query(self, query: RangeQuery, partition: int) -> RangeQuery:

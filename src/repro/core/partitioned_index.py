@@ -14,7 +14,7 @@ biased by extra RAM.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.bxtree.bx_tree import (
     DEFAULT_CURVE_ORDER,
@@ -77,9 +77,35 @@ class VPIndex:
         self.manager.update(new)
         return existed
 
+    def update_batch(self, pairs: Sequence[Tuple[MovingObject, MovingObject]]) -> int:
+        """Batched :meth:`update`; returns how many old snapshots existed.
+
+        Classification, frame rotation and routing for the whole batch run
+        in one pass through the manager (see
+        :meth:`~repro.core.index_manager.IndexManager.update_batch`).
+        """
+        pairs = list(pairs)
+        oids = [old.oid for old, _ in pairs]
+        if len(set(oids)) != len(oids):
+            # Repeated oids: a later pair's existence depends on an earlier
+            # pair's insert, so the count must be evaluated sequentially.
+            return sum(1 for old, new in pairs if self.update(old, new))
+        existed = sum(
+            1 for old, _ in pairs if self.manager.partition_of(old.oid) is not None
+        )
+        self.manager.update_batch([new for _, new in pairs])
+        return existed
+
     def range_query(self, query: RangeQuery, exact: bool = True) -> List[int]:
         del exact  # the VP query algorithm always applies the exact filter
         return self.manager.range_query(query)
+
+    def range_query_batch(
+        self, queries: Sequence[RangeQuery], exact: bool = True
+    ) -> List[List[int]]:
+        """Batched :meth:`range_query`; per-query results align with the input."""
+        del exact  # the VP query algorithm always applies the exact filter
+        return self.manager.range_query_batch(list(queries))
 
     def __len__(self) -> int:
         return len(self.manager)

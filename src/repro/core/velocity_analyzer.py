@@ -12,6 +12,8 @@ import time as _time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.dva import DominantVelocityAxis
 from repro.core.outlier import DEFAULT_TAU_HISTOGRAM_BUCKETS, optimal_tau
 from repro.core.pc_kmeans import find_dvas
@@ -57,6 +59,31 @@ class VelocityPartitioning:
         if best_distance <= self.dvas[best_index].tau:
             return best_index
         return None
+
+    def partition_for_batch(self, velocities: Sequence[Vector]) -> List[Optional[int]]:
+        """Vectorized :meth:`partition_for` over a whole velocity batch.
+
+        One pass over flat arrays replaces N scalar axis-distance loops:
+        the perpendicular speed against every DVA is evaluated with numpy
+        cross products, the closest axis selected per point, and the τ test
+        applied, producing exactly the per-point results of the scalar
+        method (``None`` marks the outlier partition).
+        """
+        n = len(velocities)
+        if n == 0:
+            return []
+        vx = np.fromiter((v.vx for v in velocities), np.float64, n)
+        vy = np.fromiter((v.vy for v in velocities), np.float64, n)
+        distances = np.empty((len(self.dvas), n))
+        for index, dva in enumerate(self.dvas):
+            axis = dva.axis.normalized()
+            # Perpendicular speed = |v x axis| for a unit axis.
+            distances[index] = np.abs(vx * axis.vy - vy * axis.vx)
+        best = distances.argmin(axis=0)
+        best_distance = distances[best, np.arange(n)]
+        taus = np.fromiter((dva.tau for dva in self.dvas), np.float64, len(self.dvas))
+        inlier = best_distance <= taus[best]
+        return [int(b) if ok else None for b, ok in zip(best, inlier)]
 
 
 class VelocityAnalyzer:

@@ -11,12 +11,26 @@ overrides the hooks with the sweeping-region cost model of Tao et al.
 Every node lives on one simulated disk page and every node visit goes
 through the buffer manager, so the physical-I/O counters reflect exactly
 what the paper measures.
+
+**Per-object versus batch API.**  Mirroring ``geometry/kernels.py``, the
+tree exposes the per-object protocol (``insert`` / ``delete`` / ``update``
+/ ``range_query``) plus a batch surface (``insert_batch`` / ``delete_batch``
+/ ``update_batch`` / ``range_query_batch``) for co-arriving operations.  A
+batch advances the clock once, then replays its operations in
+projected-position order, so consecutive operations descend through the
+same subtrees while their pages are still buffered; a query batch runs as
+one shared traversal that visits each node once for all queries that need
+it.  Results are identical to applying the operations one by one.  (A
+deferred once-per-node bound-tightening variant was measured and rejected:
+under the paper's small-buffer protocol the end-of-batch re-tightening
+pass re-reads cold pages and *raises* physical update I/O by ~25-70%,
+while the spatial sort alone keeps I/O at or below the per-object path.)
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bulk import chunk_count, even_chunks
 from repro.geometry import kernels
@@ -231,6 +245,10 @@ class TPRTree:
             True when the object was found and removed.
         """
         self.current_time = max(self.current_time, obj.reference_time)
+        return self._delete_one(obj)
+
+    def _delete_one(self, obj: MovingObject) -> bool:
+        """Delete at the already-advanced clock (shared by both surfaces)."""
         target = obj.position_at(self.current_time)
         path = self._find_leaf_path(self.root_page_id, obj.oid, target, [])
         if path is None:
@@ -250,6 +268,117 @@ class TPRTree:
         removed = self.delete(old)
         self.insert(new)
         return removed
+
+    # ------------------------------------------------------------------
+    # Batch API (space-ordered replay)
+    # ------------------------------------------------------------------
+    def _spatial_order(self, objects: Sequence[MovingObject]) -> List[int]:
+        """Input indexes sorted by position projected to the (advanced) clock.
+
+        Consecutive operations on nearby objects descend through the same
+        subtrees, which is what keeps their pages buffered across the batch
+        under the paper's small-buffer protocol.
+        """
+        t = self.current_time
+
+        def projected(index: int):
+            obj = objects[index]
+            return (
+                obj.position.x + obj.velocity.vx * (t - obj.reference_time),
+                obj.position.y + obj.velocity.vy * (t - obj.reference_time),
+            )
+
+        return sorted(range(len(objects)), key=projected)
+
+    def delete_batch(self, objects: Sequence[MovingObject]) -> List[bool]:
+        """Delete a batch of snapshots in one space-ordered sweep.
+
+        Returns per-object success flags aligned with the input order.
+        Every deletion goes through the ordinary machinery (containment
+        search, underflow condense, orphan reinsertion); the batch advances
+        the clock once and orders the work spatially.
+        """
+        objects = list(objects)
+        if not objects:
+            return []
+        if len(objects) == 1:
+            return [self.delete(objects[0])]
+        self.current_time = max(
+            self.current_time, max(o.reference_time for o in objects)
+        )
+        flags = [False] * len(objects)
+        for index in self._spatial_order(objects):
+            flags[index] = self._delete_one(objects[index])
+        return flags
+
+    def insert_batch(self, objects: Sequence[MovingObject]) -> None:
+        """Insert a batch of snapshots in one space-ordered sweep.
+
+        Splits and (for the TPR*-tree) forced reinsertions behave exactly
+        as in per-object insertion — only the replay order and the single
+        clock advance differ.
+        """
+        objects = list(objects)
+        if not objects:
+            return
+        if len(objects) == 1:
+            return self.insert(objects[0])
+        self.current_time = max(
+            self.current_time, max(o.reference_time for o in objects)
+        )
+        for index in self._spatial_order(objects):
+            self.insert(objects[index])
+
+    def update_batch(self, pairs: Sequence[Tuple[MovingObject, MovingObject]]) -> int:
+        """Apply a batch of updates; returns how many old snapshots existed.
+
+        Runs one batched deletion phase followed by one batched insertion
+        phase.  With distinct object ids per batch the two phases commute
+        with the pair-by-pair order, so the stored object set (and every
+        query answer) matches sequential replay.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return 0
+        if len(pairs) == 1:
+            return 1 if self.update(pairs[0][0], pairs[0][1]) else 0
+        oids = [old.oid for old, _ in pairs]
+        if len(set(oids)) != len(oids):
+            # Same object updated twice in one batch: order matters, fall
+            # back to the sequential path.
+            return sum(1 for old, new in pairs if self.update(old, new))
+        self.current_time = max(
+            self.current_time,
+            max(max(o.reference_time, n.reference_time) for o, n in pairs),
+        )
+        flags = self.delete_batch([old for old, _ in pairs])
+        self.insert_batch([new for _, new in pairs])
+        return sum(flags)
+
+    def apply_batch(
+        self,
+        deletes: Sequence[MovingObject] = (),
+        inserts: Sequence[MovingObject] = (),
+        updates: Sequence[Tuple[MovingObject, MovingObject]] = (),
+    ) -> Tuple[List[bool], int]:
+        """Apply a mixed batch: one deletion phase, then one insertion phase.
+
+        Update pairs contribute their old snapshot to the deletion phase and
+        their new snapshot to the insertion phase (they must not repeat an
+        object id within one batch).  Returns ``(delete_flags,
+        updates_removed)`` mirroring the Bx-tree's ``apply_batch``.
+        """
+        deletes = list(deletes)
+        updates = list(updates)
+        flags = self.delete_batch(deletes + [old for old, _ in updates])
+        self.insert_batch(list(inserts) + [new for _, new in updates])
+        return flags[: len(deletes)], sum(flags[len(deletes):])
+
+    def _tighten_parent(self, parent: TPRNode, child: TPRNode) -> None:
+        """Refresh ``parent``'s bound entry for ``child`` from its live entries."""
+        parent_entry = parent.find_entry_for_child(child.page_id)
+        parent_entry.bound = child.bound(self.current_time)
+        self._write_node(parent)
 
     def range_query(self, query: RangeQuery, exact: bool = True) -> List[int]:
         """Object ids qualifying for ``query``.
@@ -280,6 +409,95 @@ class TPRTree:
             ):
                 results.append(oid)
         return results
+
+    def range_query_batch(
+        self, queries: Sequence[RangeQuery], exact: bool = True
+    ) -> List[List[int]]:
+        """Answer a batch of queries in one shared traversal.
+
+        The tree is walked once; at every node each entry is tested against
+        all queries still active for that subtree, so a node needed by
+        several queries of the batch is fetched a single time.  Per-query
+        candidate order (and therefore the result list) is identical to
+        running :meth:`range_query` per query.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        if len(queries) == 1:
+            return [self.range_query(queries[0], exact=exact)]
+        infos = []
+        for query in queries:
+            query_rect = query.as_moving_rect()
+            rect = query_rect.rect
+            infos.append(
+                (
+                    rect.x_min,
+                    rect.y_min,
+                    rect.x_max,
+                    rect.y_max,
+                    query_rect.v_x_min,
+                    query_rect.v_y_min,
+                    query_rect.v_x_max,
+                    query_rect.v_y_max,
+                    query_rect.reference_time,
+                    query.start_time,
+                    query.end_time,
+                )
+            )
+        candidates: List[List[Tuple[int, MovingRect]]] = [[] for _ in queries]
+        self._search_many(self.root_page_id, list(range(len(queries))), infos, candidates)
+        results: List[List[int]] = []
+        for query, found in zip(queries, candidates):
+            if not exact:
+                results.append([oid for oid, _ in found])
+                continue
+            kept: List[int] = []
+            for oid, bound in found:
+                rect = bound.rect
+                if query.matches_motion(
+                    rect.x_min,
+                    rect.y_min,
+                    bound.v_x_min,
+                    bound.v_y_min,
+                    bound.reference_time,
+                ):
+                    kept.append(oid)
+            results.append(kept)
+        return results
+
+    def _search_many(
+        self,
+        page_id: int,
+        active: List[int],
+        infos: List[Tuple],
+        out: List[List[Tuple[int, MovingRect]]],
+    ) -> None:
+        """Pre-order traversal testing each entry against all active queries."""
+        node = self._node(page_id)
+        intersects = kernels.intersects_interval
+        is_leaf = node.is_leaf
+        for entry in node.entries:
+            bound = entry.bound
+            rect = bound.rect
+            bx0, by0, bx1, by1 = rect.x_min, rect.y_min, rect.x_max, rect.y_max
+            bvx0, bvy0 = bound.v_x_min, bound.v_y_min
+            bvx1, bvy1 = bound.v_x_max, bound.v_y_max
+            bref = bound.reference_time
+            matching = [
+                qi
+                for qi in active
+                if intersects(
+                    bx0, by0, bx1, by1, bvx0, bvy0, bvx1, bvy1, bref, *infos[qi]
+                )
+            ]
+            if not matching:
+                continue
+            if is_leaf:
+                for qi in matching:
+                    out[qi].append((entry.oid, bound))
+            else:
+                self._search_many(entry.child_page_id, matching, infos, out)
 
     # ------------------------------------------------------------------
     # Introspection (used by the analysis module and by tests)
@@ -414,10 +632,7 @@ class TPRTree:
                 # _split_and_propagate finishes the upward adjustment itself.
                 return
             if index > 0:
-                parent = path[index - 1]
-                parent_entry = parent.find_entry_for_child(node.page_id)
-                parent_entry.bound = node.bound(self.current_time)
-                self._write_node(parent)
+                self._tighten_parent(path[index - 1], node)
             index -= 1
 
     def _path_level(self, path: List[TPRNode], index: int, base_level: int) -> int:
@@ -552,10 +767,9 @@ class TPRTree:
                     orphans.append((entry, level))
                 self._write_node(parent)
                 self.buffer.free_page(current.page_id)
+            elif current.entries:
+                self._tighten_parent(parent, current)
             else:
-                parent_entry = parent.find_entry_for_child(current.page_id)
-                if current.entries:
-                    parent_entry.bound = current.bound(self.current_time)
                 self._write_node(parent)
             level += 1
         root = path[0]

@@ -104,10 +104,7 @@ class TPRStarTree(TPRTree):
                 self._split_and_propagate(node, path, index, base_level)
                 return
             if index > 0:
-                parent = path[index - 1]
-                parent_entry = parent.find_entry_for_child(node.page_id)
-                parent_entry.bound = node.bound(self.current_time)
-                self._write_node(parent)
+                self._tighten_parent(path[index - 1], node)
             index -= 1
 
     def _pick_worst_reinsert(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Union
 
@@ -81,25 +82,37 @@ class Workload:
         """Events in time order (stable for equal timestamps)."""
         return sorted(self.events, key=lambda e: e.time)
 
-    def grouped_events(self) -> List[List[Event]]:
-        """Sorted events grouped into same-timestamp, same-type batches.
+    def grouped_events(self, window: float = 0.0) -> List[List[Event]]:
+        """Sorted events grouped into same-window, same-type batches.
 
-        Each batch is a maximal run of consecutive events that share a
-        timestamp and a type (all updates or all queries), in the same
-        relative order as :meth:`sorted_events` — replaying the batches in
-        sequence is behaviorally identical to replaying the flat stream.
-        Batch replay lets the harness time and account a whole batch at
-        once, and gives indexes a future hook for physically batching
-        same-timestamp operations.
+        Each batch is a maximal run of consecutive events that share a type
+        (all updates or all queries) and fall in the same time window, in
+        the same relative order as :meth:`sorted_events` — replaying the
+        batches in sequence is behaviorally identical to replaying the flat
+        stream, because a batch never spans a type change (a query always
+        sees exactly the updates that precede it).
+
+        Args:
+            window: width of the grouping window in timestamps.  ``0``
+                (the default) groups only events with exactly equal
+                timestamps; event times are continuous in the generated
+                workloads, so those batches are almost always singletons.
+                A positive window buckets events by ``floor(time /
+                window)`` — the granularity at which a real tracker would
+                group co-arriving reports — which is what gives the batch
+                execution path actual batches to amortize.
         """
         batches: List[List[Event]] = []
+        last_bucket: object = None
         for event in self.sorted_events():
+            bucket = event.time if window <= 0.0 else math.floor(event.time / window)
             if (
                 batches
-                and batches[-1][0].time == event.time
+                and bucket == last_bucket
                 and type(batches[-1][0]) is type(event)
             ):
                 batches[-1].append(event)
             else:
                 batches.append([event])
+                last_bucket = bucket
         return batches

@@ -100,6 +100,147 @@ class TestStructure:
         assert tree.buffer.stats.logical.reads > logical_before
 
 
+class TestArrayBackedKeys:
+    def test_leaf_and_interior_keys_are_flat_arrays(self):
+        from array import array
+
+        tree = small_tree()
+        for key in range(40):
+            tree.insert(key, key)
+        tree.delete(7, 7)
+        seen_interior = False
+        stack = [tree.root_page_id]
+        while stack:
+            node = tree._node(stack.pop())
+            assert isinstance(node.keys, array)
+            assert node.keys.typecode == "q"
+            if not node.is_leaf:
+                seen_interior = True
+                stack.extend(node.children)
+        assert seen_interior
+
+    def test_bulk_load_produces_array_keys(self):
+        from array import array
+
+        tree = small_tree()
+        tree.bulk_load([(k, str(k)) for k in range(30)])
+        node = tree._node(tree.root_page_id)
+        while not node.is_leaf:
+            node = tree._node(node.children[0])
+        assert isinstance(node.keys, array)
+
+
+class TestReplace:
+    def test_replace_in_place(self):
+        tree = small_tree()
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        tree.insert(5, "c")
+        assert tree.replace(5, "b", "B")
+        assert tree.search(5) == ["a", "B", "c"]
+        assert len(tree) == 3
+
+    def test_replace_missing_returns_false(self):
+        tree = small_tree()
+        tree.insert(5, "a")
+        assert not tree.replace(5, "zzz", "x")
+        assert not tree.replace(6, "a", "x")
+        assert tree.search(5) == ["a"]
+
+    def test_replace_walks_duplicate_run_across_leaves(self):
+        tree = BPlusTree(leaf_capacity=2, interior_capacity=3)
+        for index in range(12):
+            tree.insert(42, ("dup", index))
+        assert tree.replace(42, ("dup", 9), "found")
+        values = tree.search(42)
+        assert "found" in values and len(values) == 12
+
+
+class TestBatchOperations:
+    def test_insert_batch_matches_sequential_sorted_inserts(self):
+        rng = random.Random(5)
+        for _ in range(15):
+            pairs = [(rng.randrange(40), ("v", i)) for i in range(rng.randrange(0, 150))]
+            sequential, batched = small_tree(), small_tree()
+            for key, value in sorted(pairs, key=lambda p: p[0]):
+                sequential.insert(key, value)
+            batched.insert_batch(pairs)
+            assert list(sequential.items()) == list(batched.items())
+            assert len(sequential) == len(batched) == len(pairs)
+
+    def test_delete_batch_matches_sequential_deletes(self):
+        rng = random.Random(6)
+        for _ in range(15):
+            pairs = [(rng.randrange(30), ("v", i)) for i in range(120)]
+            sequential, batched = small_tree(), small_tree()
+            sequential.insert_batch(pairs)
+            batched.insert_batch(pairs)
+            targets = rng.sample(pairs, 50) + [(99, "missing")]
+            rng.shuffle(targets)
+            expected = [sequential.delete(k, v) for k, v in targets]
+            assert batched.delete_batch(targets) == expected
+            assert list(sequential.items()) == list(batched.items())
+
+    def test_apply_batch_mixed_operations(self):
+        rng = random.Random(7)
+        for _ in range(15):
+            base = [(rng.randrange(50), ("b", i)) for i in range(100)]
+            sequential, batched = small_tree(), small_tree()
+            sequential.insert_batch(base)
+            batched.insert_batch(base)
+            deletes = rng.sample(base, 30)
+            remaining = [p for p in base if p not in deletes]
+            inserts = [(rng.randrange(50), ("i", i)) for i in range(25)]
+            upserts = []
+            for j in range(10):
+                if remaining and rng.random() < 0.7:
+                    key, value = remaining.pop(rng.randrange(len(remaining)))
+                    upserts.append((key, value, ("u", j)))
+                else:
+                    upserts.append((rng.randrange(50), ("missing", j), ("u", j)))
+            expected_deletes = [sequential.delete(k, v) for k, v in deletes]
+            expected_upserts = []
+            for key, old, new in upserts:
+                if sequential.replace(key, old, new):
+                    expected_upserts.append(True)
+                else:
+                    sequential.insert(key, new)
+                    expected_upserts.append(False)
+            for key, value in inserts:
+                sequential.insert(key, value)
+            delete_flags, upsert_flags = batched.apply_batch(deletes, inserts, upserts)
+            assert delete_flags == expected_deletes
+            assert upsert_flags == expected_upserts
+            canonical = lambda t: sorted(t.items(), key=lambda p: (p[0], repr(p[1])))
+            assert canonical(sequential) == canonical(batched)
+            assert len(sequential) == len(batched)
+
+    def test_range_search_batch_matches_individual_scans(self):
+        rng = random.Random(8)
+        tree = small_tree()
+        tree.insert_batch([(rng.randrange(100), i) for i in range(300)])
+        ranges = [(rng.randrange(100), rng.randrange(110)) for _ in range(30)]
+        ranges.append((50, 40))  # empty interval
+        got = tree.range_search_batch(ranges)
+        assert got == [tree.range_search(lo, hi) for lo, hi in ranges]
+
+    def test_batch_sweep_shares_descents(self):
+        tree = BPlusTree(leaf_capacity=16, interior_capacity=16)
+        tree.bulk_load([(k, k) for k in range(600)])
+        pairs = [(k, ("new", k)) for k in range(100, 140)]
+        sequential = BPlusTree(leaf_capacity=16, interior_capacity=16)
+        sequential.bulk_load([(k, k) for k in range(600)])
+        reads_before = sequential.buffer.stats.logical.reads
+        for key, value in pairs:
+            sequential.insert(key, value)
+        sequential_reads = sequential.buffer.stats.logical.reads - reads_before
+        reads_before = tree.buffer.stats.logical.reads
+        tree.insert_batch(pairs)
+        batched_reads = tree.buffer.stats.logical.reads - reads_before
+        assert batched_reads < sequential_reads
+        assert list(tree.items()) == list(sequential.items())
+
+
 class TestAgainstReferenceModel:
     def test_random_operations_match_dict(self):
         rng = random.Random(99)

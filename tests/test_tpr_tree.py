@@ -236,3 +236,45 @@ class TestTPRStarSpecifics:
         # After enough inserts to overflow, the tree is still consistent.
         assert len(tree) == 30
         assert {oid for oid, _ in tree.iter_objects()} == set(range(30))
+
+
+class TestBatchSurface:
+    def test_delete_batch_flags_align_with_input_even_for_duplicates(self):
+        tree = TPRTree(buffer=BufferManager(capacity=64))
+        objects = [
+            MovingObject(i, Point(i * 50.0, i * 50.0), Vector(1.0, 1.0), 0.0)
+            for i in range(20)
+        ]
+        for obj in objects:
+            tree.insert(obj)
+        target = objects[3]
+        flags = tree.delete_batch([target, target] + objects[5:8])
+        # The duplicate deletion succeeds exactly once; flags stay aligned
+        # with the input order (first attempt wins, second finds nothing).
+        assert sum(flags[:2]) == 1
+        assert flags[2:] == [True, True, True]
+        assert len(tree) == 16
+
+    def test_update_batch_matches_sequential_object_set(self):
+        def build():
+            t = TPRStarTree(buffer=BufferManager(capacity=64))
+            for i in range(40):
+                t.insert(
+                    MovingObject(i, Point(i * 20.0, 1000.0 - i * 20.0), Vector(2.0, -1.0), 0.0)
+                )
+            return t
+
+        pairs = [
+            (
+                MovingObject(i, Point(i * 20.0, 1000.0 - i * 20.0), Vector(2.0, -1.0), 0.0),
+                MovingObject(i, Point(i * 20.0 + 30.0, 1000.0 - i * 20.0), Vector(-1.0, 3.0), 15.0),
+            )
+            for i in range(0, 40, 2)
+        ]
+        sequential, batched = build(), build()
+        removed_seq = sum(1 for old, new in pairs if sequential.update(old, new))
+        removed_bat = batched.update_batch(pairs)
+        assert removed_seq == removed_bat == len(pairs)
+        assert sorted(oid for oid, _ in sequential.iter_objects()) == sorted(
+            oid for oid, _ in batched.iter_objects()
+        )

@@ -205,3 +205,29 @@ class TestBuildWorkload:
         assert workload.num_objects == 1
         assert workload.update_events == []
         assert workload.query_events == []
+
+
+class TestGroupedEvents:
+    def test_exact_grouping_preserves_flat_stream(self):
+        workload = build_workload("SA", tiny_params(num_objects=80, num_queries=5))
+        flattened = [e for batch in workload.grouped_events() for e in batch]
+        assert flattened == workload.sorted_events()
+
+    def test_windowed_grouping_preserves_flat_stream_and_type_runs(self):
+        workload = build_workload("SA", tiny_params(num_objects=80, num_queries=5))
+        batches = workload.grouped_events(window=1.0)
+        flattened = [e for batch in batches for e in batch]
+        assert flattened == workload.sorted_events()
+        for batch in batches:
+            # one type per batch, all events inside the same window bucket
+            assert len({type(e) for e in batch}) == 1
+            assert len({int(e.time // 1.0) for e in batch}) == 1
+
+    def test_windowed_grouping_produces_real_batches(self):
+        workload = build_workload("SA", tiny_params(num_objects=200, num_queries=0))
+        exact = workload.grouped_events()
+        windowed = workload.grouped_events(window=1.0)
+        # continuous event times: exact grouping is ~all singletons, the
+        # windowed grouping is what gives the batch pipeline real batches
+        assert len(windowed) < len(exact)
+        assert max(len(b) for b in windowed) > 1
