@@ -126,6 +126,8 @@ def measure(
             else float("inf")
         )
         row["results_match"] = float(row["results"] == row["per_event_results"])
+        row["update_hit_ratio"] = metrics.update_buffer_hit_ratio
+        row["query_hit_ratio"] = metrics.query_buffer_hit_ratio
     return {
         "dataset": dataset,
         "params": {
@@ -140,6 +142,42 @@ def measure(
             for name, row in results.items()
         },
     }
+
+
+def measure_packing(
+    params: Optional[WorkloadParameters] = None,
+    datasets: Sequence[str] = ("SA", "CH"),
+    which: Sequence[str] = ("TPR*", "TPR*(VP)"),
+) -> Dict[str, object]:
+    """Compare bulk-packing strategies on replayed workloads.
+
+    For every dataset and index, the tree is bulk-built once per strategy
+    (midpoint STR versus velocity-binned STR) and the full event stream is
+    replayed on top, so the numbers reflect packing quality *under churn* —
+    the regime ROADMAP.md flagged as the hard one for velocity-aware
+    packing — not just the freshly built tree.
+    """
+    if params is None:
+        params = WorkloadParameters(**BENCH_PARAMS)
+    report: Dict[str, object] = {}
+    for dataset in datasets:
+        workload = build_workload(dataset, params)
+        per_dataset: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for strategy in ("midpoint_str", "velocity_str"):
+            runner = ExperimentRunner(workload, bulk_strategy=strategy)
+            for name, index in build_standard_indexes(
+                workload, params, which=which
+            ).items():
+                metrics = runner.run(index, name=name)
+                per_dataset.setdefault(name, {})[strategy] = {
+                    "build_s": round(metrics.build_time, 4),
+                    "query_io": round(metrics.avg_query_io, 4),
+                    "query_ms": round(metrics.avg_query_time_ms, 4),
+                    "update_io": round(metrics.avg_update_io, 4),
+                    "results": metrics.results_returned,
+                }
+        report[dataset] = per_dataset
+    return report
 
 
 def load_history(path: str) -> List[Dict[str, object]]:
@@ -165,12 +203,15 @@ def run(
     output: str = DEFAULT_OUTPUT,
     dataset: str = "SA",
     which: Sequence[str] = STANDARD_INDEXES,
+    packing: bool = False,
 ) -> Dict[str, object]:
     """Measure, append to the history at ``output``, and return the report."""
     overrides = QUICK_PARAMS if quick else BENCH_PARAMS
     params = WorkloadParameters(**overrides)
     started = time.perf_counter()
     report = measure(dataset=dataset, params=params, which=which)
+    if packing:
+        report["packing"] = measure_packing(params=params)
     report["mode"] = "quick" if quick else "bench"
     report["total_wall_s"] = round(time.perf_counter() - started, 2)
     history = load_history(output)
@@ -186,8 +227,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--quick", action="store_true", help="small smoke-run scale")
     parser.add_argument("--dataset", default="SA", help="workload dataset (default SA)")
     parser.add_argument("--output", default=DEFAULT_OUTPUT, help="JSON output path")
+    parser.add_argument(
+        "--packing",
+        action="store_true",
+        help="also compare bulk-packing strategies (midpoint vs velocity STR) "
+        "on replayed SA/CH workloads",
+    )
     args = parser.parse_args(argv)
-    report = run(quick=args.quick, output=args.output, dataset=args.dataset)
+    report = run(
+        quick=args.quick, output=args.output, dataset=args.dataset, packing=args.packing
+    )
     for name, row in report["indexes"].items():
         print(
             f"{name:10s} build {row['build_incremental_s']:7.3f}s -> "
@@ -197,6 +246,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"query {row['per_event_query_ms']:7.3f} -> {row['query_ms']:7.3f}ms "
             f"({row['query_speedup']:4.2f}x)"
         )
+    for dataset, indexes in report.get("packing", {}).items():
+        for name, strategies in indexes.items():
+            mid = strategies["midpoint_str"]
+            vel = strategies["velocity_str"]
+            print(
+                f"packing {dataset} {name:10s} query_io "
+                f"{mid['query_io']:6.2f} (midpoint) vs {vel['query_io']:6.2f} "
+                f"(velocity)  update_io {mid['update_io']:5.2f} vs "
+                f"{vel['update_io']:5.2f}"
+            )
     print(f"wrote {args.output} ({report['total_wall_s']}s total)")
     return 0
 

@@ -1,0 +1,124 @@
+"""Bench-smoke regression gate for CI.
+
+Compares a fresh ``bench_speed.py`` report against the committed
+``BENCH_speed.json`` history and fails (exit code 1) when the batched Bx
+update time regresses by more than the allowed fraction.  The baseline is
+the most recent history entry with the *same* mode, dataset and workload
+parameters — quick-mode smoke runs are never judged against full bench-scale
+entries, whose absolute per-operation times differ by an order of magnitude.
+
+Usage (what ci.yml runs)::
+
+    python benchmarks/bench_speed.py --quick --output /tmp/bench_new.json
+    python benchmarks/check_regression.py /tmp/bench_new.json \
+        --history BENCH_speed.json --max-regression 0.25
+
+A missing comparable baseline is reported and passes: the first run on a new
+parameter set has nothing to regress against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional
+
+#: Metric the gate enforces, per watched index.
+METRIC = "update_ms"
+
+#: Indexes the gate watches (the headline batched-update claim).
+WATCHED_INDEXES = ("Bx",)
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_HISTORY = os.path.join(_REPO_ROOT, "BENCH_speed.json")
+
+
+def _entries(path: str) -> List[Dict[str, object]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, dict) and isinstance(data.get("history"), list):
+        return data["history"]
+    if isinstance(data, dict) and "indexes" in data:
+        return [data]
+    raise SystemExit(f"{path}: not a bench_speed report or history")
+
+
+def _comparable(entry: Dict[str, object], report: Dict[str, object]) -> bool:
+    return (
+        entry.get("mode") == report.get("mode")
+        and entry.get("dataset") == report.get("dataset")
+        and entry.get("params") == report.get("params")
+    )
+
+
+def find_baseline(
+    history: List[Dict[str, object]], report: Dict[str, object]
+) -> Optional[Dict[str, object]]:
+    """Most recent history entry measured under the report's settings."""
+    for entry in reversed(history):
+        if _comparable(entry, report):
+            return entry
+    return None
+
+
+def check(
+    report: Dict[str, object],
+    baseline: Optional[Dict[str, object]],
+    max_regression: float,
+) -> List[str]:
+    """Regression messages (empty when the gate passes)."""
+    if baseline is None:
+        return []
+    failures: List[str] = []
+    for name in WATCHED_INDEXES:
+        new_row = report.get("indexes", {}).get(name)
+        old_row = baseline.get("indexes", {}).get(name)
+        if not new_row or not old_row:
+            continue
+        new_value = float(new_row.get(METRIC, 0.0))
+        old_value = float(old_row.get(METRIC, 0.0))
+        if old_value <= 0.0:
+            continue
+        regression = new_value / old_value - 1.0
+        status = "ok" if regression <= max_regression else "REGRESSION"
+        print(
+            f"{name} {METRIC}: {old_value:.4f} -> {new_value:.4f} "
+            f"({regression:+.1%}, limit +{max_regression:.0%}) {status}"
+        )
+        if regression > max_regression:
+            failures.append(
+                f"{name} batched {METRIC} regressed {regression:+.1%} "
+                f"(limit +{max_regression:.0%})"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="fresh bench_speed JSON (file or history)")
+    parser.add_argument("--history", default=DEFAULT_HISTORY, help="baseline history")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown (default 0.25 = +25%%)",
+    )
+    args = parser.parse_args(argv)
+    report = _entries(args.report)[-1]
+    baseline = find_baseline(_entries(args.history), report)
+    if baseline is None:
+        print(
+            "no comparable baseline (same mode/dataset/params) in "
+            f"{args.history}; passing"
+        )
+        return 0
+    failures = check(report, baseline, args.max_regression)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,15 @@ from repro.workload.parameters import PAPER_SPACE, WorkloadParameters
 FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0")
 
 
+def pytest_configure(config) -> None:
+    # Mirror of the pyproject registration so `pytest benchmarks` works in
+    # contexts that do not read the project ini; the figure modules mark
+    # themselves slow and the fast CI tier deselects them with -m "not slow".
+    config.addinivalue_line(
+        "markers", "slow: long replay/figure benchmarks excluded from the fast CI tier"
+    )
+
+
 def _scaled(**overrides) -> WorkloadParameters:
     params = WorkloadParameters(**overrides)
     return params

@@ -8,10 +8,15 @@ TPR*-tree (sweeping-region heuristics), and the velocity-partitioned
 TPR*-tree.
 """
 
+import pytest
+
 from bench_utils import print_figure, run_once
 
 from repro.bench.harness import ExperimentRunner, build_standard_indexes
 from repro.workload.generator import build_workload
+
+#: Figure replays take seconds to minutes; the fast CI tier skips them.
+pytestmark = pytest.mark.slow
 
 
 def _run(params):

@@ -7,9 +7,14 @@ underlying Bx-tree (Hilbert).  These benchmarks quantify how sensitive the
 results are to each choice.
 """
 
+import pytest
+
 from bench_utils import print_figure, run_once
 
 from repro.bench import experiments
+
+#: Figure replays take seconds to minutes; the fast CI tier skips them.
+pytestmark = pytest.mark.slow
 
 
 def test_ablation_k_and_sample_size(benchmark, sweep_params):

@@ -8,9 +8,14 @@ expansion rate along and across the index's primary axis and the resulting
 anisotropy; the VP indexes must be markedly more anisotropic.
 """
 
+import pytest
+
 from bench_utils import by_index, print_figure, run_once
 
 from repro.bench import experiments
+
+#: Figure replays take seconds to minutes; the fast CI tier skips them.
+pytestmark = pytest.mark.slow
 
 
 def test_fig07_search_space_expansion(benchmark, bench_params):

@@ -9,9 +9,14 @@ San Francisco-like network where the standard axes do not coincide with the
 dominant directions.
 """
 
+import pytest
+
 from bench_utils import print_figure, run_once
 
 from repro.bench import experiments
+
+#: Figure replays take seconds to minutes; the fast CI tier skips them.
+pytestmark = pytest.mark.slow
 
 
 def test_fig10_dva_discovery(benchmark, bench_params):

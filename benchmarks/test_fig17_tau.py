@@ -12,6 +12,9 @@ from bench_utils import print_figure, run_once
 
 from repro.bench import experiments
 
+#: Figure replays take seconds to minutes; the fast CI tier skips them.
+pytestmark = pytest.mark.slow
+
 #: Allowed slack between the automatic τ and the best fixed τ of the sweep.
 TOLERANCE = 1.35
 

@@ -6,10 +6,15 @@ and asserts the overhead stays small in absolute terms (well under a second
 even in pure Python) and roughly uniform across data sets.
 """
 
+import pytest
+
 from bench_utils import print_figure, run_once
 
 from repro.bench import experiments
 from repro.workload.generator import DATASETS
+
+#: Figure replays take seconds to minutes; the fast CI tier skips them.
+pytestmark = pytest.mark.slow
 
 
 def test_fig18_velocity_analyzer_overhead(benchmark, bench_params):

@@ -6,10 +6,15 @@ the most velocity-skewed network, CH), while on the uniform data set the VP
 technique brings no benefit (and may cost a little).
 """
 
+import pytest
+
 from bench_utils import by_index, print_figure, run_once
 
 from repro.bench import experiments
 from repro.workload.generator import DATASETS
+
+#: Figure replays take seconds to minutes; the fast CI tier skips them.
+pytestmark = pytest.mark.slow
 
 
 def test_fig19_effect_of_datasets(benchmark, bench_params):

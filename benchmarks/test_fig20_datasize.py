@@ -6,9 +6,14 @@ their unpartitioned counterparts.  The scaled-down sweep checks the same two
 properties: monotone growth with data size and a persistent VP advantage.
 """
 
+import pytest
+
 from bench_utils import print_figure, run_once, series
 
 from repro.bench import experiments
+
+#: Figure replays take seconds to minutes; the fast CI tier skips them.
+pytestmark = pytest.mark.slow
 
 SIZES = (500, 1_000, 1_500, 2_000)
 

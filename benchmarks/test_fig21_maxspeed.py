@@ -5,9 +5,14 @@ space grows quadratically with speed while the partitioned one grows nearly
 linearly, so the VP advantage must widen as the maximum speed increases.
 """
 
+import pytest
+
 from bench_utils import print_figure, run_once, series
 
 from repro.bench import experiments
+
+#: Figure replays take seconds to minutes; the fast CI tier skips them.
+pytestmark = pytest.mark.slow
 
 SPEEDS = (20.0, 60.0, 100.0, 160.0)
 

@@ -5,9 +5,14 @@ The paper observes that the VP advantage is largest for small query radii
 relative terms as the radius grows (the query extent starts to dominate).
 """
 
+import pytest
+
 from bench_utils import print_figure, run_once, series
 
 from repro.bench import experiments
+
+#: Figure replays take seconds to minutes; the fast CI tier skips them.
+pytestmark = pytest.mark.slow
 
 RADII = (100.0, 300.0, 500.0, 1000.0)
 

@@ -5,9 +5,14 @@ the Bx-tree degrades fastest and the VP variants degrade most slowly, with
 the VP advantage growing with the predictive time.
 """
 
+import pytest
+
 from bench_utils import print_figure, run_once, series
 
 from repro.bench import experiments
+
+#: Figure replays take seconds to minutes; the fast CI tier skips them.
+pytestmark = pytest.mark.slow
 
 TIMES = (20.0, 60.0, 90.0, 120.0)
 

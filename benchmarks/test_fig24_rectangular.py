@@ -5,9 +5,14 @@ windows and reports "almost the same" results as for circular ranges; the
 benchmark checks the same qualitative ordering under rectangular queries.
 """
 
+import pytest
+
 from bench_utils import print_figure, run_once, series
 
 from repro.bench import experiments
+
+#: Figure replays take seconds to minutes; the fast CI tier skips them.
+pytestmark = pytest.mark.slow
 
 TIMES = (20.0, 60.0, 120.0)
 

@@ -61,3 +61,73 @@ def test_history_migrates_legacy_snapshot(tmp_path):
     assert len(history) == 2
     assert history[0] == legacy
     assert history[1]["indexes"] == report["indexes"]
+
+
+def _fake_entry(update_ms, mode="quick", dataset="SA", params=None):
+    return {
+        "mode": mode,
+        "dataset": dataset,
+        "params": params or {"num_objects": 400},
+        "indexes": {"Bx": {"update_ms": update_ms}},
+    }
+
+
+def test_check_regression_gate(tmp_path):
+    import check_regression
+
+    history = tmp_path / "history.json"
+    report = tmp_path / "report.json"
+    history.write_text(json.dumps({"history": [_fake_entry(0.02)]}))
+
+    # Within the limit: passes.
+    report.write_text(json.dumps({"history": [_fake_entry(0.024)]}))
+    assert (
+        check_regression.main([str(report), "--history", str(history)]) == 0
+    )
+
+    # Beyond +25%: fails.
+    report.write_text(json.dumps({"history": [_fake_entry(0.03)]}))
+    assert (
+        check_regression.main([str(report), "--history", str(history)]) == 1
+    )
+
+    # A looser limit admits the same report.
+    assert (
+        check_regression.main(
+            [str(report), "--history", str(history), "--max-regression", "0.6"]
+        )
+        == 0
+    )
+
+
+def test_check_regression_requires_comparable_baseline(tmp_path):
+    import check_regression
+
+    history = tmp_path / "history.json"
+    report = tmp_path / "report.json"
+    # Baseline exists but at bench scale: a quick report must not be judged
+    # against it (absolute times differ by an order of magnitude).
+    history.write_text(
+        json.dumps(
+            {"history": [_fake_entry(0.001, mode="bench", params={"num_objects": 2000})]}
+        )
+    )
+    report.write_text(json.dumps({"history": [_fake_entry(0.03)]}))
+    assert (
+        check_regression.main([str(report), "--history", str(history)]) == 0
+    )
+
+    # The most recent comparable entry wins, not the most recent entry.
+    history.write_text(
+        json.dumps(
+            {
+                "history": [
+                    _fake_entry(0.03),
+                    _fake_entry(0.001, mode="bench", params={"num_objects": 2000}),
+                ]
+            }
+        )
+    )
+    assert (
+        check_regression.main([str(report), "--history", str(history)]) == 0
+    )

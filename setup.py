@@ -1,9 +1,10 @@
 """Setup shim.
 
 The canonical metadata lives in ``pyproject.toml``; this file exists so the
-package can be installed editable (``pip install -e . --no-use-pep517``) in
-offline environments that lack the ``wheel`` package required by the PEP 517
-editable build path.
+package can still be installed editable in offline environments that lack
+the ``wheel`` package required by the PEP 517/660 editable build path
+(``pip install -e . --no-use-pep517``, or ``python setup.py develop`` when
+even that is unavailable).  CI installs normally with ``pip install -e .``.
 """
 
 from setuptools import setup

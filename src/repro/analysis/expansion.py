@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
 from repro.bxtree.bx_tree import BxTree
-from repro.geometry.moving_rect import MovingRect
 from repro.objects.queries import RangeQuery
 from repro.tprtree.tpr_tree import TPRTree
 

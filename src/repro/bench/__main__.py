@@ -16,7 +16,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.bench import experiments
 from repro.bench.reporting import format_table, rows_to_csv

@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.bulk import loader_accepts
 from repro.bxtree.bx_tree import BxTree
 from repro.core.partitioned_index import (
     VPIndex,
@@ -46,6 +47,10 @@ class IndexMetrics:
     update_time_total: float = 0.0
     build_time: float = 0.0
     results_returned: int = 0
+    query_buffer_hits: int = 0
+    query_buffer_misses: int = 0
+    update_buffer_hits: int = 0
+    update_buffer_misses: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -77,6 +82,18 @@ class IndexMetrics:
             return 0.0
         return 1000.0 * self.update_time_total / self.num_updates
 
+    @property
+    def query_buffer_hit_ratio(self) -> float:
+        """Buffer hit ratio over the replay's query operations."""
+        total = self.query_buffer_hits + self.query_buffer_misses
+        return self.query_buffer_hits / total if total else 0.0
+
+    @property
+    def update_buffer_hit_ratio(self) -> float:
+        """Buffer hit ratio over the replay's update operations."""
+        total = self.update_buffer_hits + self.update_buffer_misses
+        return self.update_buffer_hits / total if total else 0.0
+
     def as_row(self) -> Dict[str, object]:
         """Flat dictionary used by the reporting helpers."""
         row: Dict[str, object] = {
@@ -91,6 +108,8 @@ class IndexMetrics:
             "updates": self.num_updates,
             "results": self.results_returned,
             "build_s": round(self.build_time, 3),
+            "query_hit_ratio": round(self.query_buffer_hit_ratio, 4),
+            "update_hit_ratio": round(self.update_buffer_hit_ratio, 4),
         }
         row.update({k: round(v, 4) for k, v in self.extra.items()})
         return row
@@ -124,6 +143,9 @@ class ExperimentRunner:
             replays strictly event by event.  Both modes produce identical
             query answers; batching only amortizes per-operation work.
         batch_window: grouping window in timestamps for batch mode.
+        bulk_strategy: packing strategy forwarded to ``bulk_load`` for
+            indexes that accept one (e.g. ``"velocity_str"`` on the TPR
+            family); None uses each index's default packing.
     """
 
     def __init__(
@@ -132,11 +154,13 @@ class ExperimentRunner:
         bulk_build: bool = True,
         batch: bool = True,
         batch_window: float = DEFAULT_BATCH_WINDOW,
+        bulk_strategy: Optional[str] = None,
     ) -> None:
         self.workload = workload
         self.bulk_build = bulk_build
         self.batch = batch
         self.batch_window = batch_window
+        self.bulk_strategy = bulk_strategy
 
     def run(self, index, name: Optional[str] = None) -> IndexMetrics:
         """Load the initial objects, replay the events, and report metrics."""
@@ -148,7 +172,10 @@ class ExperimentRunner:
         loader = getattr(index, "bulk_load", None) if self.bulk_build else None
         build_start = time.perf_counter()
         if loader is not None:
-            loader(self.workload.initial_objects)
+            if self.bulk_strategy is not None and loader_accepts(loader, "strategy"):
+                loader(self.workload.initial_objects, strategy=self.bulk_strategy)
+            else:
+                loader(self.workload.initial_objects)
         else:
             for obj in self.workload.initial_objects:
                 index.insert(obj)
@@ -165,6 +192,8 @@ class ExperimentRunner:
         for batch in self.workload.grouped_events(window=window):
             before = stats.physical.total
             before_logical = stats.logical.reads
+            before_hits = stats.buffer.hits
+            before_misses = stats.buffer.misses
             if isinstance(batch[0], UpdateEvent):
                 started = time.perf_counter()
                 if update_batch is not None and len(batch) > 1:
@@ -175,6 +204,8 @@ class ExperimentRunner:
                 metrics.update_time_total += time.perf_counter() - started
                 metrics.update_io_total += stats.physical.total - before
                 metrics.update_node_accesses += stats.logical.reads - before_logical
+                metrics.update_buffer_hits += stats.buffer.hits - before_hits
+                metrics.update_buffer_misses += stats.buffer.misses - before_misses
                 metrics.num_updates += len(batch)
             else:
                 returned = 0
@@ -188,6 +219,8 @@ class ExperimentRunner:
                 metrics.query_time_total += time.perf_counter() - started
                 metrics.query_io_total += stats.physical.total - before
                 metrics.query_node_accesses += stats.logical.reads - before_logical
+                metrics.query_buffer_hits += stats.buffer.hits - before_hits
+                metrics.query_buffer_misses += stats.buffer.misses - before_misses
                 metrics.num_queries += len(batch)
                 metrics.results_returned += returned
         return metrics

@@ -136,7 +136,13 @@ class BPlusTree:
         return self.buffer.fetch(page_id).payload
 
     def _mark_dirty(self, node) -> None:
-        page = self.buffer.fetch(node.page_id)
+        # Marking a node dirty is not a node access: the caller provably
+        # holds the node (it just descended to it or follows the leaf
+        # chain), so a resident frame is dirtied in place and only a node
+        # that has actually aged out of the buffer pays a real fetch.
+        page = self.buffer.resident_page(node.page_id)
+        if page is None:
+            page = self.buffer.fetch(node.page_id)
         page.payload = node
         self.buffer.mark_dirty(page)
 
@@ -290,6 +296,15 @@ class BPlusTree:
         invalidates both cursors so structural changes go through the
         ordinary machinery.
 
+        The sweep drives the buffer's batch-awareness: the cursor pages
+        (leaf plus parent, for both the scan and insert cursors) are kept
+        pinned as the sweep's *frontier* — each cursor slot repins its page
+        as it moves — so a small buffer stops evicting the frontier
+        mid-batch under the sweep's own leaf traffic.  (The query sweep of
+        :meth:`range_search_batch` uses the equivalent
+        :meth:`~repro.storage.BufferManager.pin_frontier` hint plus
+        sequential-eviction advice.)
+
         Returns ``(delete_flags, upsert_flags)``: per-deletion success and
         per-upsert replaced-in-place flags, aligned with their inputs.
         """
@@ -315,6 +330,46 @@ class BPlusTree:
         insert_parent_upper: Optional[int] = None
         any_removed = False
         leaf_capacity = self.leaf_capacity
+        buffer = self.buffer
+        # The root is the sweep's outermost cursor: fetched once per batch
+        # (splits drop it along with the other cursors), so full-descent
+        # fallbacks skip the per-operation root fetch.
+        cached_root = None
+
+        def get_root():
+            nonlocal cached_root
+            if cached_root is None:
+                cached_root = self._node(self.root_page_id)
+            return cached_root
+
+        # Frontier pinning: the four cursor nodes' pages are kept pinned so
+        # the sweep's own leaf traffic cannot evict its frontier mid-batch.
+        # Each cursor slot repins individually when it moves (a whole-set
+        # rebuild per move is measurably slower), holding at most four pins;
+        # pools smaller than eight frames skip pinning so descents always
+        # find evictable frames.  Pin counts nest, so two cursors sharing a
+        # page (scan and insert leaf frequently coincide) stay balanced.
+        pin_enabled = buffer.batch_hints_enabled and buffer.capacity >= 8
+        cursor_pages: List[Optional[Any]] = [None, None, None, None]
+
+        def repin(slot: int, node) -> None:
+            if not pin_enabled:
+                return
+            new_page = buffer.resident_page(node.page_id) if node is not None else None
+            page = cursor_pages[slot]
+            if new_page is page:
+                return
+            if page is not None:
+                page.unpin()
+            if new_page is not None:
+                new_page.pin()
+            cursor_pages[slot] = new_page
+
+        def unpin_cursors() -> None:
+            for slot, page in enumerate(cursor_pages):
+                if page is not None:
+                    page.unpin()
+                    cursor_pages[slot] = None
 
         def locate_scan_leaf(key: int) -> _LeafNode:
             nonlocal scan_leaf, scan_parent, scan_parent_upper
@@ -328,66 +383,110 @@ class BPlusTree:
             ):
                 index = bisect.bisect_left(scan_parent.keys, key)
                 scan_leaf = self._node(scan_parent.children[index])
+                repin(0, scan_leaf)
                 return scan_leaf
-            path = self._descend_path(key)
+            path = self._descend_path(key, root=get_root())
             scan_leaf = path[-1][0]
             interior = path[:-1]
             scan_parent = interior[-1][0] if interior else None
             scan_parent_upper = _cumulative_upper(interior[:-1])
+            repin(0, scan_leaf)
+            repin(1, scan_parent)
             return scan_leaf
 
         def do_insert(key: int, value: Any) -> None:
             nonlocal scan_leaf, scan_parent, scan_parent_upper
             nonlocal insert_leaf, insert_upper, insert_parent, insert_parent_upper
+            nonlocal cached_root
             leaf = None
             if insert_leaf is not None and (insert_upper is None or key < insert_upper):
                 leaf = insert_leaf
-            elif insert_parent is not None and (
-                insert_parent_upper is None or key < insert_parent_upper
-            ):
-                index = bisect.bisect_right(insert_parent.keys, key)
-                leaf = self._node(insert_parent.children[index])
-                insert_leaf = leaf
-                insert_upper = (
-                    insert_parent.keys[index]
-                    if index < len(insert_parent.keys)
-                    else insert_parent_upper
-                )
+            else:
+                if insert_parent is None or not (
+                    insert_parent_upper is None or key < insert_parent_upper
+                ):
+                    # Seed the insert cursor from the scan cursor's parent:
+                    # sweep keys only ascend, so the scan parent's subtree
+                    # provably contains every key below its upper separator
+                    # (strictly below — at equality a bisect_right descent
+                    # from the root would leave the subtree).
+                    if scan_parent is not None and (
+                        scan_parent_upper is None or key < scan_parent_upper
+                    ):
+                        insert_parent = scan_parent
+                        insert_parent_upper = scan_parent_upper
+                        repin(3, insert_parent)
+                if insert_parent is not None and (
+                    insert_parent_upper is None or key < insert_parent_upper
+                ):
+                    index = bisect.bisect_right(insert_parent.keys, key)
+                    leaf = self._node(insert_parent.children[index])
+                    insert_leaf = leaf
+                    insert_upper = (
+                        insert_parent.keys[index]
+                        if index < len(insert_parent.keys)
+                        else insert_parent_upper
+                    )
+                    repin(2, leaf)
             if leaf is not None and len(leaf.keys) < leaf_capacity:
                 index = bisect.bisect_right(leaf.keys, key)
                 leaf.keys.insert(index, key)
                 leaf.values.insert(index, value)
-                self._mark_dirty(leaf)
+                # The insert cursor's page is pinned in slot 2 — dirty it
+                # through the held handle instead of a frame lookup.
+                page = cursor_pages[2]
+                if page is not None and page.page_id == leaf.page_id:
+                    buffer.mark_dirty(page)
+                else:
+                    self._mark_dirty(leaf)
                 self.size += 1
                 return
             # Cursor miss, or the target leaf is full and the (possible)
             # split needs the complete root-to-leaf path: descend fully.
-            path, leaf, upper = self._descend_insert(key)
+            path, leaf, upper = self._descend_insert(key, root=get_root())
             if self._leaf_insert(path, leaf, key, value):
                 # The split restructured interior nodes; both cursors may
                 # reference stale subtree boundaries, so drop them.
+                cached_root = None
                 scan_leaf = scan_parent = None
                 scan_parent_upper = None
                 insert_leaf = insert_parent = None
                 insert_upper = insert_parent_upper = None
+                unpin_cursors()
             else:
                 insert_leaf, insert_upper = leaf, upper
                 insert_parent = path[-1][0] if path else None
                 insert_parent_upper = _cumulative_upper(path[:-1])
+                repin(2, insert_leaf)
+                repin(3, insert_parent)
 
-        for key, kind, index in work:
-            if kind == 2:
-                do_insert(key, inserts[index][1])
-            elif kind == 0:
-                if self._delete_from_leaf(locate_scan_leaf(key), key, deletes[index][1]):
-                    delete_flags[index] = True
-                    any_removed = True
-            else:
-                _, old_value, new_value = upserts[index]
-                if self._replace_from_leaf(locate_scan_leaf(key), key, old_value, new_value):
-                    upsert_flags[index] = True
+        # The update sweep pins its frontier but does NOT use the
+        # sequential-eviction hint: an update sweep dirties the leaves it
+        # passes, and measurements show evicting the remaining clean pages
+        # MRU-first (mostly interior nodes and chain-walk leaves the same
+        # batch still needs) costs more physical reads than the hint saves.
+        # The read-only query sweep of range_search_batch is where the hint
+        # pays off.
+        try:
+            for key, kind, index in work:
+                if kind == 2:
+                    do_insert(key, inserts[index][1])
+                elif kind == 0:
+                    if self._delete_from_leaf(
+                        locate_scan_leaf(key), key, deletes[index][1]
+                    ):
+                        delete_flags[index] = True
+                        any_removed = True
                 else:
-                    do_insert(key, new_value)
+                    _, old_value, new_value = upserts[index]
+                    if self._replace_from_leaf(
+                        locate_scan_leaf(key), key, old_value, new_value
+                    ):
+                        upsert_flags[index] = True
+                    else:
+                        do_insert(key, new_value)
+        finally:
+            unpin_cursors()
         if any_removed:
             self._collapse_if_needed()
         return delete_flags, upsert_flags
@@ -460,29 +559,38 @@ class BPlusTree:
         where the previous scan ended, the root-to-leaf descent is skipped
         and the scan continues from that leaf.  Each individual scan visits
         exactly the leaves :meth:`range_search` would, so candidate order
-        per range is identical — only shared descents are saved.
+        per range is identical — only shared descents are saved.  The sweep
+        pins its current leaf as the buffer frontier and runs under the
+        sequential-eviction hint, exactly like :meth:`apply_batch`.
         """
         results: List[List[Tuple[int, Any]]] = [[] for _ in ranges]
         order = sorted(range(len(ranges)), key=lambda i: ranges[i][0])
         leaf: Optional[_LeafNode] = None
-        for i in order:
-            key_lo, key_hi = ranges[i]
-            if key_hi < key_lo:
-                continue
-            if leaf is None or not leaf.keys or not leaf.keys[0] < key_lo <= leaf.keys[-1]:
-                leaf = self._descend_path(key_lo)[-1][0]
-            out = results[i]
-            node: Optional[_LeafNode] = leaf
-            while node is not None:
-                keys = node.keys
-                start = bisect.bisect_left(keys, key_lo)
-                stop = bisect.bisect_right(keys, key_hi)
-                for j in range(start, stop):
-                    out.append((keys[j], node.values[j]))
-                if stop < len(keys) or node.next_leaf is None:
-                    break
-                node = self._node(node.next_leaf)
-            leaf = node if node is not None else leaf
+        buffer = self.buffer
+        buffer.advise_sequential(True)
+        try:
+            for i in order:
+                key_lo, key_hi = ranges[i]
+                if key_hi < key_lo:
+                    continue
+                if leaf is None or not leaf.keys or not leaf.keys[0] < key_lo <= leaf.keys[-1]:
+                    leaf = self._descend_path(key_lo)[-1][0]
+                out = results[i]
+                node: Optional[_LeafNode] = leaf
+                while node is not None:
+                    keys = node.keys
+                    start = bisect.bisect_left(keys, key_lo)
+                    stop = bisect.bisect_right(keys, key_hi)
+                    for j in range(start, stop):
+                        out.append((keys[j], node.values[j]))
+                    if stop < len(keys) or node.next_leaf is None:
+                        break
+                    node = self._node(node.next_leaf)
+                leaf = node if node is not None else leaf
+                buffer.pin_frontier((leaf.page_id,))
+        finally:
+            buffer.advise_sequential(False)
+            buffer.release_frontier()
         return results
 
     def items(self) -> Iterator[Tuple[int, Any]]:
@@ -498,10 +606,16 @@ class BPlusTree:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _descend_path(self, key: int) -> List[Tuple[Any, int]]:
-        """Path of ``(node, child_index)`` pairs from the root to the leaf for ``key``."""
+    def _descend_path(self, key: int, root=None) -> List[Tuple[Any, int]]:
+        """Path of ``(node, child_index)`` pairs from the root to the leaf for ``key``.
+
+        ``root`` lets a batch sweep that already holds the root node (its
+        outermost cursor) start the walk without re-fetching it; the root's
+        identity is stable for the sweep's lifetime because any split that
+        replaces it also invalidates every sweep cursor.
+        """
         path: List[Tuple[Any, int]] = []
-        node = self._node(self.root_page_id)
+        node = root if root is not None else self._node(self.root_page_id)
         while not node.is_leaf:
             # bisect_left (not bisect_right) so that duplicate keys spanning a
             # leaf boundary are reached from their leftmost occurrence; the
@@ -513,7 +627,7 @@ class BPlusTree:
         return path
 
     def _descend_insert(
-        self, key: int
+        self, key: int, root=None
     ) -> Tuple[List[Tuple[_InteriorNode, int]], _LeafNode, Optional[int]]:
         """Descend for an insertion of ``key`` (``bisect_right`` convention).
 
@@ -521,10 +635,12 @@ class BPlusTree:
         ``(node, child_index)`` pairs and ``upper`` is the smallest
         separator to the right of the descent — an insertion of any key
         strictly below ``upper`` provably lands in the same leaf, which is
-        the invariant the batch sweep uses to reuse the path.
+        the invariant the batch sweep uses to reuse the path.  ``root``
+        starts the walk from an already-held root node (see
+        :meth:`_descend_path`).
         """
         path: List[Tuple[_InteriorNode, int]] = []
-        node = self._node(self.root_page_id)
+        node = root if root is not None else self._node(self.root_page_id)
         upper: Optional[int] = None
         while not node.is_leaf:
             index = bisect.bisect_right(node.keys, key)

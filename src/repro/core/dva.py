@@ -74,6 +74,20 @@ class CoordinateFrame:
             reference_time=obj.reference_time,
         )
 
+    def to_frame_arrays(self, xs, ys):
+        """Rotate parallel coordinate arrays into the frame (vectorized).
+
+        ``xs``/``ys`` are numpy arrays of x/y components (positions or
+        velocities — the same rigid rotation applies to both).  Returns the
+        rotated component arrays.  The arithmetic is element-for-element the
+        same as :meth:`to_frame_object`, so scalars and arrays produce
+        bit-identical coordinates — which is what lets the index manager
+        rotate a whole update batch in one pass without perturbing query
+        answers.
+        """
+        ax, ay = self.axis.vx, self.axis.vy
+        return xs * ax + ys * ay, xs * -ay + ys * ax
+
     def to_frame_rect(self, rect: Rect) -> Rect:
         """Axis-aligned MBR (in the frame) of the transformed rectangle."""
         corners = [self.to_frame_point(c) for c in rect.corners()]

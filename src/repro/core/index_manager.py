@@ -25,7 +25,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
+import numpy as np
+
+from repro.bulk import loader_accepts
 from repro.core.dva import CoordinateFrame
+from repro.geometry.point import Point
+from repro.geometry.vector import Vector
 from repro.core.velocity_analyzer import VelocityPartitioning
 from repro.objects.moving_object import MovingObject
 from repro.objects.queries import (
@@ -48,7 +53,7 @@ class MovingObjectIndex(Protocol):
     def range_query(self, query: RangeQuery, exact: bool = True) -> List[int]: ...
 
 
-@dataclass
+@dataclass(slots=True)
 class _StoredObject:
     """Bookkeeping for one live object."""
 
@@ -126,13 +131,20 @@ class IndexManager:
         )
         return partition
 
-    def bulk_load(self, objects: Sequence[MovingObject]) -> Dict[int, int]:
+    def bulk_load(
+        self, objects: Sequence[MovingObject], strategy: Optional[str] = None
+    ) -> Dict[int, int]:
         """Partition-aware bulk build: route every object, pack each index once.
 
         All objects are routed to their partition and rotated into its frame
         in one pass, then every sub-index is built with its own ``bulk_load``
         (falling back to per-object insertion for index types without one).
         Returns the number of objects loaded per partition.
+
+        ``strategy`` selects the packing strategy (e.g. ``"velocity_str"``)
+        for sub-indexes whose loader understands one; loaders without a
+        ``strategy`` parameter (the Bx family's sorted leaf packing) ignore
+        it.
 
         The directory is only committed after every input has been validated
         and every sub-index loaded, so a rejected input (duplicate oid,
@@ -157,7 +169,25 @@ class IndexManager:
             index = self._index_of(partition)
             loader = getattr(index, "bulk_load", None)
             if loader is not None:
-                loader(group)
+                if strategy is not None and loader_accepts(loader, "strategy"):
+                    # Reuse the manager's own DVAs instead of letting every
+                    # sub-index re-run the velocity analyzer: a DVA
+                    # partition is already direction-homogeneous (its frame
+                    # aligns the dominant axis with x), so it bins against
+                    # the frame's x-axis alone, while the outlier index
+                    # bins its off-axis objects against the global DVAs.
+                    # (``axes`` is probed separately — a loader may accept a
+                    # strategy without accepting precomputed axes.)
+                    if strategy == "velocity_str" and loader_accepts(loader, "axes"):
+                        if partition == OUTLIER_PARTITION:
+                            axes = [dva.axis for dva in self.partitioning.dvas]
+                        else:
+                            axes = [Vector(1.0, 0.0)]
+                        loader(group, strategy=strategy, axes=axes)
+                    else:
+                        loader(group, strategy=strategy)
+                else:
+                    loader(group)
             else:
                 for stored in group:
                     index.insert(stored)
@@ -181,8 +211,12 @@ class IndexManager:
 
         The batch is classified in one vectorized pass (perpendicular
         distances to every DVA for the whole batch at once instead of N
-        scalar loops), rotated into its target frames, and grouped by
-        partition, so each underlying index receives one batched call:
+        scalar loops) and rotated into its target frames per *partition*:
+        one position/velocity component extraction feeds both the
+        classification and the rotation, and each DVA's members are rotated
+        as whole arrays (:meth:`~repro.core.dva.CoordinateFrame
+        .to_frame_arrays`) instead of object by object.  Grouped by
+        partition, each underlying index then receives one batched call:
         same-partition updates go through the index's ``update_batch``
         (where the Bx-tree collapses same-key updates into in-place
         replacements), migrations become one grouped ``delete_batch`` per
@@ -196,28 +230,71 @@ class IndexManager:
         if len(objects) == 1 or len(set(oids)) != len(oids):
             # Repeated oids: relative order matters, take the scalar path.
             return [self.update(obj) for obj in objects]
-        assigned = self.partitioning.partition_for_batch(
-            [obj.velocity for obj in objects]
-        )
-        partitions = [
-            OUTLIER_PARTITION if partition is None else partition
-            for partition in assigned
-        ]
+        n = len(objects)
+        # One component-extraction pass for the whole batch feeds both the
+        # vectorized classification and the per-partition rotation.  The
+        # position and velocity components are packed into one pair of
+        # arrays (positions in [0, n), velocities in [n, 2n)): a rotation is
+        # rigid, so one array rotation covers both and the per-partition
+        # numpy dispatch count halves.
+        xs = np.empty(2 * n)
+        ys = np.empty(2 * n)
+        xs[:n] = np.fromiter((o.position.x for o in objects), np.float64, n)
+        ys[:n] = np.fromiter((o.position.y for o in objects), np.float64, n)
+        xs[n:] = np.fromiter((o.velocity.vx for o in objects), np.float64, n)
+        ys[n:] = np.fromiter((o.velocity.vy for o in objects), np.float64, n)
+        # partition_for_arrays marks outliers with -1 == OUTLIER_PARTITION.
+        partitions = self.partitioning.partition_for_arrays(xs[n:], ys[n:]).tolist()
+        groups: Dict[int, List[int]] = {}
+        for i, partition in enumerate(partitions):
+            group = groups.get(partition)
+            if group is None:
+                groups[partition] = [i]
+            else:
+                group.append(i)
+        stored_objects: List[Optional[MovingObject]] = [None] * n
+        for partition, members in groups.items():
+            frame = self.frame_of(partition)
+            if frame is None:
+                for i in members:
+                    stored_objects[i] = objects[i]
+                continue
+            take = np.array(members, dtype=np.intp)
+            take = np.concatenate((take, take + n))
+            rx, ry = frame.to_frame_arrays(xs[take], ys[take])
+            m = len(members)
+            sx, sy = rx[:m].tolist(), ry[:m].tolist()
+            svx, svy = rx[m:].tolist(), ry[m:].tolist()
+            for j, i in enumerate(members):
+                obj = objects[i]
+                stored_objects[i] = MovingObject(
+                    oid=obj.oid,
+                    position=Point(sx[j], sy[j]),
+                    velocity=Vector(svx[j], svy[j]),
+                    reference_time=obj.reference_time,
+                )
         same: Dict[int, List[Tuple[MovingObject, MovingObject]]] = {}
         deletes: Dict[int, List[MovingObject]] = {}
         inserts: Dict[int, List[MovingObject]] = {}
-        for obj, partition in zip(objects, partitions):
-            record = self._directory.get(obj.oid)
-            stored = self._transform_object(obj, partition)
-            if record is not None and record.partition == partition:
+        directory = self._directory
+        for obj, partition, stored in zip(objects, partitions, stored_objects):
+            record = directory.get(obj.oid)
+            if record is None:
+                inserts.setdefault(partition, []).append(stored)
+                directory[obj.oid] = _StoredObject(
+                    partition=partition, original=obj, stored=stored
+                )
+                continue
+            # Existing records are updated in place (the common case at
+            # steady state) instead of being reallocated per update.
+            if record.partition == partition:
                 same.setdefault(partition, []).append((record.stored, stored))
             else:
-                if record is not None:
-                    deletes.setdefault(record.partition, []).append(record.stored)
+                deletes.setdefault(record.partition, []).append(record.stored)
                 inserts.setdefault(partition, []).append(stored)
-            self._directory[obj.oid] = _StoredObject(
-                partition=partition, original=obj, stored=stored
-            )
+                record.partition = partition
+            record.original = obj
+            record.stored = stored
         # One mixed batch per touched index: its deletions (migrations out),
         # insertions (migrations in) and same-partition updates run in a
         # single sweep instead of three.

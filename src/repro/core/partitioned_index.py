@@ -59,15 +59,18 @@ class VPIndex:
     def insert(self, obj: MovingObject) -> None:
         self.manager.insert(obj)
 
-    def bulk_load(self, objects: Sequence[MovingObject]) -> None:
+    def bulk_load(
+        self, objects: Sequence[MovingObject], strategy: Optional[str] = None
+    ) -> None:
         """Bulk-build every partition's index in one pass (see the manager).
 
         The velocity analysis itself happens once, up front, when the
         :class:`~repro.core.velocity_analyzer.VelocityPartitioning` passed to
         the factory functions below is computed — bulk loading only routes
-        and packs.
+        and packs.  ``strategy`` selects the packing strategy for
+        sub-indexes that understand one (the TPR family).
         """
-        self.manager.bulk_load(objects)
+        self.manager.bulk_load(objects, strategy=strategy)
 
     def delete(self, obj: MovingObject) -> bool:
         return self.manager.delete(obj.oid)
@@ -90,11 +93,12 @@ class VPIndex:
             # Repeated oids: a later pair's existence depends on an earlier
             # pair's insert, so the count must be evaluated sequentially.
             return sum(1 for old, new in pairs if self.update(old, new))
-        existed = sum(
-            1 for old, _ in pairs if self.manager.partition_of(old.oid) is not None
-        )
+        # With unique oids every pair's object exists afterwards, so the
+        # directory growth is exactly the number of pairs that did NOT
+        # exist — one O(1) size delta instead of a per-pair lookup pass.
+        before = len(self.manager)
         self.manager.update_batch([new for _, new in pairs])
-        return existed
+        return len(pairs) - (len(self.manager) - before)
 
     def range_query(self, query: RangeQuery, exact: bool = True) -> List[int]:
         del exact  # the VP query algorithm always applies the exact filter

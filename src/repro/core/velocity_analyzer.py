@@ -63,17 +63,32 @@ class VelocityPartitioning:
     def partition_for_batch(self, velocities: Sequence[Vector]) -> List[Optional[int]]:
         """Vectorized :meth:`partition_for` over a whole velocity batch.
 
-        One pass over flat arrays replaces N scalar axis-distance loops:
-        the perpendicular speed against every DVA is evaluated with numpy
-        cross products, the closest axis selected per point, and the τ test
-        applied, producing exactly the per-point results of the scalar
-        method (``None`` marks the outlier partition).
+        One pass over flat arrays replaces N scalar axis-distance loops;
+        see :meth:`partition_for_arrays` for the kernel.  Produces exactly
+        the per-point results of the scalar method (``None`` marks the
+        outlier partition).
         """
         n = len(velocities)
         if n == 0:
             return []
         vx = np.fromiter((v.vx for v in velocities), np.float64, n)
         vy = np.fromiter((v.vy for v in velocities), np.float64, n)
+        assigned = self.partition_for_arrays(vx, vy)
+        return [int(p) if p >= 0 else None for p in assigned]
+
+    def partition_for_arrays(self, vx: np.ndarray, vy: np.ndarray) -> np.ndarray:
+        """Array kernel behind :meth:`partition_for_batch`.
+
+        Takes parallel velocity-component arrays and returns an ``int64``
+        partition array where ``-1`` marks the outlier partition (the same
+        sentinel the index manager uses).  The perpendicular speed against
+        every DVA is evaluated with numpy cross products, the closest axis
+        selected per point, and the τ test applied — bit-identical to the
+        scalar :meth:`partition_for`.
+        """
+        n = len(vx)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
         distances = np.empty((len(self.dvas), n))
         for index, dva in enumerate(self.dvas):
             axis = dva.axis.normalized()
@@ -83,7 +98,7 @@ class VelocityPartitioning:
         best_distance = distances[best, np.arange(n)]
         taus = np.fromiter((dva.tau for dva in self.dvas), np.float64, len(self.dvas))
         inlier = best_distance <= taus[best]
-        return [int(b) if ok else None for b, ok in zip(best, inlier)]
+        return np.where(inlier, best, -1).astype(np.int64)
 
 
 class VelocityAnalyzer:

@@ -12,8 +12,8 @@ from __future__ import annotations
 import heapq
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.geometry.point import Point
 from repro.geometry.vector import Vector

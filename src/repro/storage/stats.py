@@ -37,12 +37,41 @@ class Counter:
 
 
 @dataclass
+class BufferCounter:
+    """Buffer-pool hit/miss counter (one logical fetch is a hit or a miss)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def snapshot(self) -> "BufferCounter":
+        return BufferCounter(self.hits, self.misses)
+
+    def __sub__(self, other: "BufferCounter") -> "BufferCounter":
+        return BufferCounter(self.hits - other.hits, self.misses - other.misses)
+
+
+@dataclass
 class IOStats:
     """Physical I/O statistics, optionally attributed to named scopes."""
 
     physical: Counter = field(default_factory=Counter)
     logical: Counter = field(default_factory=Counter)
+    buffer: BufferCounter = field(default_factory=BufferCounter)
     scopes: Dict[str, Counter] = field(default_factory=dict)
+    buffer_scopes: Dict[str, BufferCounter] = field(default_factory=dict)
     _active_scope: Optional[str] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
@@ -64,6 +93,16 @@ class IOStats:
     def record_logical_write(self, count: int = 1) -> None:
         self.logical.writes += count
 
+    def record_buffer_hit(self, count: int = 1) -> None:
+        self.buffer.hits += count
+        if self._active_scope is not None:
+            self.buffer_scopes[self._active_scope].hits += count
+
+    def record_buffer_miss(self, count: int = 1) -> None:
+        self.buffer.misses += count
+        if self._active_scope is not None:
+            self.buffer_scopes[self._active_scope].misses += count
+
     # ------------------------------------------------------------------
     # Scoping
     # ------------------------------------------------------------------
@@ -77,6 +116,7 @@ class IOStats:
         if self._active_scope is not None:
             raise RuntimeError("nested I/O scopes are not supported")
         counter = self.scopes.setdefault(name, Counter())
+        self.buffer_scopes.setdefault(name, BufferCounter())
         before = counter.snapshot()
         self._active_scope = name
         try:
@@ -92,20 +132,30 @@ class IOStats:
         """Cumulative counter for scope ``name`` (created on demand)."""
         return self.scopes.setdefault(name, Counter())
 
+    def buffer_scoped(self, name: str) -> BufferCounter:
+        """Cumulative buffer hit/miss counter for scope ``name`` (on demand)."""
+        return self.buffer_scopes.setdefault(name, BufferCounter())
+
     # ------------------------------------------------------------------
     # Reset / report
     # ------------------------------------------------------------------
     def reset(self) -> None:
         self.physical.reset()
         self.logical.reset()
+        self.buffer.reset()
         for counter in self.scopes.values():
+            counter.reset()
+        for counter in self.buffer_scopes.values():
             counter.reset()
 
     def as_dict(self) -> Dict[str, Dict[str, int]]:
         result = {
             "physical": {"reads": self.physical.reads, "writes": self.physical.writes},
             "logical": {"reads": self.logical.reads, "writes": self.logical.writes},
+            "buffer": {"hits": self.buffer.hits, "misses": self.buffer.misses},
         }
         for name, counter in self.scopes.items():
             result[name] = {"reads": counter.reads, "writes": counter.writes}
+        for name, counter in self.buffer_scopes.items():
+            result[f"buffer:{name}"] = {"hits": counter.hits, "misses": counter.misses}
         return result

@@ -32,7 +32,7 @@ from __future__ import annotations
 import math
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.bulk import chunk_count, even_chunks
+from repro.bulk import PACKING_STRATEGIES, chunk_count, even_chunks, velocity_bins
 from repro.geometry import kernels
 from repro.geometry.moving_rect import MovingRect
 from repro.geometry.point import Point
@@ -133,7 +133,13 @@ class TPRTree:
         self._insert_entry(entry, level=0)
         self.size += 1
 
-    def bulk_load(self, objects: Iterable[MovingObject], fill: float = DEFAULT_BULK_FILL) -> None:
+    def bulk_load(
+        self,
+        objects: Iterable[MovingObject],
+        fill: float = DEFAULT_BULK_FILL,
+        strategy: str = "midpoint_str",
+        axes: Optional[Sequence] = None,
+    ) -> None:
         """Build the tree bottom-up from ``objects`` with STR packing.
 
         Sort-Tile-Recursive packing (Leutenegger et al.): entries are sorted
@@ -144,6 +150,18 @@ class TPRTree:
         choose-subtree scans, no splits and no forced reinsertions, which is
         what makes build phases tractable at bench scale.
 
+        Two strategies are offered:
+
+        * ``"midpoint_str"`` (default) — plain STR over centers projected
+          half a horizon ahead (the midpoint trick approximates velocity
+          grouping without analyzing velocities);
+        * ``"velocity_str"`` — the objects are first binned by dominant
+          velocity axis (:func:`repro.bulk.velocity_bins`, the VP
+          analyzer's clustering; ``axes`` supplies precomputed DVAs), the
+          leaf level is packed per bin so no leaf mixes objects from
+          different movement regimes, and the upper levels are packed
+          jointly with midpoint STR.
+
         Every produced node respects the tree's ``min_fill``/fan-out
         invariants, so subsequent incremental updates behave exactly as on an
         incrementally built tree.
@@ -151,11 +169,20 @@ class TPRTree:
         Args:
             objects: the initial population (the tree must be empty).
             fill: target node fill as a fraction of ``max_entries``.
+            strategy: one of :data:`repro.bulk.PACKING_STRATEGIES`.
+            axes: optional dominant velocity axes for ``"velocity_str"``
+                (analyzed from the objects when omitted).
 
         Raises:
-            ValueError: if the tree already contains objects.
+            ValueError: if the tree already contains objects or the
+                strategy is unknown.
         """
         objects = list(objects)
+        if strategy not in PACKING_STRATEGIES:
+            raise ValueError(
+                f"unknown packing strategy {strategy!r}; expected one of "
+                f"{PACKING_STRATEGIES}"
+            )
         if self.size:
             raise ValueError("bulk_load requires an empty tree")
         if not objects:
@@ -165,8 +192,22 @@ class TPRTree:
         self.current_time = max(
             self.current_time, max(o.reference_time for o in objects)
         )
-        entries = [TPREntry(bound=o.as_moving_rect(), oid=o.oid) for o in objects]
         levels = 0
+        if strategy == "velocity_str" and len(objects) > self.max_entries:
+            # Pack the leaf level per velocity bin, then hand the combined
+            # parent entries to the ordinary midpoint-STR level loop.
+            bins = velocity_bins(objects, axes=axes, min_bin=self.min_entries)
+            entries = []
+            for group in bins:
+                entries.extend(
+                    self._pack_level(
+                        [TPREntry(bound=o.as_moving_rect(), oid=o.oid) for o in group],
+                        fill,
+                    )
+                )
+            levels = 1
+        else:
+            entries = [TPREntry(bound=o.as_moving_rect(), oid=o.oid) for o in objects]
         while len(entries) > self.max_entries:
             entries = self._pack_level(entries, fill)
             levels += 1

@@ -21,7 +21,6 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.geometry.vector import Vector
 from repro.network.road_network import RoadNetwork
 from repro.objects.moving_object import MovingObject
 from repro.workload.events import UpdateEvent, Workload

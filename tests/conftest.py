@@ -23,6 +23,17 @@ from repro.objects.queries import CircularRange, RangeQuery, TimeSliceRangeQuery
 from repro.workload.parameters import WorkloadParameters
 
 
+def pytest_configure(config) -> None:
+    # The marker is registered in pyproject.toml; registering here as well
+    # keeps `pytest tests` working from contexts that do not read the
+    # project ini (e.g. a vendored subtree).  The two tiers:
+    #   fast: python -m pytest -m "not slow" -q     (CI per-push gate)
+    #   full: python -m pytest -x -q                (tier-1 verify)
+    config.addinivalue_line(
+        "markers", "slow: long replay/figure benchmarks excluded from the fast CI tier"
+    )
+
+
 SMALL_SPACE = Rect(0.0, 0.0, 10_000.0, 10_000.0)
 
 

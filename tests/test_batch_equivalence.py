@@ -161,3 +161,34 @@ def test_update_io_not_worse_at_bench_density():
         _, seq_io, _ = _replay(sequential, batches, "seq")
         _, bat_io, _ = _replay(batched, batches, "batch")
         assert bat_io <= seq_io, (name, bat_io, seq_io)
+
+
+def test_frontier_pinning_never_raises_physical_io():
+    """Batch replay with the buffer's sweep hints on versus off.
+
+    Pinning the sweep frontier (plus the query sweep's sequential-eviction
+    hint) is an eviction-policy improvement, not a semantics change: the
+    replay must produce identical per-query answers, and total physical I/O
+    — updates and queries alike — must not exceed the unhinted run on the
+    bench-density workload.
+    """
+    params = WorkloadParameters(num_objects=1200, time_duration=60.0, num_queries=10)
+    workload = build_workload("SA", params)
+    batches = workload.grouped_events(window=WINDOW)
+    for name in ("Bx", "Bx(VP)"):
+        pinned = build_standard_indexes(workload, params, which=(name,))[name]
+        pinned.bulk_load(workload.initial_objects)
+        unpinned = build_standard_indexes(workload, params, which=(name,))[name]
+        unpinned.buffer.batch_hints_enabled = False
+        unpinned.bulk_load(workload.initial_objects)
+
+        pin_queries, pin_update_io, _ = _replay(pinned, batches, "batch")
+        base_queries, base_update_io, _ = _replay(unpinned, batches, "batch")
+
+        assert pin_queries == base_queries, name
+        assert pin_update_io <= base_update_io, (name, pin_update_io, base_update_io)
+        pin_total = pinned.buffer.stats.physical.total
+        base_total = unpinned.buffer.stats.physical.total
+        assert pin_total <= base_total, (name, pin_total, base_total)
+        # No pins may outlive their sweep.
+        assert pinned.buffer.frontier_page_ids == frozenset()

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.geometry.moving_rect import MovingRect
-from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.geometry.sweep import (
     expected_node_accesses,
@@ -13,7 +12,6 @@ from repro.geometry.sweep import (
     sweeping_volume_closed_form,
     transformed_node,
 )
-from repro.geometry.vector import Vector
 
 speed = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
 extent = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)

@@ -166,6 +166,133 @@ class TestBufferManager:
         assert page.page_id not in buffer.disk
 
 
+class TestBufferPinning:
+    def test_pin_fetches_and_survives_pressure(self):
+        buffer = BufferManager(capacity=2)
+        page = buffer.new_page("keep")
+        buffer.pin(page.page_id)
+        for index in range(5):
+            buffer.new_page(f"filler-{index}")
+        assert page.page_id in buffer, "pinned pages are never evicted"
+        buffer.unpin(page.page_id)
+        buffer.new_page("evicts-now")
+        buffer.new_page("evicts-now-2")
+        assert page.page_id not in buffer
+
+    def test_unpin_underflow_raises(self):
+        buffer = BufferManager(capacity=2)
+        page = buffer.new_page("a")
+        buffer.pin(page.page_id)
+        buffer.unpin(page.page_id)
+        with pytest.raises(ValueError):
+            buffer.unpin(page.page_id)
+
+    def test_unpin_non_resident_raises(self):
+        buffer = BufferManager(capacity=2)
+        with pytest.raises(KeyError):
+            buffer.unpin(42)
+
+    def test_pin_frontier_replaces_set(self):
+        buffer = BufferManager(capacity=12)
+        pages = [buffer.new_page(i) for i in range(3)]
+        buffer.pin_frontier([pages[0].page_id, pages[1].page_id])
+        assert pages[0].is_pinned and pages[1].is_pinned
+        buffer.pin_frontier([pages[1].page_id, pages[2].page_id])
+        assert not pages[0].is_pinned, "pages leaving the frontier are unpinned"
+        assert pages[1].is_pinned and pages[2].is_pinned
+        buffer.release_frontier()
+        assert not any(page.is_pinned for page in pages)
+
+    def test_pin_frontier_ignores_non_resident_and_never_fetches(self):
+        buffer = BufferManager(capacity=2)
+        page = buffer.new_page("a")
+        for index in range(3):
+            buffer.new_page(index)  # evicts "a"
+        reads_before = buffer.stats.physical.reads
+        buffer.pin_frontier([page.page_id])
+        assert buffer.stats.physical.reads == reads_before
+        assert buffer.frontier_page_ids == frozenset()
+
+    def test_pin_frontier_respects_capacity_headroom(self):
+        buffer = BufferManager(capacity=6)
+        pages = [buffer.new_page(i) for i in range(5)]
+        buffer.pin_frontier([page.page_id for page in pages])
+        # capacity - 4 = 2 frames may be pinned, never more.
+        assert len(buffer.frontier_page_ids) == 2
+        buffer.release_frontier()
+
+    def test_frontier_page_freed_mid_sweep_is_unpinned(self):
+        buffer = BufferManager(capacity=12)
+        page = buffer.new_page("a")
+        buffer.pin_frontier([page.page_id])
+        buffer.free_page(page.page_id)
+        assert buffer.frontier_page_ids == frozenset()
+        assert not page.is_pinned
+
+    def test_batch_hints_can_be_disabled(self):
+        buffer = BufferManager(capacity=12)
+        buffer.batch_hints_enabled = False
+        page = buffer.new_page("a")
+        buffer.pin_frontier([page.page_id])
+        assert not page.is_pinned
+        buffer.advise_sequential(True)
+        assert buffer._sequential_depth == 0
+
+    def test_sequential_hint_prefers_recent_clean_victim(self):
+        buffer = BufferManager(capacity=2)
+        old = buffer.new_page("old")
+        recent = buffer.new_page("recent")
+        buffer.flush()  # both pages clean
+        buffer.fetch(old.page_id)
+        buffer.fetch(recent.page_id)  # LRU victim would be `old`
+        buffer.advise_sequential(True)
+        try:
+            buffer.new_page("filler")
+            assert old.page_id in buffer, "sequential eviction spares older pages"
+            assert recent.page_id not in buffer
+        finally:
+            buffer.advise_sequential(False)
+
+    def test_sequential_hint_leaves_dirty_pages_to_lru(self):
+        buffer = BufferManager(capacity=2)
+        old = buffer.new_page("old")
+        recent = buffer.new_page("recent")
+        buffer.flush()
+        buffer.fetch(old.page_id)
+        buffer.mark_dirty(buffer.fetch(recent.page_id))  # MRU but dirty
+        buffer.advise_sequential(True)
+        try:
+            writes_before = buffer.stats.physical.writes
+            buffer.new_page("filler")
+            # The dirty MRU page is spared; plain LRU evicts the clean old
+            # page with no eager write-back.
+            assert recent.page_id in buffer
+            assert old.page_id not in buffer
+            assert buffer.stats.physical.writes == writes_before
+        finally:
+            buffer.advise_sequential(False)
+
+    def test_buffer_hit_miss_recorded_in_stats(self):
+        buffer = BufferManager(capacity=2)
+        page = buffer.new_page("a")
+        buffer.fetch(page.page_id)  # hit
+        for index in range(3):
+            buffer.new_page(index)  # evict "a"
+        buffer.fetch(page.page_id)  # miss
+        assert buffer.stats.buffer.hits == buffer.hits == 1
+        assert buffer.stats.buffer.misses == buffer.misses == 1
+        assert buffer.stats.as_dict()["buffer"] == {"hits": 1, "misses": 1}
+
+    def test_buffer_stats_scope_attribution(self):
+        buffer = BufferManager(capacity=2)
+        page = buffer.new_page("a")
+        with buffer.stats.scope("query"):
+            buffer.fetch(page.page_id)
+        buffer.fetch(page.page_id)
+        assert buffer.stats.buffer_scoped("query").hits == 1
+        assert buffer.stats.buffer.hits == 2
+
+
 class TestIOStats:
     def test_counter_arithmetic(self):
         a = Counter(reads=5, writes=2)

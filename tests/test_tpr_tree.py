@@ -7,7 +7,7 @@ import pytest
 from repro.geometry.point import Point
 from repro.geometry.vector import Vector
 from repro.objects.moving_object import MovingObject
-from repro.objects.queries import CircularRange, RectangularRange, TimeSliceRangeQuery
+from repro.objects.queries import RectangularRange, TimeSliceRangeQuery
 from repro.geometry.rect import Rect
 from repro.storage.buffer_manager import BufferManager
 from repro.tprtree.node import TPREntry, TPRNode

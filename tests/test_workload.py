@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.pc_kmeans import find_dvas
 from repro.network.generators import chicago_like
-from repro.workload.events import QueryEvent, UpdateEvent, Workload
+from repro.workload.events import UpdateEvent, Workload
 from repro.workload.generator import DATASETS, build_workload
 from repro.workload.network_workload import NetworkWorkloadGenerator
 from repro.workload.parameters import WorkloadParameters
