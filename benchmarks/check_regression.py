@@ -25,10 +25,13 @@ import os
 import sys
 from typing import Dict, List, Optional
 
-#: Metric the gate enforces, per watched index.
-METRIC = "update_ms"
+#: Metrics the gate enforces, per watched index (the headline batched-update
+#: and batched-kNN claims).  A metric absent from the baseline entry is
+#: skipped: history entries predating a metric have nothing to regress
+#: against.
+METRICS = ("update_ms", "knn_ms")
 
-#: Indexes the gate watches (the headline batched-update claim).
+#: Indexes the gate watches.
 WATCHED_INDEXES = ("Bx",)
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -77,21 +80,35 @@ def check(
         old_row = baseline.get("indexes", {}).get(name)
         if not new_row or not old_row:
             continue
-        new_value = float(new_row.get(METRIC, 0.0))
-        old_value = float(old_row.get(METRIC, 0.0))
-        if old_value <= 0.0:
-            continue
-        regression = new_value / old_value - 1.0
-        status = "ok" if regression <= max_regression else "REGRESSION"
-        print(
-            f"{name} {METRIC}: {old_value:.4f} -> {new_value:.4f} "
-            f"({regression:+.1%}, limit +{max_regression:.0%}) {status}"
-        )
-        if regression > max_regression:
-            failures.append(
-                f"{name} batched {METRIC} regressed {regression:+.1%} "
-                f"(limit +{max_regression:.0%})"
+        for metric in METRICS:
+            if metric not in old_row:
+                # Baselines predating the metric have nothing to regress
+                # against; newer baselines re-arm the gate automatically.
+                continue
+            if metric not in new_row:
+                # The baseline records the metric but the fresh report does
+                # not: the harness stopped emitting it, which would silently
+                # disarm the gate — fail loudly instead.
+                failures.append(
+                    f"{name} {metric} missing from the fresh report (present "
+                    "in the baseline); the regression gate would be disarmed"
+                )
+                continue
+            new_value = float(new_row[metric])
+            old_value = float(old_row[metric])
+            if old_value <= 0.0:
+                continue
+            regression = new_value / old_value - 1.0
+            status = "ok" if regression <= max_regression else "REGRESSION"
+            print(
+                f"{name} {metric}: {old_value:.4f} -> {new_value:.4f} "
+                f"({regression:+.1%}, limit +{max_regression:.0%}) {status}"
             )
+            if regression > max_regression:
+                failures.append(
+                    f"{name} batched {metric} regressed {regression:+.1%} "
+                    f"(limit +{max_regression:.0%})"
+                )
     return failures
 
 

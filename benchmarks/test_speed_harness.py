@@ -34,8 +34,11 @@ def test_quick_mode_appends_history(tmp_path):
         assert row["build_bulk_s"] > 0.0
         assert row["build_incremental_s"] > 0.0
         assert row["build_speedup"] > 0.0
-        # Batched and per-event replay must return the same query answers.
+        # Batched and per-event replay must return the same query answers,
+        # and the batched kNN replay the same neighbour rankings.
         assert row["results_match"] == 1.0, name
+        assert row["knn_results_match"] == 1.0, name
+        assert row["knn_ms"] > 0.0 and row["per_event_knn_ms"] > 0.0, name
         # Batched replay must not collapse: even with scheduler noise at
         # smoke scale it stays within a wide band of the per-event path
         # (the bench-scale history is where the ≥2x Bx-family win lives).
@@ -98,6 +101,39 @@ def test_check_regression_gate(tmp_path):
         )
         == 0
     )
+
+
+def test_check_regression_covers_knn(tmp_path):
+    import check_regression
+
+    def entry(update_ms, knn_ms=None):
+        row = {"update_ms": update_ms}
+        if knn_ms is not None:
+            row["knn_ms"] = knn_ms
+        return {
+            "mode": "quick",
+            "dataset": "SA",
+            "params": {"num_objects": 400},
+            "indexes": {"Bx": row},
+        }
+
+    history = tmp_path / "history.json"
+    report = tmp_path / "report.json"
+    history.write_text(json.dumps({"history": [entry(0.02, knn_ms=0.5)]}))
+
+    # A stable update time does not excuse a regressed batched kNN time.
+    report.write_text(json.dumps({"history": [entry(0.02, knn_ms=0.7)]}))
+    assert check_regression.main([str(report), "--history", str(history)]) == 1
+
+    # Baselines predating the knn metric are skipped, not failed.
+    history.write_text(json.dumps({"history": [entry(0.02)]}))
+    assert check_regression.main([str(report), "--history", str(history)]) == 0
+
+    # The reverse is a failure: a report that stopped emitting a gated
+    # metric would silently disarm the gate.
+    history.write_text(json.dumps({"history": [entry(0.02, knn_ms=0.5)]}))
+    report.write_text(json.dumps({"history": [entry(0.02)]}))
+    assert check_regression.main([str(report), "--history", str(history)]) == 1
 
 
 def test_check_regression_requires_comparable_baseline(tmp_path):

@@ -35,6 +35,8 @@ from repro.objects import (
     TimeSliceRangeQuery,
     TimeIntervalRangeQuery,
     MovingRangeQuery,
+    KNNQuery,
+    AdaptiveRadius,
     k_nearest_neighbors,
 )
 from repro.storage import BufferManager, DiskManager, IOStats
@@ -77,6 +79,8 @@ __all__ = [
     "TimeSliceRangeQuery",
     "TimeIntervalRangeQuery",
     "MovingRangeQuery",
+    "KNNQuery",
+    "AdaptiveRadius",
     "k_nearest_neighbors",
     "BufferManager",
     "DiskManager",

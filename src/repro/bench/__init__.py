@@ -3,8 +3,11 @@
 from repro.bench.harness import (
     ExperimentRunner,
     IndexMetrics,
+    KNNMetrics,
     build_standard_indexes,
+    knn_queries_from_workload,
     run_comparison,
+    run_knn,
 )
 from repro.bench.reporting import format_table, rows_to_csv
 from repro.bench import experiments
@@ -12,8 +15,11 @@ from repro.bench import experiments
 __all__ = [
     "ExperimentRunner",
     "IndexMetrics",
+    "KNNMetrics",
     "build_standard_indexes",
+    "knn_queries_from_workload",
     "run_comparison",
+    "run_knn",
     "format_table",
     "rows_to_csv",
     "experiments",

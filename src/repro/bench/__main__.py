@@ -58,6 +58,7 @@ def _run_figure(
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Command-line interface of ``python -m repro.bench``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Run the paper's experiments and print/write their tables.",
@@ -87,6 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Run the requested figures and print (or write) their tables."""
     args = build_parser().parse_args(argv)
     if args.list:
         for name, (description, *_rest) in sorted(FIGURES.items()):

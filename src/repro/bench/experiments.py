@@ -117,6 +117,7 @@ def fig10_dva_discovery(
     velocities = workload.velocity_sample()
 
     def quality(result) -> float:
+        """Mean perpendicular distance of the sample to its assigned axes."""
         total = 0.0
         for velocity, assignment in zip(velocities, result.assignments):
             total += velocity.perpendicular_distance_to_axis(result.axes[assignment])
@@ -160,6 +161,7 @@ def fig17_tau_threshold(
     runner = ExperimentRunner(workload, bulk_build=bulk_build, batch=batch)
 
     def run_with(partitioning: VelocityPartitioning, label: str, tau_label: object) -> List[Row]:
+        """Replay the workload on both VP indexes under one partitioning."""
         rows: List[Row] = []
         for name in which:
             if name == "Bx(VP)":

@@ -24,6 +24,8 @@ from repro.core.partitioned_index import (
     make_vp_tprstar_tree,
 )
 from repro.core.velocity_analyzer import VelocityAnalyzer
+from repro.geometry.rect import Rect
+from repro.objects.knn import AdaptiveRadius, KNNQuery
 from repro.storage.buffer_manager import BufferManager
 from repro.tprtree.tpr_tree import TPRTree
 from repro.tprtree.tprstar_tree import TPRStarTree
@@ -55,6 +57,7 @@ class IndexMetrics:
 
     @property
     def avg_query_io(self) -> float:
+        """Average physical I/O per range query."""
         return self.query_io_total / self.num_queries if self.num_queries else 0.0
 
     @property
@@ -64,20 +67,24 @@ class IndexMetrics:
 
     @property
     def avg_update_node_accesses(self) -> float:
+        """Logical node accesses per update (buffer hits included)."""
         return self.update_node_accesses / self.num_updates if self.num_updates else 0.0
 
     @property
     def avg_update_io(self) -> float:
+        """Average physical I/O per update."""
         return self.update_io_total / self.num_updates if self.num_updates else 0.0
 
     @property
     def avg_query_time_ms(self) -> float:
+        """Average wall-clock milliseconds per range query."""
         if not self.num_queries:
             return 0.0
         return 1000.0 * self.query_time_total / self.num_queries
 
     @property
     def avg_update_time_ms(self) -> float:
+        """Average wall-clock milliseconds per update."""
         if not self.num_updates:
             return 0.0
         return 1000.0 * self.update_time_total / self.num_updates
@@ -224,6 +231,132 @@ class ExperimentRunner:
                 metrics.num_queries += len(batch)
                 metrics.results_returned += returned
         return metrics
+
+
+# ----------------------------------------------------------------------
+# kNN replay (the batched expanding-range surface)
+# ----------------------------------------------------------------------
+#: Default number of neighbours per probe in the kNN replay.
+DEFAULT_KNN_K = 10
+
+
+@dataclass
+class KNNMetrics:
+    """Metrics of one kNN replay (per-probe I/O, node accesses and latency)."""
+
+    index_name: str
+    num_queries: int = 0
+    io_total: int = 0
+    node_accesses: int = 0
+    time_total: float = 0.0
+    results: List[List] = field(default_factory=list)
+
+    @property
+    def avg_io(self) -> float:
+        """Average physical I/O per kNN probe."""
+        return self.io_total / self.num_queries if self.num_queries else 0.0
+
+    @property
+    def avg_node_accesses(self) -> float:
+        """Average logical node accesses per kNN probe."""
+        return self.node_accesses / self.num_queries if self.num_queries else 0.0
+
+    @property
+    def avg_time_ms(self) -> float:
+        """Average wall-clock milliseconds per kNN probe."""
+        if not self.num_queries:
+            return 0.0
+        return 1000.0 * self.time_total / self.num_queries
+
+
+def knn_queries_from_workload(workload: Workload, k: int = DEFAULT_KNN_K) -> List[KNNQuery]:
+    """One kNN probe per range-query event of ``workload``.
+
+    The probes reuse the events' range centers and *predictive offsets*
+    (how far each query looks ahead of its issue time), but are issued at
+    the end of the event stream: the kNN replay runs against the fully
+    replayed index, and a moving-object index only answers questions about
+    the present and future of its clock — an entry's time-parameterized
+    bound does not cover the object's past positions, so a probe issued
+    "before" the index clock would silently lose candidates.
+    """
+    events = workload.sorted_events()
+    issue_time = events[-1].time if events else 0.0
+    probes: List[KNNQuery] = []
+    for event in workload.query_events:
+        query = event.query
+        probes.append(
+            KNNQuery(
+                center=query.range.center,
+                k=k,
+                query_time=issue_time + query.predictive_time,
+                issue_time=issue_time,
+            )
+        )
+    return probes
+
+
+def run_knn(
+    index,
+    probes: Sequence[KNNQuery],
+    space: Optional[Rect] = None,
+    batch: bool = True,
+    batch_size: Optional[int] = None,
+    radius_state: Optional[AdaptiveRadius] = None,
+    name: Optional[str] = None,
+) -> KNNMetrics:
+    """Replay kNN probes against ``index`` and record per-probe metrics.
+
+    In batch mode the probes are grouped into fixed-size batches (the
+    concurrent-users model: a tracking service ranks nearest vehicles for
+    many subscribers at once) and each group runs through the index's
+    ``knn_query_batch`` with shared expanding-range rounds; per-event mode
+    issues one ``knn_query`` per probe.  Both modes return identical
+    answers — batching only amortizes traversals and filter rounds.
+
+    Args:
+        index: any index exposing ``knn_query`` / ``knn_query_batch``.
+        probes: the kNN probes to replay, in order.
+        space: data space (initial radius seed and expansion cap).
+        batch: replay through the batch surface (default) or per event.
+        batch_size: probes per batch in batch mode; None runs one batch.
+        radius_state: optional cross-batch adaptive radius seed (batch mode).
+        name: metrics label; defaults to the index's own name.
+
+    Returns:
+        The replay's :class:`KNNMetrics`, including the per-probe answers.
+    """
+    probes = list(probes)
+    metrics = KNNMetrics(index_name=name or getattr(index, "name", type(index).__name__))
+    stats = index.buffer.stats
+    if batch:
+        step = batch_size if batch_size is not None else max(len(probes), 1)
+        groups = [probes[i : i + step] for i in range(0, len(probes), step)]
+    else:
+        groups = [[probe] for probe in probes]
+    for group in groups:
+        io_before = stats.physical.total
+        nodes_before = stats.logical.reads
+        started = time.perf_counter()
+        if batch:
+            answers = index.knn_query_batch(group, space=space, radius_state=radius_state)
+        else:
+            answers = [
+                index.knn_query(
+                    probe.center,
+                    probe.k,
+                    probe.query_time,
+                    issue_time=probe.issue_time,
+                    space=space,
+                )
+                for probe in group
+            ]
+        metrics.time_total += time.perf_counter() - started
+        metrics.io_total += stats.physical.total - io_before
+        metrics.node_accesses += stats.logical.reads - nodes_before
+        metrics.num_queries += len(group)
+        metrics.results.extend(answers)
+    return metrics
 
 
 # ----------------------------------------------------------------------

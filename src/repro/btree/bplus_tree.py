@@ -550,7 +550,7 @@ class BPlusTree:
         return results
 
     def range_search_batch(
-        self, ranges: Sequence[Tuple[int, int]]
+        self, ranges: Sequence[Tuple[int, int]], sequential_hint: bool = True
     ) -> List[List[Tuple[int, Any]]]:
         """Run many inclusive range scans in one left-to-right sweep.
 
@@ -560,14 +560,25 @@ class BPlusTree:
         and the scan continues from that leaf.  Each individual scan visits
         exactly the leaves :meth:`range_search` would, so candidate order
         per range is identical — only shared descents are saved.  The sweep
-        pins its current leaf as the buffer frontier and runs under the
-        sequential-eviction hint, exactly like :meth:`apply_batch`.
+        pins its current leaf as the buffer frontier and, by default, runs
+        under the sequential-eviction hint, exactly like
+        :meth:`apply_batch`.
+
+        Args:
+            ranges: inclusive ``(lo, hi)`` key ranges to scan.
+            sequential_hint: advise the buffer that scanned leaves will not
+                be revisited.  Callers that re-scan overlapping ranges
+                shortly after — the kNN filter rounds grow their windows
+                around the same centers — pass False, because evicting the
+                just-scanned leaves would evict exactly the pages the next
+                round needs.
         """
         results: List[List[Tuple[int, Any]]] = [[] for _ in ranges]
         order = sorted(range(len(ranges)), key=lambda i: ranges[i][0])
         leaf: Optional[_LeafNode] = None
         buffer = self.buffer
-        buffer.advise_sequential(True)
+        if sequential_hint:
+            buffer.advise_sequential(True)
         try:
             for i in order:
                 key_lo, key_hi = ranges[i]
@@ -589,7 +600,8 @@ class BPlusTree:
                 leaf = node if node is not None else leaf
                 buffer.pin_frontier((leaf.page_id,))
         finally:
-            buffer.advise_sequential(False)
+            if sequential_hint:
+                buffer.advise_sequential(False)
             buffer.release_frontier()
         return results
 

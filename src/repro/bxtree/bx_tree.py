@@ -48,6 +48,12 @@ from repro.bxtree.spacefill import HilbertCurve, SpaceFillingCurve, ZCurve
 from repro.bxtree.velocity_histogram import VelocityHistogram
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
+from repro.objects.knn import (
+    AdaptiveRadius,
+    CandidateState,
+    KNNQuery,
+    expanding_knn_batch,
+)
 from repro.objects.moving_object import MovingObject
 from repro.objects.queries import RangeQuery
 from repro.storage.buffer_manager import BufferManager
@@ -458,6 +464,109 @@ class BxTree:
                         dedup.add(obj.oid)
                         out.append(obj.oid)
         return results
+
+    # ------------------------------------------------------------------
+    # kNN queries (batched expanding-range filter over the shared sweep)
+    # ------------------------------------------------------------------
+    def knn_query(
+        self,
+        center: Point,
+        k: int,
+        query_time: float,
+        issue_time: float = 0.0,
+        space: Optional[Rect] = None,
+        radius_state: Optional[AdaptiveRadius] = None,
+    ) -> List[Tuple[int, float]]:
+        """The ``k`` objects predicted to be nearest ``center`` at ``query_time``.
+
+        Single-probe convenience over :meth:`knn_query_batch`.
+
+        Args:
+            center: query point.
+            k: number of neighbours requested.
+            query_time: the (future) timestamp the prediction refers to.
+            issue_time: the current time the query is issued at.
+            space: data space override; defaults to the index's own space.
+            radius_state: optional cross-batch adaptive radius seed.
+
+        Returns:
+            Up to ``k`` ``(oid, distance)`` pairs sorted by ``(distance, oid)``.
+        """
+        probe = KNNQuery(center=center, k=k, query_time=query_time, issue_time=issue_time)
+        return self.knn_query_batch([probe], space=space, radius_state=radius_state)[0]
+
+    def knn_query_batch(
+        self,
+        queries: Sequence[KNNQuery],
+        space: Optional[Rect] = None,
+        radius_state: Optional[AdaptiveRadius] = None,
+    ) -> List[List[Tuple[int, float]]]:
+        """Answer a batch of kNN probes with shared expanding-range rounds.
+
+        Each round's circular filter queries run through the batched
+        curve-range machinery: one active-partition list, one set of
+        histogram extrema and one chained left-to-right B+-tree sweep per
+        partition serve every unfinished probe of the round, and the
+        candidate ranking runs vectorized in
+        :func:`repro.objects.knn.expanding_knn_batch`.  Answers are
+        identical to issuing the probes one at a time.
+
+        Args:
+            queries: the kNN probes.
+            space: data space override; defaults to the index's own space.
+            radius_state: optional cross-batch adaptive radius seed.
+
+        Returns:
+            Per probe, up to ``k`` ``(oid, distance)`` pairs sorted by
+            ``(distance, oid)``.
+        """
+        return expanding_knn_batch(
+            self.knn_candidates_batch,
+            queries,
+            space=space if space is not None else self.space,
+            population=len(self),
+            radius_state=radius_state,
+        )
+
+    def knn_candidates_batch(
+        self, queries: Sequence[RangeQuery]
+    ) -> List[List[CandidateState]]:
+        """Candidate motion states per filter query (one shared sweep per partition).
+
+        The unrefined twin of :meth:`range_query_batch`: the same enlarged
+        windows and merged curve ranges, but the scanned B+-tree records are
+        returned as flat motion states (for the kNN distance ranking)
+        instead of being filtered with the exact query predicate.
+        """
+        out: List[dict] = [{} for _ in queries]
+        curve_size = self._curve_size
+        for partition in self.active_partitions:
+            base_key = partition * curve_size
+            ranges: List[Tuple[int, int]] = []
+            owners: List[int] = []
+            for qi, query in enumerate(queries):
+                window = self.enlarged_window(query, partition)
+                for lo, hi in self._ranges_for_window(window):
+                    ranges.append((base_key + lo, base_key + hi))
+                    owners.append(qi)
+            # No sequential-eviction hint: unlike a one-pass query sweep,
+            # the kNN filter rounds re-scan grown versions of these same
+            # ranges, so the just-scanned leaves are exactly the pages the
+            # next round wants resident.
+            scans = self.btree.range_search_batch(ranges, sequential_hint=False)
+            for qi, scanned in zip(owners, scans):
+                pool = out[qi]
+                for _, obj in scanned:
+                    if obj.oid not in pool:
+                        pool[obj.oid] = (
+                            obj.oid,
+                            obj.position.x,
+                            obj.position.y,
+                            obj.velocity.vx,
+                            obj.velocity.vy,
+                            obj.reference_time,
+                        )
+        return [list(pool.values()) for pool in out]
 
     def enlarged_window(self, query: RangeQuery, partition: int) -> Rect:
         """Query window enlarged back to the partition's label time.

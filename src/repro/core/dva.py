@@ -45,10 +45,12 @@ class CoordinateFrame:
     # Forward transform (original -> frame)
     # ------------------------------------------------------------------
     def to_frame_point(self, point: Point) -> Point:
+        """Express an original-frame point in the frame's coordinates."""
         as_vector = Vector(point.x, point.y)
         return Point(as_vector.dot(self.axis), as_vector.dot(self.normal))
 
     def to_frame_vector(self, vector: Vector) -> Vector:
+        """Express an original-frame vector in the frame's coordinates."""
         return Vector(vector.dot(self.axis), vector.dot(self.normal))
 
     def to_frame_object(self, obj: MovingObject) -> MovingObject:
@@ -97,18 +99,21 @@ class CoordinateFrame:
     # Inverse transform (frame -> original)
     # ------------------------------------------------------------------
     def from_frame_point(self, point: Point) -> Point:
+        """Map a frame-coordinates point back to the original frame."""
         return Point(
             point.x * self.axis.vx + point.y * self.normal.vx,
             point.x * self.axis.vy + point.y * self.normal.vy,
         )
 
     def from_frame_vector(self, vector: Vector) -> Vector:
+        """Map a frame-coordinates vector back to the original frame."""
         return Vector(
             vector.vx * self.axis.vx + vector.vy * self.normal.vx,
             vector.vx * self.axis.vy + vector.vy * self.normal.vy,
         )
 
     def from_frame_rect(self, rect: Rect) -> Rect:
+        """Axis-aligned original-frame MBR of a frame-coordinates rectangle."""
         corners = [self.from_frame_point(c) for c in rect.corners()]
         return Rect.bounding_points(corners)
 
@@ -153,4 +158,5 @@ class DominantVelocityAxis:
         return angle % 180.0
 
     def with_tau(self, tau: float) -> "DominantVelocityAxis":
+        """Copy of the DVA with a refreshed outlier threshold."""
         return DominantVelocityAxis(axis=self.axis, tau=tau)

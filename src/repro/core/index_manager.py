@@ -30,8 +30,15 @@ import numpy as np
 from repro.bulk import loader_accepts
 from repro.core.dva import CoordinateFrame
 from repro.geometry.point import Point
+from repro.geometry.rect import Rect
 from repro.geometry.vector import Vector
 from repro.core.velocity_analyzer import VelocityPartitioning
+from repro.objects.knn import (
+    AdaptiveRadius,
+    CandidateState,
+    KNNQuery,
+    expanding_knn_batch,
+)
 from repro.objects.moving_object import MovingObject
 from repro.objects.queries import (
     CircularRange,
@@ -46,11 +53,17 @@ OUTLIER_PARTITION = -1
 class MovingObjectIndex(Protocol):
     """Protocol implemented by TPR*/Bx trees (and any future base index)."""
 
-    def insert(self, obj: MovingObject) -> None: ...
+    def insert(self, obj: MovingObject) -> None:
+        """Insert an object snapshot."""
+        ...
 
-    def delete(self, obj: MovingObject) -> bool: ...
+    def delete(self, obj: MovingObject) -> bool:
+        """Delete a previously inserted snapshot; True when it existed."""
+        ...
 
-    def range_query(self, query: RangeQuery, exact: bool = True) -> List[int]: ...
+    def range_query(self, query: RangeQuery, exact: bool = True) -> List[int]:
+        """Ids of objects qualifying for (or candidate for) ``query``."""
+        ...
 
 
 @dataclass(slots=True)
@@ -95,6 +108,7 @@ class IndexManager:
     # ------------------------------------------------------------------
     @property
     def k(self) -> int:
+        """Number of DVA partitions (excluding the outlier partition)."""
         return self.partitioning.k
 
     def frame_of(self, partition: int) -> Optional[CoordinateFrame]:
@@ -351,6 +365,7 @@ class IndexManager:
         seen: List[set] = [set() for _ in queries]
 
         def run(index: MovingObjectIndex, transformed: List[RangeQuery]) -> None:
+            """Collect one sub-index's candidates through its batch surface."""
             batch = getattr(index, "range_query_batch", None)
             if batch is not None:
                 candidate_lists = batch(transformed, exact=False)
@@ -368,6 +383,128 @@ class IndexManager:
             )
         run(self.outlier_index, queries)
         return results
+
+    # ------------------------------------------------------------------
+    # kNN queries (batched expanding-range filter over Algorithm 3)
+    # ------------------------------------------------------------------
+    def knn_query(
+        self,
+        center: Point,
+        k: int,
+        query_time: float,
+        issue_time: float = 0.0,
+        space: Optional[Rect] = None,
+        radius_state: Optional[AdaptiveRadius] = None,
+    ) -> List[Tuple[int, float]]:
+        """The ``k`` objects predicted to be nearest ``center`` at ``query_time``.
+
+        Single-probe convenience over :meth:`knn_query_batch`.
+
+        Args:
+            center: query point (in the original, unrotated frame).
+            k: number of neighbours requested.
+            query_time: the (future) timestamp the prediction refers to.
+            issue_time: the current time the query is issued at.
+            space: data space (initial radius seed and expansion cap).
+            radius_state: optional cross-batch adaptive radius seed.
+
+        Returns:
+            Up to ``k`` ``(oid, distance)`` pairs sorted by ``(distance, oid)``.
+        """
+        probe = KNNQuery(center=center, k=k, query_time=query_time, issue_time=issue_time)
+        return self.knn_query_batch([probe], space=space, radius_state=radius_state)[0]
+
+    def knn_query_batch(
+        self,
+        queries: Sequence[KNNQuery],
+        space: Optional[Rect] = None,
+        radius_state: Optional[AdaptiveRadius] = None,
+    ) -> List[List[Tuple[int, float]]]:
+        """Answer a batch of kNN probes with shared expanding-range rounds.
+
+        Each round runs Algorithm 3's filter step for every unfinished probe
+        at once: every DVA rotates the round's circular filter queries into
+        its frame once and hands the whole group to the sub-index's batched
+        query surface (circles stay circles under the rigid rotation), and
+        the candidate ranking — on the *original* object snapshots from the
+        directory — runs vectorized in
+        :func:`repro.objects.knn.expanding_knn_batch`.  Answers are
+        identical to issuing the probes one at a time.
+
+        Args:
+            queries: the kNN probes (centers in the original frame).
+            space: data space (initial radius seed and expansion cap).
+            radius_state: optional cross-batch adaptive radius seed.
+
+        Returns:
+            Per probe, up to ``k`` ``(oid, distance)`` pairs sorted by
+            ``(distance, oid)``.
+        """
+        return expanding_knn_batch(
+            self._knn_candidates_batch,
+            queries,
+            space=space,
+            population=len(self),
+            radius_state=radius_state,
+        )
+
+    def _knn_candidates_batch(
+        self, queries: Sequence[RangeQuery]
+    ) -> List[List[CandidateState]]:
+        """Candidate motion states per filter query across every partition.
+
+        The unrefined twin of :meth:`range_query_batch`: the sub-indexes
+        return raw candidate ids from their rotated frames, and each id is
+        resolved through the directory to its *original* (unrotated)
+        snapshot so the kNN distance ranking happens in the frame the query
+        was asked in.
+        """
+        queries = list(queries)
+        pools: List[dict] = [{} for _ in queries]
+        directory = self._directory
+
+        def run(index: MovingObjectIndex, transformed: List[RangeQuery]) -> None:
+            """Resolve one sub-index's raw candidates into motion states."""
+            fetch = getattr(index, "knn_candidates_batch", None)
+            if fetch is not None:
+                # The kNN-specific candidate surface: same shared machinery
+                # as range_query_batch, but without the one-pass eviction
+                # hint (filter rounds re-scan grown windows) and without the
+                # exact predicate (we re-rank in the original frame anyway).
+                candidate_lists = [
+                    [state[0] for state in states] for states in fetch(transformed)
+                ]
+            elif (batch := getattr(index, "range_query_batch", None)) is not None:
+                candidate_lists = batch(transformed, exact=False)
+            else:
+                candidate_lists = [
+                    index.range_query(query, exact=False) for query in transformed
+                ]
+            for qi, candidates in enumerate(candidate_lists):
+                pool = pools[qi]
+                for oid in candidates:
+                    if oid in pool:
+                        continue
+                    record = directory.get(oid)
+                    if record is None:
+                        continue
+                    original = record.original
+                    pool[oid] = (
+                        oid,
+                        original.position.x,
+                        original.position.y,
+                        original.velocity.vx,
+                        original.velocity.vy,
+                        original.reference_time,
+                    )
+
+        for partition in range(self.partitioning.k):
+            run(
+                self._index_of(partition),
+                [self.transform_query(query, partition) for query in queries],
+            )
+        run(self.outlier_index, queries)
+        return [list(pool.values()) for pool in pools]
 
     def transform_query(self, query: RangeQuery, partition: int) -> RangeQuery:
         """Rotate ``query`` into the coordinate frame of ``partition``.
@@ -442,5 +579,6 @@ class IndexManager:
         return sizes
 
     def stored_object(self, oid: int) -> Optional[MovingObject]:
+        """Original (unrotated) snapshot of a live object, or None."""
         record = self._directory.get(oid)
         return record.original if record is not None else None

@@ -41,6 +41,7 @@ class TauSearchResult:
 
     @property
     def best_candidate(self) -> Tuple[float, float]:
+        """The winning ``(tau, objective_value)`` pair."""
         return (self.tau, self.objective)
 
 

@@ -32,6 +32,7 @@ from repro.core.velocity_analyzer import (
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.geometry.vector import Vector
+from repro.objects.knn import AdaptiveRadius, KNNQuery
 from repro.objects.moving_object import MovingObject
 from repro.objects.queries import RangeQuery
 from repro.storage.buffer_manager import DEFAULT_BUFFER_PAGES, BufferManager
@@ -47,16 +48,28 @@ class VPIndex:
         index_factory: Callable[[int], MovingObjectIndex],
         buffer: BufferManager,
         name: str,
+        space: Optional[Rect] = None,
     ) -> None:
+        """Bundle a partitioning, an index factory and a shared buffer pool.
+
+        Args:
+            partitioning: output of the velocity analyzer.
+            index_factory: builds one sub-index per partition number.
+            buffer: the buffer pool shared by every sub-index.
+            name: display name used by the harness (e.g. ``"Bx(VP)"``).
+            space: data space, when known; seeds kNN filter radii.
+        """
         self.partitioning = partitioning
         self.buffer = buffer
         self.name = name
+        self.space = space
         self.manager = IndexManager(partitioning, index_factory)
 
     # ------------------------------------------------------------------
     # Index protocol (mirrors the unpartitioned indexes)
     # ------------------------------------------------------------------
     def insert(self, obj: MovingObject) -> None:
+        """Insert an object (routed to its partition by the manager)."""
         self.manager.insert(obj)
 
     def bulk_load(
@@ -73,9 +86,11 @@ class VPIndex:
         self.manager.bulk_load(objects, strategy=strategy)
 
     def delete(self, obj: MovingObject) -> bool:
+        """Delete an object by id; True when it was stored."""
         return self.manager.delete(obj.oid)
 
     def update(self, old: MovingObject, new: MovingObject) -> bool:
+        """Update an object (it may migrate partitions); True when it existed."""
         existed = self.manager.partition_of(old.oid) is not None
         self.manager.update(new)
         return existed
@@ -101,6 +116,7 @@ class VPIndex:
         return len(pairs) - (len(self.manager) - before)
 
     def range_query(self, query: RangeQuery, exact: bool = True) -> List[int]:
+        """Object ids qualifying for ``query`` (Algorithm 3 over all partitions)."""
         del exact  # the VP query algorithm always applies the exact filter
         return self.manager.range_query(query)
 
@@ -111,6 +127,38 @@ class VPIndex:
         del exact  # the VP query algorithm always applies the exact filter
         return self.manager.range_query_batch(list(queries))
 
+    def knn_query(
+        self,
+        center: Point,
+        k: int,
+        query_time: float,
+        issue_time: float = 0.0,
+        space: Optional[Rect] = None,
+        radius_state: Optional[AdaptiveRadius] = None,
+    ) -> List[Tuple[int, float]]:
+        """Single-probe kNN (see :meth:`IndexManager.knn_query`)."""
+        return self.manager.knn_query(
+            center,
+            k,
+            query_time,
+            issue_time=issue_time,
+            space=space if space is not None else self.space,
+            radius_state=radius_state,
+        )
+
+    def knn_query_batch(
+        self,
+        queries: Sequence[KNNQuery],
+        space: Optional[Rect] = None,
+        radius_state: Optional[AdaptiveRadius] = None,
+    ) -> List[List[Tuple[int, float]]]:
+        """Batched kNN over every partition (see :meth:`IndexManager.knn_query_batch`)."""
+        return self.manager.knn_query_batch(
+            list(queries),
+            space=space if space is not None else self.space,
+            radius_state=radius_state,
+        )
+
     def __len__(self) -> int:
         return len(self.manager)
 
@@ -119,13 +167,16 @@ class VPIndex:
     # ------------------------------------------------------------------
     @property
     def dva_indexes(self) -> List[MovingObjectIndex]:
+        """The underlying per-DVA sub-indexes."""
         return self.manager.dva_indexes
 
     @property
     def outlier_index(self) -> MovingObjectIndex:
+        """The sub-index holding velocity outliers."""
         return self.manager.outlier_index
 
     def partition_sizes(self):
+        """Live object count per partition (including the outlier index)."""
         return self.manager.partition_sizes()
 
 
@@ -169,6 +220,7 @@ def make_vp_bx_tree(
     frame_bounds = rotated_space_bounds(space, partitioning)
 
     def factory(partition: int) -> BxTree:
+        """Build one Bx-tree over the partition's rotated space bounds."""
         tree_space = space if partition == OUTLIER_PARTITION else frame_bounds[partition]
         return BxTree(
             buffer=shared_buffer,
@@ -181,27 +233,30 @@ def make_vp_bx_tree(
             page_size=page_size,
         )
 
-    return VPIndex(partitioning, factory, shared_buffer, name="Bx(VP)")
+    return VPIndex(partitioning, factory, shared_buffer, name="Bx(VP)", space=space)
 
 
 def make_vp_tprstar_tree(
     partitioning: VelocityPartitioning,
     buffer: Optional[BufferManager] = None,
     buffer_pages: int = DEFAULT_BUFFER_PAGES,
+    space: Optional[Rect] = None,
     **tpr_kwargs,
 ) -> VPIndex:
     """Build a TPR*(VP)-tree: one TPR*-tree per DVA plus an outlier TPR*-tree.
 
     Keyword arguments (``page_size``, ``horizon``, ...) are forwarded to every
-    underlying :class:`~repro.tprtree.TPRStarTree`.
+    underlying :class:`~repro.tprtree.TPRStarTree`; ``space``, when given,
+    only seeds kNN filter radii (the TPR family needs no space bounds).
     """
     shared_buffer = buffer if buffer is not None else BufferManager(capacity=buffer_pages)
 
     def factory(partition: int) -> TPRStarTree:
+        """Build one TPR*-tree on the shared buffer pool."""
         del partition  # the TPR*-tree needs no space bounds
         return TPRStarTree(buffer=shared_buffer, **tpr_kwargs)
 
-    return VPIndex(partitioning, factory, shared_buffer, name="TPR*(VP)")
+    return VPIndex(partitioning, factory, shared_buffer, name="TPR*(VP)", space=space)
 
 
 def sample_velocities_from_objects(objects: Sequence[MovingObject]) -> List[Vector]:

@@ -39,6 +39,7 @@ class VelocityPartitioning:
 
     @property
     def k(self) -> int:
+        """Number of DVA partitions (excluding the outlier partition)."""
         return len(self.dvas)
 
     def partition_for(self, velocity: Vector) -> Optional[int]:

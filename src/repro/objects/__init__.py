@@ -9,7 +9,13 @@ from repro.objects.queries import (
     TimeIntervalRangeQuery,
     MovingRangeQuery,
 )
-from repro.objects.knn import k_nearest_neighbors, initial_knn_radius
+from repro.objects.knn import (
+    AdaptiveRadius,
+    KNNQuery,
+    expanding_knn_batch,
+    initial_knn_radius,
+    k_nearest_neighbors,
+)
 
 __all__ = [
     "MovingObject",
@@ -20,6 +26,9 @@ __all__ = [
     "TimeSliceRangeQuery",
     "TimeIntervalRangeQuery",
     "MovingRangeQuery",
+    "KNNQuery",
+    "AdaptiveRadius",
+    "expanding_knn_batch",
     "k_nearest_neighbors",
     "initial_knn_radius",
 ]

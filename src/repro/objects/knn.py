@@ -1,4 +1,4 @@
-"""k-nearest-neighbour queries on top of predictive range queries.
+"""K-nearest-neighbour queries on top of predictive range queries.
 
 The paper motivates the circular range query as "the filter step of the
 k Nearest Neighbor query" (Section 6).  This module completes that story
@@ -10,23 +10,131 @@ the current k-th would also be inside the circle), so the candidates are
 ranked by their predicted distance at the query time and the top ``k``
 returned.
 
-The algorithm only needs the index's ``range_query`` method plus a way to
-look up the current snapshot of an object by id, so it works unchanged for
-the Bx-tree, the TPR*-tree and their velocity-partitioned variants.
+Two surfaces are provided:
+
+* :func:`k_nearest_neighbors` — the classic per-query algorithm.  It only
+  needs the index's ``range_query`` method plus a way to look up the
+  current snapshot of an object by id, so it works unchanged for the
+  Bx-tree, the TPR*-tree and their velocity-partitioned variants.
+* :func:`expanding_knn_batch` — the batched driver behind the indexes'
+  ``knn_query_batch`` methods.  A whole batch of :class:`KNNQuery` probes
+  shares each expanding-range *round*: all still-unfinished queries issue
+  their circular filter queries together (one shared index traversal per
+  round), candidate motion states accumulate per query, and the
+  candidate-ranking distance pass runs vectorized over numpy arrays.  An
+  optional :class:`AdaptiveRadius` carries the final radii of one batch
+  into the initial radii of the next, which saves filter rounds without
+  ever changing answers (the stopping rule and the final in-circle ranking
+  are radius-schedule independent).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from statistics import median
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.objects.moving_object import MovingObject
-from repro.objects.queries import CircularRange, TimeSliceRangeQuery
+from repro.objects.queries import CircularRange, RangeQuery, TimeSliceRangeQuery
 
 #: How much the search radius grows between filter rounds.
 RADIUS_GROWTH_FACTOR = 2.0
+
+#: Fallback initial radius when neither the data space nor an adaptive
+#: estimate is available.
+DEFAULT_INITIAL_RADIUS = 100.0
+
+#: Safety bound on expansion rounds of the batched driver.  The radius grows
+#: geometrically and is capped at the space diagonal, so real searches
+#: terminate in a handful of rounds; the bound only guards degenerate
+#: configurations.
+DEFAULT_MAX_ROUNDS = 64
+
+#: A candidate's flat motion state: ``(oid, x, y, vx, vy, reference_time)``.
+CandidateState = Tuple[int, float, float, float, float, float]
+
+#: Per-round candidate provider: maps the active queries' circular filter
+#: queries to one list of candidate motion states per query.  Providers may
+#: return supersets (unrefined index candidates); the driver ranks by exact
+#: predicted distance and never trusts the provider's filtering.
+CandidateProvider = Callable[[List[RangeQuery]], List[List[CandidateState]]]
+
+
+@dataclass(frozen=True)
+class KNNQuery:
+    """One k-nearest-neighbour probe.
+
+    Attributes:
+        center: query point the neighbours are ranked against.
+        k: number of neighbours requested.
+        query_time: the (future) timestamp the prediction refers to.
+        issue_time: the current time the query is issued at.
+    """
+
+    center: Point
+    k: int
+    query_time: float
+    issue_time: float = 0.0
+
+
+class AdaptiveRadius:
+    """Carries kNN search radii across batches.
+
+    The right initial filter radius depends on the data density around the
+    query points, which the previous batch already discovered: each answered
+    probe's k-th neighbour distance *is* the minimal radius that would have
+    sufficed (the final filter radius stands in when a probe found fewer
+    than ``k``).  The state tracks the batch median of ``radius / sqrt(k)``
+    (the density-normalized unit radius — for a uniform density the radius
+    containing ``k`` objects scales with ``sqrt(k)``) with an exponential
+    moving average, and seeds the next batch with that unit scaled back up
+    by each query's ``k`` plus a safety margin.
+
+    Seeding is a pure performance hint: a larger-than-needed radius finishes
+    in fewer rounds and a smaller one in more, but the stopping rule and the
+    final in-circle ranking make the answers radius-schedule independent.
+    """
+
+    def __init__(self, margin: float = 1.25, smoothing: float = 0.5) -> None:
+        if margin <= 0.0:
+            raise ValueError("margin must be positive")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.margin = margin
+        self.smoothing = smoothing
+        self._unit: Optional[float] = None
+
+    @property
+    def unit_radius(self) -> Optional[float]:
+        """Current density-normalized radius estimate (None before any batch)."""
+        return self._unit
+
+    def suggest(self, k: int) -> Optional[float]:
+        """Initial radius suggestion for a ``k``-NN probe (None without data)."""
+        if self._unit is None or k <= 0:
+            return None
+        return self._unit * math.sqrt(k) * self.margin
+
+    def observe(self, finals: Sequence[Tuple[int, float]]) -> None:
+        """Fold one batch's ``(k, sufficient radius)`` pairs into the estimate."""
+        units = [
+            radius / math.sqrt(k)
+            for k, radius in finals
+            if k > 0 and radius > 0.0 and math.isfinite(radius)
+        ]
+        if not units:
+            return
+        batch_unit = median(units)
+        if self._unit is None:
+            self._unit = batch_unit
+        else:
+            s = self.smoothing
+            self._unit = (1.0 - s) * self._unit + s * batch_unit
 
 
 def initial_knn_radius(space: Rect, population: int, k: int) -> float:
@@ -43,6 +151,142 @@ def initial_knn_radius(space: Rect, population: int, k: int) -> float:
     return max(radius, 1e-6)
 
 
+def expanding_knn_batch(
+    candidates_for: CandidateProvider,
+    queries: Sequence[KNNQuery],
+    space: Optional[Rect] = None,
+    population: Optional[int] = None,
+    radius_state: Optional[AdaptiveRadius] = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> List[List[Tuple[int, float]]]:
+    """Answer a batch of kNN probes with shared expanding-range rounds.
+
+    Every round issues the circular filter queries of all still-unfinished
+    probes together through ``candidates_for`` (one shared traversal for the
+    whole round), accumulates the returned candidate motion states per
+    probe, and retires the probes whose circle provably contains their k
+    nearest.  The distance pass that decides retirement and ranks the final
+    answers runs vectorized over numpy arrays.
+
+    Args:
+        candidates_for: per-round candidate provider (see
+            :data:`CandidateProvider`).
+        queries: the kNN probes.
+        space: data space; seeds the density-based initial radius and caps
+            the expansion at the space diagonal.
+        population: number of indexed objects (for the initial radius).
+        radius_state: optional cross-batch radius seed; its estimate
+            overrides the density-based initial radius and the batch's
+            final radii are folded back into it.
+        max_rounds: safety bound on the number of expansion rounds.
+
+    Returns:
+        Per probe, up to ``k`` ``(oid, distance)`` pairs sorted by
+        ``(distance, oid)`` — fewer when fewer than ``k`` objects lie within
+        the maximum search radius.
+    """
+    queries = list(queries)
+    n = len(queries)
+    results: List[Optional[List[Tuple[int, float]]]] = [None] * n
+    radii: List[float] = []
+    max_radii: List[float] = []
+    for query in queries:
+        radius = None
+        if radius_state is not None:
+            radius = radius_state.suggest(query.k)
+        if radius is None and space is not None and population is not None:
+            radius = initial_knn_radius(space, population, query.k)
+        if radius is None:
+            radius = DEFAULT_INITIAL_RADIUS
+        radii.append(radius)
+        if space is not None:
+            max_radii.append(math.hypot(space.width, space.height))
+        else:
+            max_radii.append(radius * (RADIUS_GROWTH_FACTOR ** DEFAULT_MAX_ROUNDS))
+    candidates: List[Dict[int, CandidateState]] = [{} for _ in queries]
+    active = [i for i in range(n) if queries[i].k > 0]
+    for i in range(n):
+        if queries[i].k <= 0:
+            results[i] = []
+    rounds = 0
+    while active:
+        filter_queries = [
+            TimeSliceRangeQuery(
+                CircularRange(center=queries[i].center, radius=radii[i]),
+                time=queries[i].query_time,
+                issue_time=queries[i].issue_time,
+            )
+            for i in active
+        ]
+        fetched = candidates_for(filter_queries)
+        rounds += 1
+        still_active: List[int] = []
+        for i, states in zip(active, fetched):
+            pool = candidates[i]
+            for state in states:
+                if state[0] not in pool:
+                    pool[state[0]] = state
+            query = queries[i]
+            oids, distances = _rank_distances(pool, query.center, query.query_time)
+            in_circle = distances <= radii[i]
+            done = (
+                int(in_circle.sum()) >= query.k
+                or radii[i] >= max_radii[i]
+                or rounds >= max_rounds
+            )
+            if done:
+                results[i] = _top_k(oids, distances, in_circle, query.k)
+            else:
+                radii[i] = min(radii[i] * RADIUS_GROWTH_FACTOR, max_radii[i])
+                still_active.append(i)
+        active = still_active
+    if radius_state is not None:
+        # A full answer's k-th distance is the tight density measurement;
+        # the final filter radius (biased upward by the doubling schedule)
+        # stands in only when fewer than k neighbours exist in range.
+        finals = []
+        for i in range(n):
+            answer = results[i]
+            if answer and len(answer) >= queries[i].k:
+                finals.append((queries[i].k, answer[-1][1]))
+            else:
+                finals.append((queries[i].k, radii[i]))
+        radius_state.observe(finals)
+    return [result if result is not None else [] for result in results]
+
+
+def _rank_distances(
+    pool: Dict[int, CandidateState], center: Point, query_time: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized predicted distances of a candidate pool at ``query_time``."""
+    m = len(pool)
+    if m == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0)
+    states = list(pool.values())
+    oids = np.fromiter((s[0] for s in states), np.int64, m)
+    xs = np.fromiter((s[1] for s in states), np.float64, m)
+    ys = np.fromiter((s[2] for s in states), np.float64, m)
+    vxs = np.fromiter((s[3] for s in states), np.float64, m)
+    vys = np.fromiter((s[4] for s in states), np.float64, m)
+    trefs = np.fromiter((s[5] for s in states), np.float64, m)
+    dt = query_time - trefs
+    px = xs + vxs * dt
+    py = ys + vys * dt
+    return oids, np.hypot(px - center.x, py - center.y)
+
+
+def _top_k(
+    oids: np.ndarray, distances: np.ndarray, in_circle: np.ndarray, k: int
+) -> List[Tuple[int, float]]:
+    """Top ``k`` in-circle candidates sorted by ``(distance, oid)``."""
+    selected = np.nonzero(in_circle)[0]
+    if selected.size == 0:
+        return []
+    order = np.lexsort((oids[selected], distances[selected]))
+    top = selected[order[:k]]
+    return [(int(oids[j]), float(distances[j])) for j in top]
+
+
 def k_nearest_neighbors(
     index,
     center: Point,
@@ -56,6 +300,11 @@ def k_nearest_neighbors(
     max_rounds: int = 12,
 ) -> List[Tuple[int, float]]:
     """The ``k`` objects predicted to be nearest ``center`` at ``query_time``.
+
+    This is the classic per-query algorithm over the generic ``range_query``
+    protocol; indexes with a ``knn_query_batch`` method answer batches of
+    probes with shared filter rounds instead (see
+    :func:`expanding_knn_batch`).
 
     Args:
         index: any moving-object index exposing ``range_query``.
@@ -83,7 +332,7 @@ def k_nearest_neighbors(
     elif space is not None and population is not None:
         radius = initial_knn_radius(space, population, k)
     else:
-        radius = 100.0
+        radius = DEFAULT_INITIAL_RADIUS
     if space is not None:
         max_radius = math.hypot(space.width, space.height)
     else:

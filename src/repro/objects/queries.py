@@ -40,9 +40,11 @@ class CircularRange:
             raise ValueError("radius must be non-negative")
 
     def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside (or on) the circle."""
         return self.center.squared_distance_to(point) <= self.radius * self.radius
 
     def bounding_rect(self) -> Rect:
+        """Axis-aligned MBR of the circle."""
         return Rect.from_center(self.center, self.radius, self.radius)
 
 
@@ -53,13 +55,16 @@ class RectangularRange:
     rect: Rect
 
     def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside (or on) the rectangle."""
         return self.rect.contains_point(point)
 
     def bounding_rect(self) -> Rect:
+        """The rectangle itself (already an axis-aligned MBR)."""
         return self.rect
 
     @property
     def center(self) -> Point:
+        """Center of the rectangle."""
         return self.rect.center
 
 
@@ -98,10 +103,12 @@ class RangeQuery:
     # ------------------------------------------------------------------
     @property
     def is_time_slice(self) -> bool:
+        """Whether the query asks about one instant with a stationary range."""
         return self.end_time == self.start_time and self.velocity is None
 
     @property
     def is_moving(self) -> bool:
+        """Whether the range itself moves during the interval."""
         return self.velocity is not None
 
     @property
@@ -170,7 +177,7 @@ class RangeQuery:
     def matches_motion(
         self, x: float, y: float, vx: float, vy: float, reference_time: float
     ) -> bool:
-        """:meth:`matches` on a flat motion state (the leaf-filter hot path).
+        """Flat-motion-state twin of :meth:`matches` (the leaf-filter hot path).
 
         Index scans hold candidate positions and velocities as plain floats
         (a degenerate leaf bound, a B+-tree record); this entry point decides

@@ -1,17 +1,37 @@
-"""Nodes and entries of the TPR-tree family.
+"""Nodes and entries of the TPR-tree family (array-backed SoA layout).
 
 A node lives on one simulated disk page.  Leaf entries reference moving
 objects (a degenerate :class:`~repro.geometry.MovingRect` plus the object
 id); interior entries reference child pages and carry the time-parameterized
 bound of the whole subtree.
+
+**Storage layout.**  Mirroring the B+-tree's ``array('q')`` keys, a node
+does not store one Python object per entry.  The nine float components of
+every entry bound (MBR, VBR, reference time) live in nine parallel
+``array('d')`` columns and the referenced ids (object ids on leaves, child
+page ids on interior nodes) in one ``array('q')`` column — 80 bytes per
+entry, exactly the :data:`TPR_ENTRY_BYTES` record the page-capacity model
+assumes.  The geometry kernels read the columns directly
+(:func:`repro.geometry.kernels.soa_extents` and friends), so the index hot
+paths never rebuild per-entry ``MovingRect``/``Rect`` objects.
+
+:class:`TPREntry` remains the *exchange record*: insertions hand entries to
+a node, and cold paths (tests, introspection, orphan reinsertion) read them
+back via :attr:`TPRNode.entries`, which materializes entry objects from the
+columns on demand.  All structural mutation goes through the node methods
+(``append_entry`` / ``remove_at`` / ``set_bound_at`` / ...), which keep the
+columns consistent.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from array import array
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.geometry import kernels
 from repro.geometry.moving_rect import MovingRect
+from repro.geometry.rect import Rect
 from repro.storage.page import entries_per_page
 
 #: Size of one TPR entry record: 4 MBR floats + 4 VBR floats + reference time
@@ -24,7 +44,7 @@ DEFAULT_MAX_ENTRIES = entries_per_page(TPR_ENTRY_BYTES)
 
 @dataclass
 class TPREntry:
-    """One entry of a TPR-tree node.
+    """One entry of a TPR-tree node (the object-level exchange record).
 
     Attributes:
         bound: time-parameterized bound of the referenced object or subtree.
@@ -42,53 +62,342 @@ class TPREntry:
 
     @property
     def is_leaf_entry(self) -> bool:
+        """Whether the entry references an object (as opposed to a child page)."""
         return self.oid is not None
 
 
-@dataclass
-class TPRNode:
-    """A TPR-tree node stored in one page payload."""
+class _EntriesView(Sequence):
+    """Live sequence view over a node's column-stored entries.
 
-    page_id: int
-    is_leaf: bool
-    entries: List[TPREntry] = field(default_factory=list)
-    parent_page_id: Optional[int] = None
+    Iteration and indexing materialize :class:`TPREntry` records on demand;
+    ``append``/``remove`` write through to the owning node's columns, so the
+    historical ``node.entries.append(entry)`` idiom keeps working.
+    """
+
+    __slots__ = ("_node",)
+
+    def __init__(self, node: "TPRNode") -> None:
+        self._node = node
+
+    def __len__(self) -> int:
+        return self._node.num_entries
+
+    def __getitem__(self, index):
+        node = self._node
+        if isinstance(index, slice):
+            return [node.entry_at(i) for i in range(node.num_entries)[index]]
+        return node.entry_at(range(node.num_entries)[index])
+
+    def __iter__(self) -> Iterator[TPREntry]:
+        node = self._node
+        for i in range(node.num_entries):
+            yield node.entry_at(i)
+
+    def append(self, entry: TPREntry) -> None:
+        """Write-through append to the owning node's columns."""
+        self._node.append_entry(entry)
+
+    def remove(self, entry: TPREntry) -> None:
+        """Remove the first entry equal to ``entry`` (write-through)."""
+        node = self._node
+        for i in range(node.num_entries):
+            if node.entry_at(i) == entry:
+                node.remove_at(i)
+                return
+        raise ValueError("entry not in node")
+
+
+class TPRNode:
+    """A TPR-tree node stored in one page payload (SoA column storage)."""
+
+    __slots__ = (
+        "page_id",
+        "is_leaf",
+        "parent_page_id",
+        "_x0",
+        "_y0",
+        "_x1",
+        "_y1",
+        "_vx0",
+        "_vy0",
+        "_vx1",
+        "_vy1",
+        "_tref",
+        "_refs",
+    )
+
+    def __init__(
+        self,
+        page_id: int,
+        is_leaf: bool,
+        entries: Optional[Sequence[TPREntry]] = None,
+        parent_page_id: Optional[int] = None,
+    ) -> None:
+        self.page_id = page_id
+        self.is_leaf = is_leaf
+        self.parent_page_id = parent_page_id
+        self._x0 = array("d")
+        self._y0 = array("d")
+        self._x1 = array("d")
+        self._y1 = array("d")
+        self._vx0 = array("d")
+        self._vy0 = array("d")
+        self._vx1 = array("d")
+        self._vy1 = array("d")
+        self._tref = array("d")
+        self._refs = array("q")
+        if entries:
+            for entry in entries:
+                self.append_entry(entry)
+
+    # ------------------------------------------------------------------
+    # Column access (the kernel-facing hot surface)
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> Tuple[array, ...]:
+        """The nine bound columns ``(x0, y0, x1, y1, vx0, vy0, vx1, vy1, tref)``.
+
+        The arrays are the node's live storage: callers must treat them as
+        read-only and must not hold them across mutations.
+        """
+        return (
+            self._x0,
+            self._y0,
+            self._x1,
+            self._y1,
+            self._vx0,
+            self._vy0,
+            self._vx1,
+            self._vy1,
+            self._tref,
+        )
+
+    @property
+    def refs(self) -> array:
+        """Referenced ids per slot: object ids on leaves, child page ids above."""
+        return self._refs
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        """Number of entries stored in the node."""
+        return len(self._refs)
+
+    def is_overfull(self, max_entries: int) -> bool:
+        """Whether the node exceeds the fan-out (must be split/reinserted)."""
+        return len(self._refs) > max_entries
+
+    def is_underfull(self, min_entries: int) -> bool:
+        """Whether the node violates the minimum fill (must be condensed)."""
+        return len(self._refs) < min_entries
+
+    # ------------------------------------------------------------------
+    # Mutation (every structural change funnels through these)
+    # ------------------------------------------------------------------
+    def append_entry(self, entry: TPREntry) -> None:
+        """Append an exchange-record entry, encoding its bound into the columns."""
+        bound = entry.bound
+        rect = bound.rect
+        ref = entry.oid if entry.oid is not None else entry.child_page_id
+        self._append_raw(
+            rect.x_min,
+            rect.y_min,
+            rect.x_max,
+            rect.y_max,
+            bound.v_x_min,
+            bound.v_y_min,
+            bound.v_x_max,
+            bound.v_y_max,
+            bound.reference_time,
+            ref,
+        )
+
+    def append_bound(self, ext: kernels.Extent, reference_time: float, ref: int) -> None:
+        """Append an entry from a flat kernel extent anchored at ``reference_time``."""
+        x0, y0, x1, y1, vx0, vy0, vx1, vy1 = ext
+        self._append_raw(x0, y0, x1, y1, vx0, vy0, vx1, vy1, reference_time, ref)
+
+    def _append_raw(self, x0, y0, x1, y1, vx0, vy0, vx1, vy1, tref, ref) -> None:
+        self._x0.append(x0)
+        self._y0.append(y0)
+        self._x1.append(x1)
+        self._y1.append(y1)
+        self._vx0.append(vx0)
+        self._vy0.append(vy0)
+        self._vx1.append(vx1)
+        self._vy1.append(vy1)
+        self._tref.append(tref)
+        self._refs.append(ref)
+
+    def set_bound_at(self, index: int, ext: kernels.Extent, reference_time: float) -> None:
+        """Overwrite the bound of slot ``index`` (parent-bound tightening)."""
+        self._x0[index] = ext[0]
+        self._y0[index] = ext[1]
+        self._x1[index] = ext[2]
+        self._y1[index] = ext[3]
+        self._vx0[index] = ext[4]
+        self._vy0[index] = ext[5]
+        self._vx1[index] = ext[6]
+        self._vy1[index] = ext[7]
+        self._tref[index] = reference_time
+
+    def remove_at(self, index: int) -> None:
+        """Remove the entry at slot ``index`` from every column."""
+        for column in (
+            self._x0,
+            self._y0,
+            self._x1,
+            self._y1,
+            self._vx0,
+            self._vy0,
+            self._vx1,
+            self._vy1,
+            self._tref,
+            self._refs,
+        ):
+            del column[index]
+
+    def keep_only(self, indexes: Sequence[int]) -> None:
+        """Keep exactly the slots in ``indexes`` (in the given order)."""
+        for column in (
+            self._x0,
+            self._y0,
+            self._x1,
+            self._y1,
+            self._vx0,
+            self._vy0,
+            self._vx1,
+            self._vy1,
+            self._tref,
+        ):
+            column[:] = array("d", (column[i] for i in indexes))
+        self._refs[:] = array("q", (self._refs[i] for i in indexes))
+
+    def snapshot(self) -> List[Tuple]:
+        """Flat per-entry records ``(x0..vy1, tref, ref)`` (split redistribution)."""
+        return list(
+            zip(
+                self._x0,
+                self._y0,
+                self._x1,
+                self._y1,
+                self._vx0,
+                self._vy0,
+                self._vx1,
+                self._vy1,
+                self._tref,
+                self._refs,
+            )
+        )
+
+    def load(self, records: Sequence[Tuple]) -> None:
+        """Replace the node's contents with flat records from :meth:`snapshot`."""
+        self.clear()
+        for record in records:
+            self._append_raw(*record)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        for column in (
+            self._x0,
+            self._y0,
+            self._x1,
+            self._y1,
+            self._vx0,
+            self._vy0,
+            self._vx1,
+            self._vy1,
+            self._tref,
+        ):
+            del column[:]
+        del self._refs[:]
+
+    def set_entries(self, entries: Sequence[TPREntry]) -> None:
+        """Replace the node's contents with exchange-record entries."""
+        self.clear()
+        for entry in entries:
+            self.append_entry(entry)
+
+    # ------------------------------------------------------------------
+    # Lookup / materialization
+    # ------------------------------------------------------------------
+    def index_of_ref(self, ref: int) -> Optional[int]:
+        """Slot of the entry referencing ``ref`` (oid or child page id), or None."""
+        try:
+            return self._refs.index(ref)
+        except ValueError:
+            return None
+
+    def entry_at(self, index: int) -> TPREntry:
+        """Materialize the :class:`TPREntry` exchange record for slot ``index``."""
+        bound = MovingRect(
+            rect=Rect(self._x0[index], self._y0[index], self._x1[index], self._y1[index]),
+            v_x_min=self._vx0[index],
+            v_y_min=self._vy0[index],
+            v_x_max=self._vx1[index],
+            v_y_max=self._vy1[index],
+            reference_time=self._tref[index],
+        )
+        ref = self._refs[index]
+        if self.is_leaf:
+            return TPREntry(bound=bound, oid=ref)
+        return TPREntry(bound=bound, child_page_id=ref)
+
+    @property
+    def entries(self) -> _EntriesView:
+        """Sequence view materializing entries on demand (append writes through)."""
+        return _EntriesView(self)
+
+    @entries.setter
+    def entries(self, new_entries: Sequence[TPREntry]) -> None:
+        self.set_entries(list(new_entries))
+
+    # ------------------------------------------------------------------
+    # Bounds
+    # ------------------------------------------------------------------
+    def bound_extent(self, reference_time: float) -> kernels.Extent:
+        """Tight bound over the node's entries as a flat kernel extent."""
+        if not self._refs:
+            raise ValueError("cannot bound an empty node")
+        return kernels.soa_bound_extent(*self.columns, time=reference_time)
 
     def bound(self, reference_time: float) -> MovingRect:
         """Tight time-parameterized bound over the node's entries."""
-        if not self.entries:
-            raise ValueError("cannot bound an empty node")
-        return MovingRect.bounding((e.bound for e in self.entries), reference_time)
+        x0, y0, x1, y1, vx0, vy0, vx1, vy1 = self.bound_extent(reference_time)
+        return MovingRect(
+            rect=Rect(x0, y0, x1, y1),
+            v_x_min=vx0,
+            v_y_min=vy0,
+            v_x_max=vx1,
+            v_y_max=vy1,
+            reference_time=reference_time,
+        )
 
-    @property
-    def num_entries(self) -> int:
-        return len(self.entries)
-
-    def is_overfull(self, max_entries: int) -> bool:
-        return len(self.entries) > max_entries
-
-    def is_underfull(self, min_entries: int) -> bool:
-        return len(self.entries) < min_entries
-
+    # ------------------------------------------------------------------
+    # Historical object-level helpers (tests and cold paths)
+    # ------------------------------------------------------------------
     def find_entry_for_child(self, child_page_id: int) -> TPREntry:
         """Entry pointing at ``child_page_id``.
 
         Raises:
             KeyError: if no entry references that child.
         """
-        for entry in self.entries:
-            if entry.child_page_id == child_page_id:
-                return entry
-        raise KeyError(f"node {self.page_id} has no child {child_page_id}")
+        index = self.index_of_ref(child_page_id)
+        if index is None or self.is_leaf:
+            raise KeyError(f"node {self.page_id} has no child {child_page_id}")
+        return self.entry_at(index)
 
     def remove_entry_for_child(self, child_page_id: int) -> TPREntry:
+        """Remove and return the entry pointing at ``child_page_id``."""
         entry = self.find_entry_for_child(child_page_id)
-        self.entries.remove(entry)
+        self.remove_at(self.index_of_ref(child_page_id))
         return entry
 
     def find_leaf_entry(self, oid: int) -> Optional[TPREntry]:
         """Leaf entry for object ``oid`` or ``None``."""
-        for entry in self.entries:
-            if entry.oid == oid:
-                return entry
-        return None
+        index = self.index_of_ref(oid)
+        if index is None or not self.is_leaf:
+            return None
+        return self.entry_at(index)

@@ -10,21 +10,27 @@ overrides the hooks with the sweeping-region cost model of Tao et al.
 
 Every node lives on one simulated disk page and every node visit goes
 through the buffer manager, so the physical-I/O counters reflect exactly
-what the paper measures.
+what the paper measures.  Node entries are stored as parallel SoA float
+columns (see ``repro/tprtree/node.py``), and the hot paths below — search,
+choose-subtree, split scoring, forced reinsertion — read the columns
+through the ``soa_*`` geometry kernels instead of materializing per-entry
+``MovingRect`` objects.
 
 **Per-object versus batch API.**  Mirroring ``geometry/kernels.py``, the
 tree exposes the per-object protocol (``insert`` / ``delete`` / ``update``
 / ``range_query``) plus a batch surface (``insert_batch`` / ``delete_batch``
-/ ``update_batch`` / ``range_query_batch``) for co-arriving operations.  A
-batch advances the clock once, then replays its operations in
-projected-position order, so consecutive operations descend through the
-same subtrees while their pages are still buffered; a query batch runs as
-one shared traversal that visits each node once for all queries that need
-it.  Results are identical to applying the operations one by one.  (A
-deferred once-per-node bound-tightening variant was measured and rejected:
-under the paper's small-buffer protocol the end-of-batch re-tightening
-pass re-reads cold pages and *raises* physical update I/O by ~25-70%,
-while the spatial sort alone keeps I/O at or below the per-object path.)
+/ ``update_batch`` / ``range_query_batch`` / ``knn_query_batch``) for
+co-arriving operations.  A batch advances the clock once, then replays its
+operations in projected-position order, so consecutive operations descend
+through the same subtrees while their pages are still buffered; a query
+batch runs as one shared traversal that visits each node once for all
+queries that need it, with the buffer manager advised to spare the
+traversal's own frontier (see :meth:`_shared_search`).  Results are
+identical to applying the operations one by one.  (A deferred once-per-node
+bound-tightening variant was measured and rejected: under the paper's
+small-buffer protocol the end-of-batch re-tightening pass re-reads cold
+pages and *raises* physical update I/O by ~25-70%, while the spatial sort
+alone keeps I/O at or below the per-object path.)
 """
 
 from __future__ import annotations
@@ -36,6 +42,13 @@ from repro.bulk import PACKING_STRATEGIES, chunk_count, even_chunks, velocity_bi
 from repro.geometry import kernels
 from repro.geometry.moving_rect import MovingRect
 from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.objects.knn import (
+    AdaptiveRadius,
+    CandidateState,
+    KNNQuery,
+    expanding_knn_batch,
+)
 from repro.objects.moving_object import MovingObject
 from repro.objects.queries import RangeQuery
 from repro.storage.buffer_manager import BufferManager
@@ -121,6 +134,7 @@ class TPRTree:
     # ------------------------------------------------------------------
     @property
     def height(self) -> int:
+        """Height of the tree in levels (1 for a lone leaf root)."""
         return self._height
 
     def __len__(self) -> int:
@@ -216,8 +230,8 @@ class TPRTree:
         root.entries = entries
         root.parent_page_id = None
         if not root.is_leaf:
-            for entry in entries:
-                child = self._node(entry.child_page_id)
+            for child_page_id in root.refs:
+                child = self._node(child_page_id)
                 child.parent_page_id = root.page_id
                 self._write_node(child)
         self._write_node(root)
@@ -252,8 +266,8 @@ class TPRTree:
                 node = self._new_node(is_leaf=is_leaf)
                 node.entries = [entry for _, entry in pairs]
                 if not is_leaf:
-                    for entry in node.entries:
-                        child = self._node(entry.child_page_id)
+                    for child_page_id in node.refs:
+                        child = self._node(child_page_id)
                         child.parent_page_id = node.page_id
                         self._write_node(child)
                 self._write_node(node)
@@ -295,10 +309,10 @@ class TPRTree:
         if path is None:
             return False
         leaf = path[-1]
-        entry = leaf.find_leaf_entry(obj.oid)
-        if entry is None:
+        slot = leaf.index_of_ref(obj.oid)
+        if slot is None:
             return False
-        leaf.entries.remove(entry)
+        leaf.remove_at(slot)
         self._write_node(leaf)
         self.size -= 1
         self._condense(path)
@@ -417,8 +431,11 @@ class TPRTree:
 
     def _tighten_parent(self, parent: TPRNode, child: TPRNode) -> None:
         """Refresh ``parent``'s bound entry for ``child`` from its live entries."""
-        parent_entry = parent.find_entry_for_child(child.page_id)
-        parent_entry.bound = child.bound(self.current_time)
+        slot = parent.index_of_ref(child.page_id)
+        if slot is None:
+            raise KeyError(f"node {parent.page_id} has no child {child.page_id}")
+        t = self.current_time
+        parent.set_bound_at(slot, child.bound_extent(t), t)
         self._write_node(parent)
 
     def range_query(self, query: RangeQuery, exact: bool = True) -> List[int]:
@@ -433,21 +450,14 @@ class TPRTree:
         """
         query_rect = query.as_moving_rect()
         start, end = query.start_time, query.end_time
-        results: List[int] = []
         candidates = self._search(self.root_page_id, query_rect, start, end)
         if not exact:
-            return [oid for oid, _ in candidates]
-        for oid, bound in candidates:
-            # Leaf bounds of moving points are degenerate: the rect corner is
-            # the reference position and (v_x_min, v_y_min) the velocity.
-            rect = bound.rect
-            if query.matches_motion(
-                rect.x_min,
-                rect.y_min,
-                bound.v_x_min,
-                bound.v_y_min,
-                bound.reference_time,
-            ):
+            return [state[0] for state in candidates]
+        results: List[int] = []
+        for oid, x, y, vx, vy, tref in candidates:
+            # Leaf bounds of moving points are degenerate: the stored state
+            # is the reference position and velocity of the object.
+            if query.matches_motion(x, y, vx, vy, tref):
                 results.append(oid)
         return results
 
@@ -467,6 +477,116 @@ class TPRTree:
             return []
         if len(queries) == 1:
             return [self.range_query(queries[0], exact=exact)]
+        candidates = self._shared_search(queries)
+        results: List[List[int]] = []
+        for query, found in zip(queries, candidates):
+            if not exact:
+                results.append([state[0] for state in found])
+                continue
+            kept: List[int] = []
+            for oid, x, y, vx, vy, tref in found:
+                if query.matches_motion(x, y, vx, vy, tref):
+                    kept.append(oid)
+            results.append(kept)
+        return results
+
+    # ------------------------------------------------------------------
+    # kNN queries (batched expanding-range filter over the shared traversal)
+    # ------------------------------------------------------------------
+    def knn_query(
+        self,
+        center: Point,
+        k: int,
+        query_time: float,
+        issue_time: float = 0.0,
+        space: Optional[Rect] = None,
+        radius_state: Optional[AdaptiveRadius] = None,
+    ) -> List[Tuple[int, float]]:
+        """The ``k`` objects predicted to be nearest ``center`` at ``query_time``.
+
+        Single-probe convenience over :meth:`knn_query_batch`.
+
+        Args:
+            center: query point.
+            k: number of neighbours requested.
+            query_time: the (future) timestamp the prediction refers to.
+            issue_time: the current time the query is issued at.
+            space: data space (seeds the initial filter radius and caps the
+                expansion at the space diagonal).
+            radius_state: optional cross-batch adaptive radius seed.
+
+        Returns:
+            Up to ``k`` ``(oid, distance)`` pairs sorted by ``(distance, oid)``.
+        """
+        probe = KNNQuery(center=center, k=k, query_time=query_time, issue_time=issue_time)
+        return self.knn_query_batch([probe], space=space, radius_state=radius_state)[0]
+
+    def knn_query_batch(
+        self,
+        queries: Sequence[KNNQuery],
+        space: Optional[Rect] = None,
+        radius_state: Optional[AdaptiveRadius] = None,
+    ) -> List[List[Tuple[int, float]]]:
+        """Answer a batch of kNN probes with shared expanding-range rounds.
+
+        Each round issues the circular filter queries of every unfinished
+        probe through one shared, buffer-hinted tree traversal
+        (:meth:`_shared_search`); the candidate ranking runs vectorized in
+        :func:`repro.objects.knn.expanding_knn_batch`.  Answers are
+        identical to issuing the probes one at a time.
+
+        Args:
+            queries: the kNN probes.
+            space: data space (initial radius seed and expansion cap).
+            radius_state: optional cross-batch adaptive radius seed.
+
+        Returns:
+            Per probe, up to ``k`` ``(oid, distance)`` pairs sorted by
+            ``(distance, oid)``.
+        """
+        return expanding_knn_batch(
+            self.knn_candidates_batch,
+            queries,
+            space=space,
+            population=len(self),
+            radius_state=radius_state,
+        )
+
+    def knn_candidates_batch(
+        self, queries: Sequence[RangeQuery]
+    ) -> List[List[CandidateState]]:
+        """Unrefined candidate motion states per query (one shared traversal).
+
+        The kNN-filter twin of :meth:`range_query_batch`: same shared,
+        buffer-hinted traversal, but candidates come back as flat motion
+        states for the distance ranking instead of being refined with the
+        exact range predicate.  The VP index manager also calls this to
+        collect per-partition candidates without paying the exact filter in
+        the rotated frame.
+        """
+        return self._shared_search(queries)
+
+    def _shared_search(self, queries: Sequence[RangeQuery]) -> List[List[CandidateState]]:
+        """Candidate motion states per query from ONE hinted shared traversal.
+
+        The pre-order traversal visits each node at most once for the whole
+        query group.  While it runs, the buffer manager is advised that a
+        one-pass sweep is in progress (:meth:`~repro.storage.buffer_manager
+        .BufferManager.advise_sequential` — completed subtree pages are the
+        preferred eviction victims, since a shared traversal never revisits
+        them) and the current root-to-node path is pinned as the sweep
+        frontier, so the traversal's own leaf traffic cannot evict the
+        interior pages it still needs.
+
+        The hint stays on even for kNN filter rounds, which *do* revisit the
+        tree: with the interior path pinned, the hint's MRU-clean victims
+        are completed leaves, whereas plain LRU would evict the long-idle
+        interior pages every next round's descent needs — measured 10-50%
+        lower physical I/O across buffer sizes.  (The Bx kNN scan makes the
+        opposite call — see ``BxTree.knn_candidates_batch`` — because a
+        B+-tree range scan pins only its scan leaf and the re-scanned data
+        leaves are themselves the hint's victims.)
+        """
         infos = []
         for query in queries:
             query_rect = query.as_moving_rect()
@@ -486,59 +606,81 @@ class TPRTree:
                     query.end_time,
                 )
             )
-        candidates: List[List[Tuple[int, MovingRect]]] = [[] for _ in queries]
-        self._search_many(self.root_page_id, list(range(len(queries))), infos, candidates)
-        results: List[List[int]] = []
-        for query, found in zip(queries, candidates):
-            if not exact:
-                results.append([oid for oid, _ in found])
-                continue
-            kept: List[int] = []
-            for oid, bound in found:
-                rect = bound.rect
-                if query.matches_motion(
-                    rect.x_min,
-                    rect.y_min,
-                    bound.v_x_min,
-                    bound.v_y_min,
-                    bound.reference_time,
-                ):
-                    kept.append(oid)
-            results.append(kept)
-        return results
+        out: List[List[CandidateState]] = [[] for _ in queries]
+        buffer = self.buffer
+        buffer.advise_sequential(True)
+        try:
+            self._search_many(
+                self.root_page_id, list(range(len(queries))), infos, out, []
+            )
+        finally:
+            buffer.release_frontier()
+            buffer.advise_sequential(False)
+        return out
 
     def _search_many(
         self,
         page_id: int,
         active: List[int],
         infos: List[Tuple],
-        out: List[List[Tuple[int, MovingRect]]],
+        out: List[List[CandidateState]],
+        path: List[int],
     ) -> None:
-        """Pre-order traversal testing each entry against all active queries."""
+        """Pre-order traversal testing each entry against all active queries.
+
+        ``path`` carries the page ids of the *interior* nodes currently being
+        descended; they are pinned as the sweep frontier so the traversal's
+        own leaf traffic cannot evict them.  Leaves are deliberately left
+        unpinned: a visited leaf is never needed again, which makes it the
+        ideal eviction victim under :meth:`~repro.storage.buffer_manager
+        .BufferManager.advise_sequential`.
+        """
         node = self._node(page_id)
-        intersects = kernels.intersects_interval
         is_leaf = node.is_leaf
-        for entry in node.entries:
-            bound = entry.bound
-            rect = bound.rect
-            bx0, by0, bx1, by1 = rect.x_min, rect.y_min, rect.x_max, rect.y_max
-            bvx0, bvy0 = bound.v_x_min, bound.v_y_min
-            bvx1, bvy1 = bound.v_x_max, bound.v_y_max
-            bref = bound.reference_time
-            matching = [
-                qi
-                for qi in active
-                if intersects(
-                    bx0, by0, bx1, by1, bvx0, bvy0, bvx1, bvy1, bref, *infos[qi]
-                )
-            ]
-            if not matching:
-                continue
-            if is_leaf:
-                for qi in matching:
-                    out[qi].append((entry.oid, bound))
-            else:
-                self._search_many(entry.child_page_id, matching, infos, out)
+        if not is_leaf:
+            path.append(page_id)
+            self.buffer.pin_frontier(path)
+        intersects = kernels.intersects_interval
+        refs = node.refs
+        if len(active) == 1:
+            # Once a subtree concerns a single query — the common case as
+            # soon as the batch's probes separate spatially — skip the
+            # per-entry matching-list bookkeeping.
+            (qi,) = active
+            info = infos[qi]
+            bucket = out[qi]
+            for i, (bx0, by0, bx1, by1, bvx0, bvy0, bvx1, bvy1, bref) in enumerate(
+                zip(*node.columns)
+            ):
+                if not intersects(
+                    bx0, by0, bx1, by1, bvx0, bvy0, bvx1, bvy1, bref, *info
+                ):
+                    continue
+                if is_leaf:
+                    bucket.append((refs[i], bx0, by0, bvx0, bvy0, bref))
+                else:
+                    self._search_many(refs[i], active, infos, out, path)
+        else:
+            for i, (bx0, by0, bx1, by1, bvx0, bvy0, bvx1, bvy1, bref) in enumerate(
+                zip(*node.columns)
+            ):
+                matching = [
+                    qi
+                    for qi in active
+                    if intersects(
+                        bx0, by0, bx1, by1, bvx0, bvy0, bvx1, bvy1, bref, *infos[qi]
+                    )
+                ]
+                if not matching:
+                    continue
+                if is_leaf:
+                    state = (refs[i], bx0, by0, bvx0, bvy0, bref)
+                    for qi in matching:
+                        out[qi].append(state)
+                else:
+                    self._search_many(refs[i], matching, infos, out, path)
+        if not is_leaf:
+            path.pop()
 
     # ------------------------------------------------------------------
     # Introspection (used by the analysis module and by tests)
@@ -546,17 +688,17 @@ class TPRTree:
     def iter_leaf_bounds(self) -> Iterator[MovingRect]:
         """Bounds of every leaf node (used for Figure 7's expansion plots)."""
         for node in self._iter_nodes():
-            if node.is_leaf and node.entries:
+            if node.is_leaf and node.num_entries:
                 yield node.bound(self.current_time)
 
     def iter_all_bounds(self) -> Iterator[MovingRect]:
         """Bounds of every node in the tree (used by the cost model)."""
         for node in self._iter_nodes():
-            if node.entries:
+            if node.num_entries:
                 yield node.bound(self.current_time)
 
     def iter_objects(self) -> Iterator[Tuple[int, MovingRect]]:
-        """(oid, bound) of every stored object."""
+        """``(oid, bound)`` of every stored object."""
         for node in self._iter_nodes():
             if node.is_leaf:
                 for entry in node.entries:
@@ -568,7 +710,7 @@ class TPRTree:
             node = self._node(stack.pop())
             yield node
             if not node.is_leaf:
-                stack.extend(e.child_page_id for e in node.entries)
+                stack.extend(node.refs)
 
     # ------------------------------------------------------------------
     # Structural metrics (overridden by the TPR*-tree)
@@ -612,7 +754,7 @@ class TPRTree:
     def _insert_entry(self, entry: TPREntry, level: int) -> None:
         path = self._choose_path(entry, level)
         node = path[-1]
-        node.entries.append(entry)
+        node.append_entry(entry)
         if not node.is_leaf:
             child = self._node(entry.child_page_id)
             child.parent_page_id = node.page_id
@@ -628,36 +770,37 @@ class TPRTree:
         """
         path = [self._node(self.root_page_id)]
         depth_remaining = self._height - 1 - level
+        ext_new = kernels.extent_of(entry.bound, self.current_time)
         while depth_remaining > 0:
             node = path[-1]
-            best_entry = self._pick_child(node, entry.bound)
-            child = self._node(best_entry.child_page_id)
+            best_slot = self._pick_child(node, ext_new)
+            child = self._node(node.refs[best_slot])
             child.parent_page_id = node.page_id
             path.append(child)
             depth_remaining -= 1
         return path
 
-    def _pick_child(self, node: TPRNode, bound: MovingRect) -> TPREntry:
-        """Child of ``node`` whose bound degrades least by absorbing ``bound``.
+    def _pick_child(self, node: TPRNode, ext_new: kernels.Extent) -> int:
+        """Slot of the child whose bound degrades least by absorbing ``ext_new``.
 
-        The scan runs entirely on kernel extents: each candidate is projected
-        once, its cost and union-with-the-new-entry cost evaluated with the
-        float hooks, and ties broken by the smaller existing cost.
+        The scan runs entirely on the node's SoA columns: every candidate
+        extent comes from one fused column pass, its cost and
+        union-with-the-new-entry cost are evaluated with the float hooks,
+        and ties are broken by the smaller existing cost.
         """
-        t = self.current_time
-        ext_new = kernels.extent_of(bound, t)
-        best = None
+        best_slot = -1
         best_key = None
-        for candidate in node.entries:
-            ext = kernels.extent_of(candidate.bound, t)
+        for slot, ext in enumerate(
+            kernels.soa_extents(*node.columns, time=self.current_time)
+        ):
             cost = self._extent_cost(ext)
             enlargement = self._extent_cost(kernels.union_extent(ext, ext_new)) - cost
             key = (enlargement, cost)
             if best_key is None or key < best_key:
                 best_key = key
-                best = candidate
-        assert best is not None
-        return best
+                best_slot = slot
+        assert best_slot >= 0
+        return best_slot
 
     def _handle_overflow_and_adjust(self, path: List[TPRNode], base_level: int = 0) -> None:
         """Split overfull nodes bottom-up and re-tighten bounds along the path.
@@ -687,12 +830,11 @@ class TPRTree:
         if index == 0:
             self._grow_root(node, sibling)
             return
+        t = self.current_time
         parent = path[index - 1]
-        parent_entry = parent.find_entry_for_child(node.page_id)
-        parent_entry.bound = node.bound(self.current_time)
-        parent.entries.append(
-            TPREntry(bound=sibling.bound(self.current_time), child_page_id=sibling.page_id)
-        )
+        slot = parent.index_of_ref(node.page_id)
+        parent.set_bound_at(slot, node.bound_extent(t), t)
+        parent.append_bound(sibling.bound_extent(t), t, sibling.page_id)
         sibling.parent_page_id = parent.page_id
         self._write_node(parent)
         self._write_node(sibling)
@@ -701,11 +843,10 @@ class TPRTree:
         )
 
     def _grow_root(self, old_root: TPRNode, sibling: TPRNode) -> None:
+        t = self.current_time
         new_root = self._new_node(is_leaf=False)
-        new_root.entries = [
-            TPREntry(bound=old_root.bound(self.current_time), child_page_id=old_root.page_id),
-            TPREntry(bound=sibling.bound(self.current_time), child_page_id=sibling.page_id),
-        ]
+        new_root.append_bound(old_root.bound_extent(t), t, old_root.page_id)
+        new_root.append_bound(sibling.bound_extent(t), t, sibling.page_id)
         old_root.parent_page_id = new_root.page_id
         sibling.parent_page_id = new_root.page_id
         self.root_page_id = new_root.page_id
@@ -720,14 +861,13 @@ class TPRTree:
         Entries are sorted along each axis by the center of their projected
         rectangle and every legal distribution is scored with
         :meth:`_split_cost_extents`; the cheapest distribution wins.  Group
-        bounds come from prefix/suffix unions of the sorted kernel extents,
-        so the whole scoring pass is O(n log n) with no intermediate
-        ``MovingRect`` allocations (previously O(n^2) re-bounding).
+        bounds come from prefix/suffix unions of the sorted kernel extents
+        (read straight off the node's SoA columns), so the whole scoring
+        pass is O(n log n) with no intermediate ``MovingRect`` allocations.
         """
         t = self.current_time
-        entries = node.entries
-        n = len(entries)
-        extents = kernels.batch_extents([e.bound for e in entries], t)
+        n = node.num_entries
+        extents = kernels.soa_extents(*node.columns, time=t)
         centers = [((e[0] + e[2]) * 0.5, (e[1] + e[3]) * 0.5) for e in extents]
         best: Optional[Tuple[List[int], int]] = None
         best_cost = None
@@ -745,14 +885,15 @@ class TPRTree:
                     best = (order, split_at)
         assert best is not None
         order, split_at = best
-        group_a = [entries[i] for i in order[:split_at]]
-        group_b = [entries[i] for i in order[split_at:]]
+        records = node.snapshot()
+        group_a = [records[i] for i in order[:split_at]]
+        group_b = [records[i] for i in order[split_at:]]
         sibling = self._new_node(is_leaf=node.is_leaf)
-        node.entries = group_a
-        sibling.entries = group_b
+        node.load(group_a)
+        sibling.load(group_b)
         if not node.is_leaf:
-            for entry in sibling.entries:
-                child = self._node(entry.child_page_id)
+            for child_page_id in sibling.refs:
+                child = self._node(child_page_id)
                 child.parent_page_id = sibling.page_id
                 self._write_node(child)
         self._write_node(node)
@@ -776,16 +917,24 @@ class TPRTree:
         node = self._node(page_id)
         path = prefix + [node]
         if node.is_leaf:
-            if node.find_leaf_entry(oid) is not None:
+            if node.index_of_ref(oid) is not None:
                 return path
             return None
         slack = self.DELETE_CONTAINMENT_SLACK
         t = self.current_time
         px, py = position.x, position.y
-        for entry in node.entries:
-            x0, y0, x1, y1 = kernels.project(entry.bound, t)
+        refs = node.refs
+        for i, (x0, y0, x1, y1, vx0, vy0, vx1, vy1, tref) in enumerate(
+            zip(*node.columns)
+        ):
+            elapsed = t - tref
+            if elapsed > 0.0:
+                x0 += vx0 * elapsed
+                y0 += vy0 * elapsed
+                x1 += vx1 * elapsed
+                y1 += vy1 * elapsed
             if x0 - slack <= px <= x1 + slack and y0 - slack <= py <= y1 + slack:
-                found = self._find_leaf_path(entry.child_page_id, oid, position, path)
+                found = self._find_leaf_path(refs[i], oid, position, path)
                 if found is not None:
                     return found
         return None
@@ -804,18 +953,18 @@ class TPRTree:
             parent = path[index - 1]
             if current.is_underfull(self.min_entries):
                 parent.remove_entry_for_child(current.page_id)
-                for entry in current.entries:
-                    orphans.append((entry, level))
+                for slot in range(current.num_entries):
+                    orphans.append((current.entry_at(slot), level))
                 self._write_node(parent)
                 self.buffer.free_page(current.page_id)
-            elif current.entries:
+            elif current.num_entries:
                 self._tighten_parent(parent, current)
             else:
                 self._write_node(parent)
             level += 1
         root = path[0]
-        if not root.is_leaf and len(root.entries) == 1:
-            child_id = root.entries[0].child_page_id
+        if not root.is_leaf and root.num_entries == 1:
+            child_id = root.refs[0]
             child = self._node(child_id)
             child.parent_page_id = None
             self.root_page_id = child_id
@@ -830,9 +979,9 @@ class TPRTree:
     # ------------------------------------------------------------------
     def _search(
         self, page_id: int, query_rect: MovingRect, start: float, end: float
-    ) -> List[Tuple[int, MovingRect]]:
+    ) -> List[CandidateState]:
         node = self._node(page_id)
-        results: List[Tuple[int, MovingRect]] = []
+        results: List[CandidateState] = []
         qr = query_rect.rect
         qx0, qy0, qx1, qy1 = qr.x_min, qr.y_min, qr.x_max, qr.y_max
         qvx0, qvy0 = query_rect.v_x_min, query_rect.v_y_min
@@ -840,19 +989,20 @@ class TPRTree:
         qref = query_rect.reference_time
         intersects = kernels.intersects_interval
         is_leaf = node.is_leaf
-        for entry in node.entries:
-            bound = entry.bound
-            rect = bound.rect
+        refs = node.refs
+        for i, (bx0, by0, bx1, by1, bvx0, bvy0, bvx1, bvy1, bref) in enumerate(
+            zip(*node.columns)
+        ):
             if not intersects(
-                rect.x_min,
-                rect.y_min,
-                rect.x_max,
-                rect.y_max,
-                bound.v_x_min,
-                bound.v_y_min,
-                bound.v_x_max,
-                bound.v_y_max,
-                bound.reference_time,
+                bx0,
+                by0,
+                bx1,
+                by1,
+                bvx0,
+                bvy0,
+                bvx1,
+                bvy1,
+                bref,
                 qx0,
                 qy0,
                 qx1,
@@ -867,7 +1017,7 @@ class TPRTree:
             ):
                 continue
             if is_leaf:
-                results.append((entry.oid, bound))
+                results.append((refs[i], bx0, by0, bvx0, bvy0, bref))
             else:
-                results.extend(self._search(entry.child_page_id, query_rect, start, end))
+                results.extend(self._search(refs[i], query_rect, start, end))
         return results

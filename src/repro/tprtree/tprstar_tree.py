@@ -119,26 +119,21 @@ class TPRStarTree(TPRTree):
         extents, so scoring the whole node is O(n) instead of O(n^2).
         """
         t = self.current_time
-        entries = node.entries
-        count = max(1, int(len(entries) * REINSERT_FRACTION))
-        bounds = [e.bound for e in entries]
-        extents = kernels.batch_extents(bounds, t)
-        full_cost = self._extent_cost(kernels.bound_extent(bounds, t))
+        n = node.num_entries
+        count = max(1, int(n * REINSERT_FRACTION))
+        extents = kernels.soa_extents(*node.columns, time=t)
+        full_cost = self._extent_cost(kernels.soa_bound_extent(*node.columns, time=t))
         scored = [
             (full_cost - self._extent_cost(remaining), position)
             for position, remaining in enumerate(kernels.remove_one_extents(extents))
         ]
         scored.sort(key=lambda pair: pair[0], reverse=True)
         evicted_indexes = {position for _, position in scored[:count]}
-        evicted = [entries[position] for _, position in scored[:count]]
-        node.entries = [e for i, e in enumerate(entries) if i not in evicted_indexes]
+        evicted = [node.entry_at(position) for _, position in scored[:count]]
+        node.keep_only([i for i in range(n) if i not in evicted_indexes])
         self._write_node(node)
         # Tighten the path above the node before re-inserting.
         for upper in range(index, 0, -1):
-            child = path[upper]
-            parent = path[upper - 1]
-            parent_entry = parent.find_entry_for_child(child.page_id)
-            parent_entry.bound = child.bound(self.current_time)
-            self._write_node(parent)
+            self._tighten_parent(path[upper - 1], path[upper])
         for entry in evicted:
             self._insert_entry(entry, level)

@@ -192,3 +192,227 @@ def test_frontier_pinning_never_raises_physical_io():
         assert pin_total <= base_total, (name, pin_total, base_total)
         # No pins may outlive their sweep.
         assert pinned.buffer.frontier_page_ids == frozenset()
+
+
+# ----------------------------------------------------------------------
+# kNN: batched expanding-range filter versus sequential probes
+# ----------------------------------------------------------------------
+from repro.geometry.point import Point  # noqa: E402
+from repro.geometry.vector import Vector  # noqa: E402
+from repro.objects.knn import AdaptiveRadius, KNNQuery  # noqa: E402
+from repro.objects.moving_object import MovingObject  # noqa: E402
+
+
+def _knn_probes(workload, ks=(1, 5, 10)):
+    """One kNN probe per query event, cycling through several k values.
+
+    Probes are issued at the end of the event stream (the replayed index's
+    clock) and look ahead by each event's predictive offset: an index only
+    answers about the present and future of its clock, since entry bounds
+    do not cover past positions.
+    """
+    events = workload.sorted_events()
+    issue_time = events[-1].time if events else 0.0
+    probes = []
+    for i, event in enumerate(workload.query_events):
+        query = event.query
+        probes.append(
+            KNNQuery(
+                center=query.range.center,
+                k=ks[i % len(ks)],
+                query_time=issue_time + query.predictive_time,
+                issue_time=issue_time,
+            )
+        )
+    return probes
+
+
+def _replayed_index(workload, batches, name):
+    index = _build(workload, name)
+    _replay(index, batches, "batch")
+    return index
+
+
+@pytest.mark.parametrize("name", INDEX_NAMES)
+def test_knn_batch_matches_sequential(workload, batches, name):
+    """Batched kNN answers — ids, distances and tie order — equal sequential.
+
+    Two identically replayed indexes answer the same probes, one probe at a
+    time versus one batch; the batch path's shared traversals must also
+    never touch more nodes.  (Physical I/O is asserted at bench density in
+    :func:`test_knn_io_not_worse_at_bench_density` — at this module's tiny
+    scale LRU eviction noise can swing physical reads either way.)
+    """
+    sequential = _replayed_index(workload, batches, name)
+    batched = _replayed_index(workload, batches, name)
+    probes = _knn_probes(workload)
+
+    stats = sequential.buffer.stats
+    nodes_before = stats.logical.reads
+    seq = [
+        sequential.knn_query(
+            p.center, p.k, p.query_time, issue_time=p.issue_time, space=PARAMS.space
+        )
+        for p in probes
+    ]
+    seq_nodes = stats.logical.reads - nodes_before
+
+    stats = batched.buffer.stats
+    nodes_before = stats.logical.reads
+    bat = batched.knn_query_batch(probes, space=PARAMS.space)
+    bat_nodes = stats.logical.reads - nodes_before
+
+    assert bat == seq, name
+    for answer, probe in zip(bat, probes):
+        assert len(answer) <= probe.k
+        distances = [d for _, d in answer]
+        assert distances == sorted(distances)
+    assert bat_nodes <= seq_nodes, (name, bat_nodes, seq_nodes)
+
+
+def test_knn_io_not_worse_at_bench_density():
+    """Batched kNN physical I/O versus sequential probes at bench density.
+
+    This is the measured claim of ``BENCH_speed.json``: at a disk-bound
+    scale the shared traversals and shared filter rounds mean the batch
+    path reads no more pages than per-probe replay, for all four standard
+    indexes.
+    """
+    params = WorkloadParameters(num_objects=1200, time_duration=60.0, num_queries=10)
+    wl = build_workload("SA", params)
+    probes = _knn_probes(wl, ks=(5, 10))
+    for name in INDEX_NAMES:
+        sequential = build_standard_indexes(wl, params, which=(name,))[name]
+        sequential.bulk_load(wl.initial_objects)
+        batched = build_standard_indexes(wl, params, which=(name,))[name]
+        batched.bulk_load(wl.initial_objects)
+
+        stats = sequential.buffer.stats
+        io_before = stats.physical.total
+        seq = [
+            sequential.knn_query(
+                p.center, p.k, p.query_time, issue_time=p.issue_time, space=params.space
+            )
+            for p in probes
+        ]
+        seq_io = stats.physical.total - io_before
+
+        stats = batched.buffer.stats
+        io_before = stats.physical.total
+        bat = batched.knn_query_batch(probes, space=params.space)
+        bat_io = stats.physical.total - io_before
+
+        assert bat == seq, name
+        assert bat_io <= seq_io, (name, bat_io, seq_io)
+
+
+@pytest.mark.parametrize("name", INDEX_NAMES)
+def test_knn_batch_is_shuffle_invariant(workload, batches, name):
+    """Probe order within a kNN batch must not change any probe's answer."""
+    index = _replayed_index(workload, batches, name)
+    probes = _knn_probes(workload)
+    reference = index.knn_query_batch(probes, space=PARAMS.space)
+    rng = random.Random(99)
+    perm = list(range(len(probes)))
+    rng.shuffle(perm)
+    shuffled_answers = index.knn_query_batch(
+        [probes[i] for i in perm], space=PARAMS.space
+    )
+    unshuffled = [None] * len(probes)
+    for position, original in enumerate(perm):
+        unshuffled[original] = shuffled_answers[position]
+    assert unshuffled == reference, name
+
+
+@pytest.mark.parametrize("name", INDEX_NAMES)
+def test_knn_adaptive_radius_never_changes_answers(workload, batches, name):
+    """Cross-batch radius seeding is a pure perf hint: answers are invariant."""
+    index = _replayed_index(workload, batches, name)
+    probes = _knn_probes(workload)
+    reference = index.knn_query_batch(probes, space=PARAMS.space)
+    state = AdaptiveRadius()
+    half = len(probes) // 2
+    first = index.knn_query_batch(probes[:half], space=PARAMS.space, radius_state=state)
+    assert state.unit_radius is not None
+    second = index.knn_query_batch(probes[half:], space=PARAMS.space, radius_state=state)
+    assert first + second == reference, name
+
+
+@pytest.mark.parametrize("name", INDEX_NAMES)
+def test_knn_ties_break_by_object_id(workload, name):
+    """Exactly equidistant neighbours are ranked by ascending object id."""
+    index = _build(workload, name)
+    center = Point(50_000.0, 50_000.0)
+    offsets = [(700.0, 0.0), (-700.0, 0.0), (0.0, 700.0), (0.0, -700.0)]
+    tied = [
+        MovingObject(
+            oid=1_000_000 + i,
+            position=Point(center.x + dx, center.y + dy),
+            velocity=Vector(0.0, 0.0),
+            reference_time=0.0,
+        )
+        for i, (dx, dy) in enumerate(offsets)
+    ]
+    for obj in tied:
+        index.insert(obj)
+    probe = KNNQuery(center=center, k=3, query_time=5.0)
+    (batched,) = index.knn_query_batch([probe], space=PARAMS.space)
+    sequential = index.knn_query(probe.center, probe.k, probe.query_time, space=PARAMS.space)
+    assert batched == sequential
+    assert [oid for oid, _ in batched] == [1_000_000, 1_000_001, 1_000_002]
+    assert len({round(d, 6) for _, d in batched}) == 1
+
+
+def test_knn_batch_matches_brute_force_after_replay(workload, batches):
+    """Replayed-index batched kNN equals brute force over the live objects.
+
+    The VP index keeps the original (unrotated) snapshot of every live
+    object in its directory, which makes an exact ground truth available
+    after an arbitrary update replay.
+    """
+    index = _replayed_index(workload, batches, "TPR*(VP)")
+    probes = _knn_probes(workload)
+    answers = index.knn_query_batch(probes, space=PARAMS.space)
+    live = [
+        record.original for record in index.manager._directory.values()
+    ]
+    for probe, answer in zip(probes, answers):
+        ranked = sorted(
+            (obj.position_at(probe.query_time).distance_to(probe.center), obj.oid)
+            for obj in live
+        )
+        assert [oid for oid, _ in answer] == [oid for _, oid in ranked[: probe.k]]
+
+
+@pytest.mark.parametrize("buffer_pages", [10, 50])
+def test_knn_hints_never_raise_physical_io(buffer_pages):
+    """The TPR shared traversal's buffer hints must never cost physical I/O.
+
+    Covered at the paper's 50-page buffer and at a 10-page pressure
+    configuration: unlike the Bx kNN scan (whose re-scanned *leaves* are
+    what the sequential hint would evict, hence ``sequential_hint=False``
+    there), the TPR traversal pins its interior path, so the hint's MRU
+    victims are completed leaves while plain LRU would evict the interiors
+    every next round still descends through.
+    """
+    params = WorkloadParameters(
+        num_objects=1200, time_duration=60.0, num_queries=10, buffer_pages=buffer_pages
+    )
+    wl = build_workload("SA", params)
+    probes = _knn_probes(wl, ks=(5, 10, 20))
+    for name in ("TPR*", "TPR*(VP)"):
+        hinted = build_standard_indexes(wl, params, which=(name,))[name]
+        hinted.bulk_load(wl.initial_objects)
+        unhinted = build_standard_indexes(wl, params, which=(name,))[name]
+        unhinted.buffer.batch_hints_enabled = False
+        unhinted.bulk_load(wl.initial_objects)
+
+        hinted_answers = hinted.knn_query_batch(probes, space=params.space)
+        unhinted_answers = unhinted.knn_query_batch(probes, space=params.space)
+
+        assert hinted_answers == unhinted_answers, name
+        hint_io = hinted.buffer.stats.physical.total
+        base_io = unhinted.buffer.stats.physical.total
+        assert hint_io <= base_io, (name, hint_io, base_io)
+        # No pins may outlive the traversal.
+        assert hinted.buffer.frontier_page_ids == frozenset()
