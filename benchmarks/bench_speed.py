@@ -16,6 +16,14 @@ visible instead of being overwritten.  Run it directly::
 
     PYTHONPATH=src python benchmarks/bench_speed.py            # bench scale
     PYTHONPATH=src python benchmarks/bench_speed.py --quick    # CI smoke run
+    PYTHONPATH=src python benchmarks/bench_speed.py --scale    # sharded serving
+    PYTHONPATH=src python benchmarks/bench_speed.py --scale --quick  # CI scale job
+
+``--scale`` replays the serving-layer workload (20k objects, 4 KB pages)
+through :class:`repro.serve.ShardedIndex` at several shard counts
+(``--shards 1,2,4``) and records per-shard-count ``update_ms`` /
+``query_ms`` / ``knn_ms`` rows plus answers-match flags against the
+unsharded baseline row.
 
 ``test_speed_harness.py`` invokes the quick mode as part of the test run
 and asserts the two headline claims — bulk loading beats incremental
@@ -56,6 +64,33 @@ BENCH_PARAMS = dict(num_objects=2_000, time_duration=120.0, num_queries=40)
 
 #: Quick scale for the in-suite smoke invocation.
 QUICK_PARAMS = dict(num_objects=400, time_duration=40.0, num_queries=10)
+
+#: The serving-layer scale workload: an order of magnitude more objects
+#: than the figure benchmarks, at the paper's 4 KB page and 50-page buffer
+#: (per shard — the shared-nothing model gives every worker its own RAM).
+SCALE_PARAMS = dict(
+    num_objects=20_000,
+    time_duration=60.0,
+    num_queries=40,
+    buffer_pages=50,
+    page_size=4096,
+)
+
+#: Quick scale for the CI `scale` job's smoke run.
+SCALE_QUICK_PARAMS = dict(
+    num_objects=2_500,
+    time_duration=30.0,
+    num_queries=10,
+    buffer_pages=50,
+    page_size=4096,
+)
+
+#: Shard counts of the scale sweep (1 is the unsharded baseline row).
+SCALE_SHARD_COUNTS = (1, 2, 4)
+
+#: Index families measured by the scale sweep: one representative per
+#: family keeps the pure-Python replay tractable at 20k objects.
+SCALE_INDEXES = ("Bx", "TPR*")
 
 #: Probes per kNN batch (the concurrent-users model of the kNN replay).
 KNN_BATCH_SIZE = 10
@@ -223,9 +258,7 @@ def measure_packing(
         per_dataset: Dict[str, Dict[str, Dict[str, float]]] = {}
         for strategy in ("midpoint_str", "velocity_str"):
             runner = ExperimentRunner(workload, bulk_strategy=strategy)
-            for name, index in build_standard_indexes(
-                workload, params, which=which
-            ).items():
+            for name, index in build_standard_indexes(workload, params, which=which).items():
                 metrics = runner.run(index, name=name)
                 per_dataset.setdefault(name, {})[strategy] = {
                     "build_s": round(metrics.build_time, 4),
@@ -236,6 +269,75 @@ def measure_packing(
                 }
         report[dataset] = per_dataset
     return report
+
+
+def measure_scale(
+    dataset: str = "SA",
+    params: Optional[WorkloadParameters] = None,
+    shard_counts: Sequence[int] = SCALE_SHARD_COUNTS,
+    which: Sequence[str] = SCALE_INDEXES,
+) -> Dict[str, object]:
+    """Shard-count sweep of the serving layer on the scale workload.
+
+    For every shard count, each index family is built sharded
+    (``build_standard_indexes(shards=N)``; ``N == 1`` is the plain
+    unsharded index), the full event stream is replayed through the batch
+    surface, and the batched kNN replay runs on top.  Per-row equivalence
+    flags compare every sharded row's answers against the unsharded
+    baseline row: range answers via the total result count, kNN answers
+    exactly (the serving layer's ``(distance, oid)`` merge must reproduce
+    the unsharded ranking bit for bit).  The unsharded row *is* that
+    baseline, so shard count 1 is always added to the sweep and the
+    sweep runs in ascending order.
+    """
+    if params is None:
+        params = WorkloadParameters(**SCALE_PARAMS)
+    workload = build_workload(dataset, params)
+    probes = knn_queries_from_workload(workload)
+    shard_rows: Dict[str, Dict[str, Dict[str, float]]] = {}
+    baselines: Dict[str, Dict[str, object]] = {}
+    for count in sorted(set(shard_counts) | {1}):
+        indexes = build_standard_indexes(workload, params, which=which, shards=count)
+        runner = ExperimentRunner(workload, batch=True)
+        for name, index in indexes.items():
+            metrics = runner.run(index, name=name)
+            knn = run_knn(
+                index,
+                probes,
+                space=params.space,
+                batch=True,
+                batch_size=KNN_BATCH_SIZE,
+                radius_state=AdaptiveRadius(),
+            )
+            row = {
+                "build_s": metrics.build_time,
+                "update_ms": metrics.avg_update_time_ms,
+                "query_ms": metrics.avg_query_time_ms,
+                "knn_ms": knn.avg_time_ms,
+                "update_io": metrics.avg_update_io,
+                "query_io": metrics.avg_query_io,
+                "knn_io": knn.avg_io,
+                "results": metrics.results_returned,
+            }
+            baseline = baselines.setdefault(
+                name, {"results": metrics.results_returned, "knn": knn.results}
+            )
+            row["results_match"] = float(metrics.results_returned == baseline["results"])
+            row["knn_results_match"] = float(knn.results == baseline["knn"])
+            shard_rows.setdefault(str(count), {})[name] = {
+                key: round(value, 4) for key, value in row.items()
+            }
+    return {
+        "dataset": dataset,
+        "params": {
+            "num_objects": params.num_objects,
+            "time_duration": params.time_duration,
+            "num_queries": params.num_queries,
+            "buffer_pages": params.buffer_pages,
+            "page_size": params.page_size,
+        },
+        "shards": shard_rows,
+    }
 
 
 def load_history(path: str) -> List[Dict[str, object]]:
@@ -262,15 +364,29 @@ def run(
     dataset: str = "SA",
     which: Sequence[str] = STANDARD_INDEXES,
     packing: bool = False,
+    scale: bool = False,
+    shard_counts: Sequence[int] = SCALE_SHARD_COUNTS,
 ) -> Dict[str, object]:
-    """Measure, append to the history at ``output``, and return the report."""
-    overrides = QUICK_PARAMS if quick else BENCH_PARAMS
-    params = WorkloadParameters(**overrides)
+    """Measure, append to the history at ``output``, and return the report.
+
+    ``scale=True`` runs the serving-layer shard-count sweep
+    (:func:`measure_scale`) instead of the standard build/replay
+    comparison; ``quick`` selects the smoke-scale parameter set in either
+    mode.
+    """
     started = time.perf_counter()
-    report = measure(dataset=dataset, params=params, which=which)
-    if packing:
-        report["packing"] = measure_packing(params=params)
-    report["mode"] = "quick" if quick else "bench"
+    if scale:
+        overrides = SCALE_QUICK_PARAMS if quick else SCALE_PARAMS
+        params = WorkloadParameters(**overrides)
+        report = measure_scale(dataset=dataset, params=params, shard_counts=shard_counts)
+        report["mode"] = "scale-quick" if quick else "scale"
+    else:
+        overrides = QUICK_PARAMS if quick else BENCH_PARAMS
+        params = WorkloadParameters(**overrides)
+        report = measure(dataset=dataset, params=params, which=which)
+        if packing:
+            report["packing"] = measure_packing(params=params)
+        report["mode"] = "quick" if quick else "bench"
     report["total_wall_s"] = round(time.perf_counter() - started, 2)
     history = load_history(output)
     history.append(report)
@@ -291,11 +407,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also compare bulk-packing strategies (midpoint vs velocity STR) "
         "on replayed SA/CH workloads",
     )
-    args = parser.parse_args(argv)
-    report = run(
-        quick=args.quick, output=args.output, dataset=args.dataset, packing=args.packing
+    parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="run the serving-layer scale workload (sharded replay at "
+        f"{SCALE_PARAMS['num_objects']} objects) instead of the standard "
+        "comparison",
     )
-    for name, row in report["indexes"].items():
+    parser.add_argument(
+        "--shards",
+        default=",".join(str(count) for count in SCALE_SHARD_COUNTS),
+        help="comma-separated shard counts for --scale; the unsharded "
+        "baseline (1) is always included (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    shard_counts = tuple(int(part) for part in args.shards.split(",") if part)
+    report = run(
+        quick=args.quick,
+        output=args.output,
+        dataset=args.dataset,
+        packing=args.packing,
+        scale=args.scale,
+        shard_counts=shard_counts,
+    )
+    for count, rows in sorted(report.get("shards", {}).items(), key=lambda item: int(item[0])):
+        for name, row in rows.items():
+            print(
+                f"shards={count} {name:10s} "
+                f"update {row['update_ms']:7.4f}ms  "
+                f"query {row['query_ms']:7.3f}ms  "
+                f"knn {row['knn_ms']:7.3f}ms  "
+                f"io(u/q/k) {row['update_io']:.1f}/{row['query_io']:.1f}/"
+                f"{row['knn_io']:.1f}  "
+                f"match {row['results_match']:.0f}/{row['knn_results_match']:.0f}"
+            )
+    for name, row in report.get("indexes", {}).items():
         print(
             f"{name:10s} build {row['build_incremental_s']:7.3f}s -> "
             f"{row['build_bulk_s']:6.3f}s ({row['build_speedup']:5.1f}x)  "

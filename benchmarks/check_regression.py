@@ -1,11 +1,14 @@
 """Bench-smoke regression gate for CI.
 
 Compares a fresh ``bench_speed.py`` report against the committed
-``BENCH_speed.json`` history and fails (exit code 1) when the batched Bx
-update time regresses by more than the allowed fraction.  The baseline is
-the most recent history entry with the *same* mode, dataset and workload
-parameters — quick-mode smoke runs are never judged against full bench-scale
-entries, whose absolute per-operation times differ by an order of magnitude.
+``BENCH_speed.json`` history and fails (exit code 1) when a watched batched
+metric regresses by more than the allowed fraction: the standard entries'
+Bx ``update_ms`` / ``knn_ms``, plus — for serving-layer scale entries —
+every ``(shard count, index)`` row's ``update_ms`` / ``knn_ms``.  The
+baseline is the most recent history entry with the *same* mode, dataset and
+workload parameters — quick-mode smoke runs are never judged against full
+bench-scale entries, whose absolute per-operation times differ by an order
+of magnitude.
 
 Usage (what ci.yml runs)::
 
@@ -66,6 +69,45 @@ def find_baseline(
     return None
 
 
+def _check_row(
+    label: str,
+    new_row: Dict[str, object],
+    old_row: Dict[str, object],
+    max_regression: float,
+    failures: List[str],
+) -> None:
+    """Gate one (new, baseline) row pair on every watched metric."""
+    for metric in METRICS:
+        if metric not in old_row:
+            # Baselines predating the metric have nothing to regress
+            # against; newer baselines re-arm the gate automatically.
+            continue
+        if metric not in new_row:
+            # The baseline records the metric but the fresh report does
+            # not: the harness stopped emitting it, which would silently
+            # disarm the gate — fail loudly instead.
+            failures.append(
+                f"{label} {metric} missing from the fresh report (present "
+                "in the baseline); the regression gate would be disarmed"
+            )
+            continue
+        new_value = float(new_row[metric])
+        old_value = float(old_row[metric])
+        if old_value <= 0.0:
+            continue
+        regression = new_value / old_value - 1.0
+        status = "ok" if regression <= max_regression else "REGRESSION"
+        print(
+            f"{label} {metric}: {old_value:.4f} -> {new_value:.4f} "
+            f"({regression:+.1%}, limit +{max_regression:.0%}) {status}"
+        )
+        if regression > max_regression:
+            failures.append(
+                f"{label} batched {metric} regressed {regression:+.1%} "
+                f"(limit +{max_regression:.0%})"
+            )
+
+
 def check(
     report: Dict[str, object],
     baseline: Optional[Dict[str, object]],
@@ -80,35 +122,22 @@ def check(
         old_row = baseline.get("indexes", {}).get(name)
         if not new_row or not old_row:
             continue
-        for metric in METRICS:
-            if metric not in old_row:
-                # Baselines predating the metric have nothing to regress
-                # against; newer baselines re-arm the gate automatically.
-                continue
-            if metric not in new_row:
-                # The baseline records the metric but the fresh report does
-                # not: the harness stopped emitting it, which would silently
-                # disarm the gate — fail loudly instead.
-                failures.append(
-                    f"{name} {metric} missing from the fresh report (present "
-                    "in the baseline); the regression gate would be disarmed"
-                )
-                continue
-            new_value = float(new_row[metric])
-            old_value = float(old_row[metric])
-            if old_value <= 0.0:
-                continue
-            regression = new_value / old_value - 1.0
-            status = "ok" if regression <= max_regression else "REGRESSION"
-            print(
-                f"{name} {metric}: {old_value:.4f} -> {new_value:.4f} "
-                f"({regression:+.1%}, limit +{max_regression:.0%}) {status}"
+        _check_row(name, new_row, old_row, max_regression, failures)
+    # Sharded scale entries: gate every (shard count, index) row present
+    # in both the fresh report and the baseline.
+    new_shards = report.get("shards") or {}
+    old_shards = baseline.get("shards") or {}
+    for count in sorted(set(new_shards) & set(old_shards), key=int):
+        new_rows = new_shards[count]
+        old_rows = old_shards[count]
+        for name in sorted(set(new_rows) & set(old_rows)):
+            _check_row(
+                f"{name}[shards={count}]",
+                new_rows[name],
+                old_rows[name],
+                max_regression,
+                failures,
             )
-            if regression > max_regression:
-                failures.append(
-                    f"{name} batched {metric} regressed {regression:+.1%} "
-                    f"(limit +{max_regression:.0%})"
-                )
     return failures
 
 
@@ -126,10 +155,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     report = _entries(args.report)[-1]
     baseline = find_baseline(_entries(args.history), report)
     if baseline is None:
-        print(
-            "no comparable baseline (same mode/dataset/params) in "
-            f"{args.history}; passing"
-        )
+        print(f"no comparable baseline (same mode/dataset/params) in {args.history}; passing")
         return 0
     failures = check(report, baseline, args.max_regression)
     for failure in failures:

@@ -167,3 +167,50 @@ def test_check_regression_requires_comparable_baseline(tmp_path):
     assert (
         check_regression.main([str(report), "--history", str(history)]) == 0
     )
+
+
+def test_scale_mode_records_shard_rows(tmp_path):
+    """The sharded scale sweep: per-shard-count rows with matching answers."""
+    output = tmp_path / "BENCH_speed.json"
+    report = bench_speed.run(
+        quick=True, scale=True, output=str(output), shard_counts=(1, 2)
+    )
+    assert report["mode"] == "scale-quick"
+    assert sorted(report["shards"], key=int) == ["1", "2"]
+    for count, rows in report["shards"].items():
+        for name in bench_speed.SCALE_INDEXES:
+            row = rows[name]
+            assert row["update_ms"] > 0.0
+            assert row["knn_ms"] > 0.0
+            # Every sharded row's answers must match the unsharded (1-shard)
+            # baseline row: range via totals, kNN exactly.
+            assert row["results_match"] == 1.0, (count, name)
+            assert row["knn_results_match"] == 1.0, (count, name)
+    on_disk = json.loads(output.read_text(encoding="utf-8"))
+    assert on_disk["history"][-1]["shards"] == report["shards"]
+
+
+def test_check_regression_gates_sharded_rows(tmp_path):
+    import check_regression
+
+    def entry(update_ms, knn_ms):
+        return {
+            "mode": "scale-quick",
+            "dataset": "SA",
+            "params": {"num_objects": 2500},
+            "shards": {
+                "1": {"Bx": {"update_ms": update_ms, "knn_ms": knn_ms}},
+                "4": {"Bx": {"update_ms": update_ms, "knn_ms": knn_ms}},
+            },
+        }
+
+    history = tmp_path / "history.json"
+    report = tmp_path / "report.json"
+    history.write_text(json.dumps({"history": [entry(0.02, 0.5)]}))
+
+    report.write_text(json.dumps({"history": [entry(0.021, 0.51)]}))
+    assert check_regression.main([str(report), "--history", str(history)]) == 0
+
+    # A regressed sharded knn_ms fails even with update_ms stable.
+    report.write_text(json.dumps({"history": [entry(0.02, 0.9)]}))
+    assert check_regression.main([str(report), "--history", str(history)]) == 1

@@ -26,6 +26,7 @@ from repro.core.partitioned_index import (
 from repro.core.velocity_analyzer import VelocityAnalyzer
 from repro.geometry.rect import Rect
 from repro.objects.knn import AdaptiveRadius, KNNQuery
+from repro.serve import ShardedIndex
 from repro.storage.buffer_manager import BufferManager
 from repro.tprtree.tpr_tree import TPRTree
 from repro.tprtree.tprstar_tree import TPRStarTree
@@ -376,54 +377,73 @@ def build_standard_indexes(
     which: Sequence[str] = STANDARD_INDEXES,
     k: int = 2,
     analyzer_seed: int = 0,
+    shards: int = 1,
 ) -> Dict[str, object]:
     """Build the paper's four competing indexes for one workload.
 
     The VP variants run the velocity analyzer over the workload's velocity
     sample (10,000 points maximum, as in the paper) before the indexes are
     created.
+
+    With ``shards > 1`` every family is wrapped in a
+    :class:`~repro.serve.ShardedIndex`: ``shards`` independent instances
+    (each with its own buffer pool of ``params.buffer_pages`` — the
+    shared-nothing serving model gives every worker its own RAM), behind
+    the hash router of the serving layer.  The VP variants' velocity
+    analysis still runs once; the shards share the partitioning result.
     """
     if params is None:
         params = WorkloadParameters()
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
     indexes: Dict[str, object] = {}
     partitioning = None
     if any(name.endswith("(VP)") for name in which):
         analyzer = VelocityAnalyzer(k=k, seed=analyzer_seed)
         partitioning = analyzer.analyze(workload.velocity_sample())
-    for name in which:
+
+    def make(name: str) -> object:
+        """Build one unsharded instance of the named index family."""
         if name == "Bx":
-            indexes[name] = BxTree(
+            return BxTree(
                 buffer=BufferManager(capacity=params.buffer_pages),
                 space=params.space,
                 max_update_interval=params.max_update_interval,
                 page_size=params.page_size,
             )
-        elif name == "TPR":
-            indexes[name] = TPRTree(
+        if name == "TPR":
+            return TPRTree(
                 buffer=BufferManager(capacity=params.buffer_pages),
                 page_size=params.page_size,
             )
-        elif name == "TPR*":
-            indexes[name] = TPRStarTree(
+        if name == "TPR*":
+            return TPRStarTree(
                 buffer=BufferManager(capacity=params.buffer_pages),
                 page_size=params.page_size,
             )
-        elif name == "Bx(VP)":
-            indexes[name] = make_vp_bx_tree(
+        if name == "Bx(VP)":
+            return make_vp_bx_tree(
                 partitioning,
                 space=params.space,
                 buffer_pages=params.buffer_pages,
                 max_update_interval=params.max_update_interval,
                 page_size=params.page_size,
             )
-        elif name == "TPR*(VP)":
-            indexes[name] = make_vp_tprstar_tree(
+        if name == "TPR*(VP)":
+            return make_vp_tprstar_tree(
                 partitioning,
                 buffer_pages=params.buffer_pages,
                 page_size=params.page_size,
             )
+        raise ValueError(f"unknown index name {name!r}")
+
+    for name in which:
+        if shards == 1:
+            indexes[name] = make(name)
         else:
-            raise ValueError(f"unknown index name {name!r}")
+            indexes[name] = ShardedIndex(
+                [make(name) for _ in range(shards)], name=name, space=params.space
+            )
     return indexes
 
 
@@ -434,11 +454,14 @@ def run_comparison(
     k: int = 2,
     bulk_build: bool = True,
     batch: bool = True,
+    shards: int = 1,
 ) -> List[IndexMetrics]:
     """Run the full comparison of the standard indexes on one workload."""
     runner = ExperimentRunner(workload, bulk_build=bulk_build, batch=batch)
     results: List[IndexMetrics] = []
-    indexes = build_standard_indexes(workload, params=params, which=which, k=k)
+    indexes = build_standard_indexes(
+        workload, params=params, which=which, k=k, shards=shards
+    )
     for name, index in indexes.items():
         results.append(runner.run(index, name=name))
     return results

@@ -220,37 +220,21 @@ class IndexManager:
         self.delete(new.oid)
         return self.insert(new)
 
-    def update_batch(self, objects: Sequence[MovingObject]) -> List[int]:
-        """Apply a batch of updates; returns the partition chosen per object.
+    def _classify_and_transform(
+        self, objects: List[MovingObject]
+    ) -> Tuple[List[int], List[MovingObject]]:
+        """Vectorized partition classification + frame rotation for a batch.
 
-        The batch is classified in one vectorized pass (perpendicular
-        distances to every DVA for the whole batch at once instead of N
-        scalar loops) and rotated into its target frames per *partition*:
-        one position/velocity component extraction feeds both the
-        classification and the rotation, and each DVA's members are rotated
-        as whole arrays (:meth:`~repro.core.dva.CoordinateFrame
-        .to_frame_arrays`) instead of object by object.  Grouped by
-        partition, each underlying index then receives one batched call:
-        same-partition updates go through the index's ``update_batch``
-        (where the Bx-tree collapses same-key updates into in-place
-        replacements), migrations become one grouped ``delete_batch`` per
-        source partition and one grouped ``insert_batch`` per target.
-        Directory state ends up exactly as under pair-by-pair ``update``.
+        One component-extraction pass for the whole batch feeds both the
+        vectorized classification (perpendicular distances to every DVA at
+        once) and the per-partition rotation.  The position and velocity
+        components are packed into one pair of arrays (positions in
+        ``[0, n)``, velocities in ``[n, 2n)``): a rotation is rigid, so one
+        array rotation covers both and the per-partition numpy dispatch
+        count halves.  Returns the partition per object and the stored
+        (frame-rotated) snapshot per object, aligned with the input.
         """
-        objects = list(objects)
-        if not objects:
-            return []
-        oids = [obj.oid for obj in objects]
-        if len(objects) == 1 or len(set(oids)) != len(oids):
-            # Repeated oids: relative order matters, take the scalar path.
-            return [self.update(obj) for obj in objects]
         n = len(objects)
-        # One component-extraction pass for the whole batch feeds both the
-        # vectorized classification and the per-partition rotation.  The
-        # position and velocity components are packed into one pair of
-        # arrays (positions in [0, n), velocities in [n, 2n)): a rotation is
-        # rigid, so one array rotation covers both and the per-partition
-        # numpy dispatch count halves.
         xs = np.empty(2 * n)
         ys = np.empty(2 * n)
         xs[:n] = np.fromiter((o.position.x for o in objects), np.float64, n)
@@ -287,6 +271,100 @@ class IndexManager:
                     velocity=Vector(svx[j], svy[j]),
                     reference_time=obj.reference_time,
                 )
+        return partitions, stored_objects
+
+    def insert_batch(self, objects: Sequence[MovingObject]) -> List[int]:
+        """Insert a batch; returns the partition chosen per object.
+
+        The batch is classified and rotated in one vectorized pass
+        (:meth:`_classify_and_transform`) and each touched sub-index
+        receives one grouped ``insert_batch`` call.  Directory state ends
+        up exactly as under object-by-object :meth:`insert`.
+
+        Raises:
+            KeyError: if any object id is already indexed or repeats
+                within the batch (nothing is committed in that case).
+        """
+        objects = list(objects)
+        if not objects:
+            return []
+        oids = [obj.oid for obj in objects]
+        if len(self._directory.keys() & set(oids)) or len(set(oids)) != len(oids):
+            duplicate = next(
+                oid
+                for i, oid in enumerate(oids)
+                if oid in self._directory or oid in oids[:i]
+            )
+            raise KeyError(f"object {duplicate} is already indexed; use update()")
+        partitions, stored_objects = self._classify_and_transform(objects)
+        groups: Dict[int, List[int]] = {}
+        for i, partition in enumerate(partitions):
+            groups.setdefault(partition, []).append(i)
+        for partition, members in groups.items():
+            index = self._index_of(partition)
+            batch_insert = getattr(index, "insert_batch", None)
+            group = [stored_objects[i] for i in members]
+            if batch_insert is not None:
+                batch_insert(group)
+            else:
+                for stored in group:
+                    index.insert(stored)
+        for obj, partition, stored in zip(objects, partitions, stored_objects):
+            self._directory[obj.oid] = _StoredObject(
+                partition=partition, original=obj, stored=stored
+            )
+        return partitions
+
+    def delete_batch(self, oids: Sequence[int]) -> List[bool]:
+        """Delete a batch of object ids; flags align with the input order.
+
+        Ids are grouped by their *current* partition (directory lookup,
+        Section 5.3) and each sub-index receives one grouped
+        ``delete_batch`` of the stored snapshots.  A repeated or unknown
+        id yields ``False``, exactly as repeated :meth:`delete` calls
+        would.
+        """
+        oids = list(oids)
+        flags = [False] * len(oids)
+        groups: Dict[int, List[Tuple[int, MovingObject]]] = {}
+        for position, oid in enumerate(oids):
+            record = self._directory.pop(oid, None)
+            if record is None:
+                continue
+            groups.setdefault(record.partition, []).append((position, record.stored))
+        for partition, members in groups.items():
+            index = self._index_of(partition)
+            batch_delete = getattr(index, "delete_batch", None)
+            if batch_delete is not None:
+                results = batch_delete([stored for _, stored in members])
+            else:
+                results = [index.delete(stored) for _, stored in members]
+            for (position, _), result in zip(members, results):
+                flags[position] = bool(result)
+        return flags
+
+    def update_batch(self, objects: Sequence[MovingObject]) -> List[int]:
+        """Apply a batch of updates; returns the partition chosen per object.
+
+        The batch is classified in one vectorized pass (perpendicular
+        distances to every DVA for the whole batch at once instead of N
+        scalar loops) and rotated into its target frames per *partition*
+        (:meth:`_classify_and_transform`).  Grouped by partition, each
+        underlying index then receives one batched call: same-partition
+        updates go through the index's ``update_batch`` (where the
+        Bx-tree collapses same-key updates into in-place replacements),
+        migrations become one grouped ``delete_batch`` per source
+        partition and one grouped ``insert_batch`` per target.  Directory
+        state ends up exactly as under pair-by-pair ``update``.
+        """
+        objects = list(objects)
+        if not objects:
+            return []
+        oids = [obj.oid for obj in objects]
+        if len(objects) == 1 or len(set(oids)) != len(oids):
+            # Repeated oids: relative order matters, take the scalar path.
+            return [self.update(obj) for obj in objects]
+        partitions, stored_objects = self._classify_and_transform(objects)
         same: Dict[int, List[Tuple[MovingObject, MovingObject]]] = {}
         deletes: Dict[int, List[MovingObject]] = {}
         inserts: Dict[int, List[MovingObject]] = {}

@@ -89,6 +89,18 @@ class VPIndex:
         """Delete an object by id; True when it was stored."""
         return self.manager.delete(obj.oid)
 
+    def insert_batch(self, objects: Sequence[MovingObject]) -> None:
+        """Batched :meth:`insert` (see :meth:`IndexManager.insert_batch`).
+
+        One vectorized classification/rotation pass routes the batch and
+        each touched sub-index receives one grouped ``insert_batch``.
+        """
+        self.manager.insert_batch(list(objects))
+
+    def delete_batch(self, objects: Sequence[MovingObject]) -> List[bool]:
+        """Batched :meth:`delete`; success flags align with the input."""
+        return self.manager.delete_batch([obj.oid for obj in objects])
+
     def update(self, old: MovingObject, new: MovingObject) -> bool:
         """Update an object (it may migrate partitions); True when it existed."""
         existed = self.manager.partition_of(old.oid) is not None

@@ -1,0 +1,23 @@
+"""Sharded serving layer: fan moving-object indexes across worker shards.
+
+The package turns the single-index replay stack into a serving topology: a
+:class:`ShardedIndex` hash-partitions objects across N independent index
+shards (any of the standard index families underneath, each with its own
+buffer pool and I/O statistics), routes updates to the owning shard, fans
+queries out to every shard on a thread pool, and merges the per-shard
+answers into exactly the answer the unsharded index would have given.
+"""
+
+from repro.serve.sharded_index import (
+    DEFAULT_SHARDS,
+    AggregateStats,
+    ShardedIndex,
+    shard_of,
+)
+
+__all__ = [
+    "AggregateStats",
+    "DEFAULT_SHARDS",
+    "ShardedIndex",
+    "shard_of",
+]

@@ -1,0 +1,423 @@
+"""The sharded serving layer (shared-nothing fan-out over index shards).
+
+A :class:`ShardedIndex` owns N independent *shards* — complete instances of
+any moving-object index family (``BxTree``, ``TPRTree``/``TPRStarTree``,
+``VPIndex``), each with its own :class:`~repro.storage.BufferManager` and
+:class:`~repro.storage.stats.IOStats` — and presents the exact same index
+protocol the harness already speaks (``insert`` / ``update_batch`` /
+``range_query_batch`` / ``knn_query_batch`` / ``bulk_load`` / ``buffer``).
+
+**Routing.**  Every object id is owned by exactly one shard, chosen by a
+fixed multiplicative hash of the id (:func:`shard_of`).  Updates,
+insertions and deletions are grouped by owning shard and each shard
+receives one batched call; queries cannot be routed (a range predicate
+says nothing about object ids), so they fan out to *all* shards on a
+thread pool and the per-shard answers are merged.
+
+**Merge semantics.**  Shards partition the object set, so a range query's
+per-shard answers are disjoint; the serving layer returns their union in
+ascending-id order (a canonical order, which is what makes the answer
+independent of the shard count).  A kNN probe's global ``k`` nearest each
+rank among the ``k`` nearest of their own shard, so merging the per-shard
+top-``k`` lists by ``(distance, oid)`` and keeping the first ``k`` yields
+exactly the unsharded answer — see ``docs/sharding.md`` for the one-line
+proof.
+
+**Concurrency.**  Shards share no mutable state, so work on different
+shards runs in parallel (thread pool).  Within one shard everything is
+serialized by a per-shard lock: the buffer pool's LRU bookkeeping mutates
+on every fetch, so even read-only queries must not interleave on a single
+shard.  Concurrent *calls into the same ShardedIndex* are therefore safe;
+what is not safe is touching a shard's underlying index directly while
+the serving layer is live (see ``docs/sharding.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.bulk import loader_accepts
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.objects.knn import AdaptiveRadius, KNNQuery
+from repro.objects.moving_object import MovingObject
+from repro.objects.queries import RangeQuery
+from repro.storage.stats import BufferCounter, Counter, IOStats
+
+#: Default shard count of the serving layer.
+DEFAULT_SHARDS = 4
+
+#: Odd 64-bit multiplier (2^64 / golden ratio) of the routing hash.
+_HASH_MULTIPLIER = 0x9E3779B97F4A7C15
+
+_MASK64 = (1 << 64) - 1
+
+T = TypeVar("T")
+
+
+def shard_of(oid: int, num_shards: int) -> int:
+    """Owning shard of object ``oid`` under the fixed routing hash.
+
+    A multiplicative (Fibonacci) hash: the id is multiplied by an odd
+    64-bit constant and the *high* 32 bits pick the shard, so consecutive
+    ids — the common allocation pattern — spread evenly instead of
+    striping, and the assignment is a pure function of ``(oid,
+    num_shards)`` that every layer (router, tests, offline tooling) can
+    recompute independently.
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    if num_shards == 1:
+        return 0
+    mixed = (oid * _HASH_MULTIPLIER) & _MASK64
+    return (mixed >> 32) % num_shards
+
+
+class AggregateStats:
+    """Live read-only sum of several shards' :class:`IOStats`.
+
+    Each property materializes a fresh counter summed across the shards at
+    access time, so harness-style ``before = stats.physical.total`` /
+    ``after - before`` accounting works unchanged on a sharded index.
+    """
+
+    def __init__(self, parts: Sequence[IOStats]) -> None:
+        self._parts = list(parts)
+
+    @property
+    def physical(self) -> Counter:
+        """Summed physical read/write counter."""
+        return Counter(
+            reads=sum(p.physical.reads for p in self._parts),
+            writes=sum(p.physical.writes for p in self._parts),
+        )
+
+    @property
+    def logical(self) -> Counter:
+        """Summed logical read/write counter."""
+        return Counter(
+            reads=sum(p.logical.reads for p in self._parts),
+            writes=sum(p.logical.writes for p in self._parts),
+        )
+
+    @property
+    def buffer(self) -> BufferCounter:
+        """Summed buffer hit/miss counter."""
+        return BufferCounter(
+            hits=sum(p.buffer.hits for p in self._parts),
+            misses=sum(p.buffer.misses for p in self._parts),
+        )
+
+
+class _AggregateBuffer:
+    """Buffer facade summing the shards' pools (what the harness reads)."""
+
+    def __init__(self, shards: Sequence) -> None:
+        self._buffers = [shard.buffer for shard in shards]
+        self.stats = AggregateStats([buffer.stats for buffer in self._buffers])
+
+    @property
+    def batch_hints_enabled(self) -> bool:
+        """Whether the advisory sweep hints are enabled on every shard."""
+        return all(buffer.batch_hints_enabled for buffer in self._buffers)
+
+    @batch_hints_enabled.setter
+    def batch_hints_enabled(self, enabled: bool) -> None:
+        for buffer in self._buffers:
+            buffer.batch_hints_enabled = enabled
+
+
+class ShardedIndex:
+    """Hash-partitioned serving facade over independent index shards.
+
+    Args:
+        shards: fully built index instances, one per shard.  Every shard
+            must have its *own* buffer pool — shards are the unit of
+            parallelism, and a shared pool would race.
+        name: display name used by the harness.
+        space: data space (forwarded as the default kNN search space).
+        max_workers: thread-pool width for fan-out; defaults to the shard
+            count.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence,
+        name: Optional[str] = None,
+        space: Optional[Rect] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        shards = list(shards)
+        if not shards:
+            raise ValueError("a ShardedIndex needs at least one shard")
+        buffers = [shard.buffer for shard in shards]
+        if len({id(buffer) for buffer in buffers}) != len(buffers):
+            raise ValueError("shards must not share a buffer pool")
+        self.shards = shards
+        self.name = name or f"{getattr(shards[0], 'name', type(shards[0]).__name__)}"
+        self.space = space
+        self.buffer = _AggregateBuffer(shards)
+        self._locks = [threading.Lock() for _ in shards]
+        self._max_workers = max_workers or len(shards)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Shard plumbing
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return len(self.shards)
+
+    def shard_of(self, oid: int) -> int:
+        """Owning shard of object ``oid`` (see :func:`shard_of`)."""
+        return shard_of(oid, len(self.shards))
+
+    def shard_stats(self) -> List[IOStats]:
+        """Per-shard :class:`IOStats` (each shard's own counters)."""
+        return [shard.buffer.stats for shard in self.shards]
+
+    def _executor(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix=f"shard-{self.name}",
+                )
+                # Reclaim the worker threads with the index: the finalizer
+                # holds the pool, not ``self``, so it cannot keep the
+                # index alive.
+                weakref.finalize(self, self._pool.shutdown, wait=False)
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the fan-out thread pool down (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _run_on(self, tasks: Dict[int, Callable[[], T]]) -> Dict[int, T]:
+        """Run one task per shard (under its lock), in parallel when > 1.
+
+        Results are keyed by shard so merge order never depends on thread
+        scheduling.
+        """
+
+        def locked(shard_id: int, task: Callable[[], T]) -> T:
+            with self._locks[shard_id]:
+                return task()
+
+        if len(tasks) <= 1:
+            return {sid: locked(sid, task) for sid, task in tasks.items()}
+        pool = self._executor()
+        futures = {sid: pool.submit(locked, sid, task) for sid, task in tasks.items()}
+        return {sid: future.result() for sid, future in futures.items()}
+
+    def _group_by_shard(self, oids: Sequence[int]) -> Dict[int, List[int]]:
+        """Input positions grouped by owning shard (input order preserved)."""
+        groups: Dict[int, List[int]] = {}
+        for position, oid in enumerate(oids):
+            groups.setdefault(self.shard_of(oid), []).append(position)
+        return groups
+
+    def _scatter(
+        self,
+        groups: Dict[int, List[int]],
+        apply: Callable[[int, List[int]], T],
+    ) -> Dict[int, T]:
+        """Run ``apply(shard_id, member_positions)`` per routed group.
+
+        The single place the per-shard task closures are built, so the
+        late-binding capture (``s=sid, m=members``) lives here once.
+        """
+        return self._run_on(
+            {
+                sid: (lambda s=sid, m=members: apply(s, m))
+                for sid, members in groups.items()
+            }
+        )
+
+    def _fan_out(self, apply: Callable[[int], T]) -> Dict[int, T]:
+        """Run ``apply(shard_id)`` on every shard (query fan-out)."""
+        return self._run_on({sid: (lambda s=sid: apply(s)) for sid in range(len(self.shards))})
+
+    # ------------------------------------------------------------------
+    # Updates (routed by owning shard)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def insert(self, obj: MovingObject) -> None:
+        """Insert an object into its owning shard."""
+        shard_id = self.shard_of(obj.oid)
+        with self._locks[shard_id]:
+            self.shards[shard_id].insert(obj)
+
+    def delete(self, obj: MovingObject) -> bool:
+        """Delete an object snapshot from its owning shard."""
+        shard_id = self.shard_of(obj.oid)
+        with self._locks[shard_id]:
+            return self.shards[shard_id].delete(obj)
+
+    def update(self, old: MovingObject, new: MovingObject) -> bool:
+        """Update one object on its owning shard; True when ``old`` existed."""
+        if old.oid != new.oid:
+            raise ValueError("an update must keep the object id")
+        shard_id = self.shard_of(old.oid)
+        with self._locks[shard_id]:
+            return self.shards[shard_id].update(old, new)
+
+    def bulk_load(self, objects: Sequence[MovingObject], strategy: Optional[str] = None) -> None:
+        """Bulk-build every shard from its routed slice of ``objects``.
+
+        ``strategy`` is forwarded to shard loaders that accept one (the
+        TPR family's packing strategies); loaders without the parameter
+        ignore it, mirroring :meth:`IndexManager.bulk_load`.
+        """
+        objects = list(objects)
+
+        def load(shard_id: int, members: List[int]) -> None:
+            loader = self.shards[shard_id].bulk_load
+            group = [objects[i] for i in members]
+            if strategy is not None and loader_accepts(loader, "strategy"):
+                loader(group, strategy=strategy)
+            else:
+                loader(group)
+
+        self._scatter(self._group_by_shard([obj.oid for obj in objects]), load)
+
+    def insert_batch(self, objects: Sequence[MovingObject]) -> None:
+        """Insert a batch, one grouped ``insert_batch`` per owning shard."""
+        objects = list(objects)
+        self._scatter(
+            self._group_by_shard([obj.oid for obj in objects]),
+            lambda sid, members: self.shards[sid].insert_batch(
+                [objects[i] for i in members]
+            ),
+        )
+
+    def delete_batch(self, objects: Sequence[MovingObject]) -> List[bool]:
+        """Delete a batch; per-object success flags aligned with the input."""
+        objects = list(objects)
+        groups = self._group_by_shard([obj.oid for obj in objects])
+        flag_groups = self._scatter(
+            groups,
+            lambda sid, members: self.shards[sid].delete_batch(
+                [objects[i] for i in members]
+            ),
+        )
+        flags = [False] * len(objects)
+        for sid, members in groups.items():
+            for position, flag in zip(members, flag_groups[sid]):
+                flags[position] = bool(flag)
+        return flags
+
+    def update_batch(self, pairs: Sequence[Tuple[MovingObject, MovingObject]]) -> int:
+        """Apply an update batch; returns how many old snapshots existed.
+
+        Pairs are grouped by owning shard (the id routing makes old and
+        new snapshots of one object land on the same shard) and each shard
+        receives one ``update_batch`` call, all shards in parallel.
+        """
+        pairs = list(pairs)
+        for old, new in pairs:
+            if old.oid != new.oid:
+                raise ValueError("an update must keep the object id")
+        counts = self._scatter(
+            self._group_by_shard([old.oid for old, _ in pairs]),
+            lambda sid, members: self.shards[sid].update_batch(
+                [pairs[i] for i in members]
+            ),
+        )
+        return sum(counts.values())
+
+    # ------------------------------------------------------------------
+    # Queries (fan out to every shard, merge canonically)
+    # ------------------------------------------------------------------
+    def range_query(self, query: RangeQuery, exact: bool = True) -> List[int]:
+        """Object ids qualifying for ``query``, in ascending-id order.
+
+        The union of the per-shard answers equals the unsharded answer
+        set (shards partition the objects); ascending-id order is the
+        serving layer's canonical answer order, chosen because it is
+        shard-count invariant — per-candidate traversal order is not.
+        """
+        return self.range_query_batch([query], exact=exact)[0]
+
+    def range_query_batch(
+        self, queries: Sequence[RangeQuery], exact: bool = True
+    ) -> List[List[int]]:
+        """Batched :meth:`range_query`; per-query results align with the input."""
+        queries = list(queries)
+        if not queries:
+            return []
+        per_shard = self._fan_out(
+            lambda sid: self.shards[sid].range_query_batch(queries, exact=exact)
+        )
+        results: List[List[int]] = []
+        for qi in range(len(queries)):
+            merged: List[int] = []
+            for sid in range(len(self.shards)):
+                merged.extend(per_shard[sid][qi])
+            merged.sort()
+            results.append(merged)
+        return results
+
+    def knn_query(
+        self,
+        center: Point,
+        k: int,
+        query_time: float,
+        issue_time: float = 0.0,
+        space: Optional[Rect] = None,
+        radius_state: Optional[AdaptiveRadius] = None,
+    ) -> List[Tuple[int, float]]:
+        """Single-probe kNN over every shard (see :meth:`knn_query_batch`)."""
+        probe = KNNQuery(center=center, k=k, query_time=query_time, issue_time=issue_time)
+        return self.knn_query_batch([probe], space=space, radius_state=radius_state)[0]
+
+    def knn_query_batch(
+        self,
+        queries: Sequence[KNNQuery],
+        space: Optional[Rect] = None,
+        radius_state: Optional[AdaptiveRadius] = None,
+    ) -> List[List[Tuple[int, float]]]:
+        """Answer kNN probes by merging every shard's local top-``k``.
+
+        Each shard answers the whole probe batch over its own objects
+        (shards run in parallel); per probe, the per-shard answers are
+        merged by ``(distance, oid)`` and truncated to ``k`` — exactly
+        the unsharded answer, because each of the global ``k`` nearest is
+        among the ``k`` nearest of its own shard (fewer than ``k``
+        objects in total are closer; see ``docs/sharding.md``).
+
+        ``radius_state`` is shared across the shards as a pure perf hint:
+        its observe/suggest races are benign (answers are provably
+        radius-schedule independent).
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        search_space = space if space is not None else self.space
+        per_shard = self._fan_out(
+            lambda sid: self.shards[sid].knn_query_batch(
+                queries, space=search_space, radius_state=radius_state
+            )
+        )
+        results: List[List[Tuple[int, float]]] = []
+        for qi, probe in enumerate(queries):
+            merged = [pair for sid in range(len(self.shards)) for pair in per_shard[sid][qi]]
+            merged.sort(key=lambda pair: (pair[1], pair[0]))
+            results.append(merged[: probe.k])
+        return results

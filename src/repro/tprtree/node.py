@@ -18,7 +18,9 @@ paths never rebuild per-entry ``MovingRect``/``Rect`` objects.
 :class:`TPREntry` remains the *exchange record*: insertions hand entries to
 a node, and cold paths (tests, introspection, orphan reinsertion) read them
 back via :attr:`TPRNode.entries`, which materializes entry objects from the
-columns on demand.  All structural mutation goes through the node methods
+columns on demand.  Whole-node dumps that need no exchange records (e.g.
+``iter_objects``) use :meth:`TPRNode.iter_records`, which yields flat
+per-entry tuples straight off the columns.  All structural mutation goes through the node methods
 (``append_entry`` / ``remove_at`` / ``set_bound_at`` / ...), which keep the
 columns consistent.
 """
@@ -96,15 +98,6 @@ class _EntriesView(Sequence):
     def append(self, entry: TPREntry) -> None:
         """Write-through append to the owning node's columns."""
         self._node.append_entry(entry)
-
-    def remove(self, entry: TPREntry) -> None:
-        """Remove the first entry equal to ``entry`` (write-through)."""
-        node = self._node
-        for i in range(node.num_entries):
-            if node.entry_at(i) == entry:
-                node.remove_at(i)
-                return
-        raise ValueError("entry not in node")
 
 
 class TPRNode:
@@ -345,6 +338,27 @@ class TPRNode:
             return TPREntry(bound=bound, oid=ref)
         return TPREntry(bound=bound, child_page_id=ref)
 
+    def iter_records(self) -> Iterator[Tuple]:
+        """Flat ``(ref, x0, y0, x1, y1, vx0, vy0, vx1, vy1, tref)`` per entry.
+
+        The columnar iterator for cold full-node reads (``iter_objects``,
+        debug dumps): one C-level zip over the live columns, no
+        :class:`TPREntry`/``MovingRect`` objects.  Callers must not mutate
+        the node while iterating.
+        """
+        return zip(
+            self._refs,
+            self._x0,
+            self._y0,
+            self._x1,
+            self._y1,
+            self._vx0,
+            self._vy0,
+            self._vx1,
+            self._vy1,
+            self._tref,
+        )
+
     @property
     def entries(self) -> _EntriesView:
         """Sequence view materializing entries on demand (append writes through)."""
@@ -394,10 +408,3 @@ class TPRNode:
         entry = self.find_entry_for_child(child_page_id)
         self.remove_at(self.index_of_ref(child_page_id))
         return entry
-
-    def find_leaf_entry(self, oid: int) -> Optional[TPREntry]:
-        """Leaf entry for object ``oid`` or ``None``."""
-        index = self.index_of_ref(oid)
-        if index is None or not self.is_leaf:
-            return None
-        return self.entry_at(index)

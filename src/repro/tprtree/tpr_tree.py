@@ -38,6 +38,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.bulk import PACKING_STRATEGIES, chunk_count, even_chunks, velocity_bins
 from repro.geometry import kernels
 from repro.geometry.moving_rect import MovingRect
@@ -63,6 +65,16 @@ DEFAULT_HORIZON = 60.0
 #: Slightly below 1.0 leaves headroom so the first trickle of updates after
 #: a bulk build does not immediately split every node.
 DEFAULT_BULK_FILL = 0.9
+
+#: Minimum ``active_queries * node_entries`` grid size at which the shared
+#: traversal switches from the scalar per-entry intersect loop to the fused
+#: numpy pass (:func:`repro.geometry.kernels.soa_intersect_many`), measured
+#: against the kernel's ~80 us fixed dispatch cost per node; single-query
+#: subtrees always stay scalar because the scalar loop's per-entry early
+#: exits beat one fused pass there.  Both paths are bit-identical, so the
+#: constant is purely a performance knob (tests pin the equivalence by
+#: forcing it to 0 and to infinity).
+VECTOR_MATCH_MIN_WORK = 100
 
 
 class TPRTree:
@@ -607,11 +619,15 @@ class TPRTree:
                 )
             )
         out: List[List[CandidateState]] = [[] for _ in queries]
+        # One (num_queries, 11) float matrix for the whole traversal: the
+        # vectorized per-node intersect pass slices its active rows out of
+        # it instead of re-packing tuples at every node.
+        infos_arr = np.asarray(infos, dtype=np.float64).reshape(len(infos), 11)
         buffer = self.buffer
         buffer.advise_sequential(True)
         try:
             self._search_many(
-                self.root_page_id, list(range(len(queries))), infos, out, []
+                self.root_page_id, list(range(len(queries))), infos, infos_arr, out, []
             )
         finally:
             buffer.release_frontier()
@@ -623,6 +639,7 @@ class TPRTree:
         page_id: int,
         active: List[int],
         infos: List[Tuple],
+        infos_arr,
         out: List[List[CandidateState]],
         path: List[int],
     ) -> None:
@@ -634,6 +651,12 @@ class TPRTree:
         unpinned: a visited leaf is never needed again, which makes it the
         ideal eviction victim under :meth:`~repro.storage.buffer_manager
         .BufferManager.advise_sequential`.
+
+        ``infos`` and ``infos_arr`` are the same query records twice — as
+        tuples for the scalar per-entry loops and as one ``(Q, 11)`` float
+        matrix for the vectorized per-node pass, which kicks in once the
+        node's ``active x entries`` grid reaches
+        :data:`VECTOR_MATCH_MIN_WORK`.
         """
         node = self._node(page_id)
         is_leaf = node.is_leaf
@@ -642,7 +665,36 @@ class TPRTree:
             self.buffer.pin_frontier(path)
         intersects = kernels.intersects_interval
         refs = node.refs
-        if len(active) == 1:
+        if len(active) > 1 and len(active) * len(refs) >= VECTOR_MATCH_MIN_WORK:
+            # Fused extent + intersect pass over the whole (queries x
+            # entries) grid of the node; bit-identical to the scalar
+            # loops below, which stay in place for small grids (and for
+            # single-query subtrees) where the numpy dispatch overhead
+            # would dominate.
+            columns = node.columns
+            x0s, y0s, vx0s, vy0s, trefs = (
+                columns[0],
+                columns[1],
+                columns[4],
+                columns[5],
+                columns[8],
+            )
+            matrix = kernels.soa_intersect_many(*columns, infos_arr[active])
+            hit_counts = matrix.sum(axis=0)
+            for i in np.nonzero(hit_counts)[0].tolist():
+                if hit_counts[i] == len(active):
+                    matching = active
+                else:
+                    matching = [
+                        active[j] for j in np.nonzero(matrix[:, i])[0].tolist()
+                    ]
+                if is_leaf:
+                    state = (refs[i], x0s[i], y0s[i], vx0s[i], vy0s[i], trefs[i])
+                    for qi in matching:
+                        out[qi].append(state)
+                else:
+                    self._search_many(refs[i], matching, infos, infos_arr, out, path)
+        elif len(active) == 1:
             # Once a subtree concerns a single query — the common case as
             # soon as the batch's probes separate spatially — skip the
             # per-entry matching-list bookkeeping.
@@ -659,7 +711,7 @@ class TPRTree:
                 if is_leaf:
                     bucket.append((refs[i], bx0, by0, bvx0, bvy0, bref))
                 else:
-                    self._search_many(refs[i], active, infos, out, path)
+                    self._search_many(refs[i], active, infos, infos_arr, out, path)
         else:
             for i, (bx0, by0, bx1, by1, bvx0, bvy0, bvx1, bvy1, bref) in enumerate(
                 zip(*node.columns)
@@ -678,7 +730,7 @@ class TPRTree:
                     for qi in matching:
                         out[qi].append(state)
                 else:
-                    self._search_many(refs[i], matching, infos, out, path)
+                    self._search_many(refs[i], matching, infos, infos_arr, out, path)
         if not is_leaf:
             path.pop()
 
@@ -698,11 +750,25 @@ class TPRTree:
                 yield node.bound(self.current_time)
 
     def iter_objects(self) -> Iterator[Tuple[int, MovingRect]]:
-        """``(oid, bound)`` of every stored object."""
+        """``(oid, bound)`` of every stored object.
+
+        Reads the leaf columns through the columnar record iterator
+        (:meth:`TPRNode.iter_records`) — no per-entry :class:`TPREntry`
+        exchange records are materialized, which is what keeps a full-tree
+        dump linear in the column storage instead of allocating two
+        objects per stored entry.
+        """
         for node in self._iter_nodes():
             if node.is_leaf:
-                for entry in node.entries:
-                    yield entry.oid, entry.bound
+                for ref, x0, y0, x1, y1, vx0, vy0, vx1, vy1, tref in node.iter_records():
+                    yield ref, MovingRect(
+                        rect=Rect(x0, y0, x1, y1),
+                        v_x_min=vx0,
+                        v_y_min=vy0,
+                        v_x_max=vx1,
+                        v_y_max=vy1,
+                        reference_time=tref,
+                    )
 
     def _iter_nodes(self) -> Iterator[TPRNode]:
         stack = [self.root_page_id]

@@ -89,6 +89,56 @@ class TestRouting:
         assert manager.stored_object(99) is None
 
 
+class TestBatchSurface:
+    def test_insert_batch_matches_sequential(self):
+        objects = make_objects(60, seed=11)
+        sequential = tpr_manager()
+        batched = tpr_manager()
+        partitions = [sequential.insert(obj) for obj in objects]
+        assert batched.insert_batch(objects) == partitions
+        assert len(batched) == len(sequential)
+        for obj in objects:
+            assert batched.partition_of(obj.oid) == sequential.partition_of(obj.oid)
+            assert batched.stored_object(obj.oid) == obj
+
+    def test_insert_batch_rejects_duplicates_atomically(self):
+        manager = tpr_manager()
+        obj = MovingObject(1, Point(50, 50), Vector(25.0, 0.0))
+        manager.insert(obj)
+        fresh = MovingObject(2, Point(60, 60), Vector(25.0, 0.0))
+        with pytest.raises(KeyError):
+            manager.insert_batch([fresh, obj])
+        # Nothing from the rejected batch may have been committed.
+        assert len(manager) == 1
+        assert manager.partition_of(2) is None
+        with pytest.raises(KeyError):
+            manager.insert_batch([fresh, fresh])
+        assert manager.partition_of(2) is None
+
+    def test_delete_batch_matches_sequential(self):
+        objects = make_objects(60, seed=12)
+        sequential = tpr_manager()
+        batched = tpr_manager()
+        sequential.insert_batch(objects)
+        batched.insert_batch(objects)
+        victims = [obj.oid for obj in objects[:20]] + [999, objects[0].oid]
+        expected = [sequential.delete(oid) for oid in victims]
+        assert batched.delete_batch(victims) == expected
+        assert len(batched) == len(sequential)
+
+    def test_vp_facade_insert_delete_batch(self, axis_objects):
+        partitioning = analyze_sample(
+            sample_velocities_from_objects(axis_objects), k=2
+        )
+        index = make_vp_tprstar_tree(partitioning, buffer_pages=64, max_entries=8)
+        index.insert_batch(axis_objects)
+        assert len(index) == len(axis_objects)
+        flags = index.delete_batch(axis_objects[:30])
+        assert flags == [True] * 30
+        assert len(index) == len(axis_objects) - 30
+        assert index.delete_batch(axis_objects[:1]) == [False]
+
+
 class TestQueryTransformation:
     def test_circular_query_stays_circular(self):
         manager = tpr_manager()

@@ -261,3 +261,119 @@ class TestSegmentKernels:
             )
             if sampled:
                 assert reported
+
+
+class TestSoaIntersectMany:
+    """The vectorized (queries x entries) intersect pass versus the scalar kernel."""
+
+    @staticmethod
+    def _columns(entries):
+        from array import array
+
+        columns = [array("d") for _ in range(9)]
+        for bound in entries:
+            values = (
+                bound.rect.x_min,
+                bound.rect.y_min,
+                bound.rect.x_max,
+                bound.rect.y_max,
+                bound.v_x_min,
+                bound.v_y_min,
+                bound.v_x_max,
+                bound.v_y_max,
+                bound.reference_time,
+            )
+            for column, value in zip(columns, values):
+                column.append(value)
+        return columns
+
+    @staticmethod
+    def _info(bound, start, end):
+        return (
+            bound.rect.x_min,
+            bound.rect.y_min,
+            bound.rect.x_max,
+            bound.rect.y_max,
+            bound.v_x_min,
+            bound.v_y_min,
+            bound.v_x_max,
+            bound.v_y_max,
+            bound.reference_time,
+            start,
+            end,
+        )
+
+    def test_matrix_matches_scalar_kernel(self):
+        rng = random.Random(77)
+        for _ in range(40):
+            entries = [random_moving_rect(rng) for _ in range(rng.randint(1, 20))]
+            queries = []
+            for _ in range(rng.randint(1, 8)):
+                bound = random_moving_rect(rng)
+                start = bound.reference_time + rng.uniform(0.0, 3.0)
+                queries.append((bound, start, start + rng.uniform(0.0, 5.0)))
+            columns = self._columns(entries)
+            infos = [self._info(bound, start, end) for bound, start, end in queries]
+            matrix = kernels.soa_intersect_many(*columns, infos)
+            assert matrix.shape == (len(queries), len(entries))
+            for qi, info in enumerate(infos):
+                for ei, entry in enumerate(entries):
+                    scalar = kernels.intersects_interval(
+                        entry.rect.x_min,
+                        entry.rect.y_min,
+                        entry.rect.x_max,
+                        entry.rect.y_max,
+                        entry.v_x_min,
+                        entry.v_y_min,
+                        entry.v_x_max,
+                        entry.v_y_max,
+                        entry.reference_time,
+                        *info,
+                    )
+                    assert bool(matrix[qi, ei]) == scalar, (qi, ei)
+
+    def test_piecewise_pairs_take_the_scalar_fallback(self):
+        """Entries/queries whose reference time falls inside the window."""
+        rng = random.Random(78)
+        for _ in range(40):
+            entries = []
+            for _ in range(6):
+                bound = random_moving_rect(rng)
+                # Half the entries anchor after the window start.
+                if rng.random() < 0.5:
+                    bound = MovingRect(
+                        rect=bound.rect,
+                        v_x_min=bound.v_x_min,
+                        v_y_min=bound.v_y_min,
+                        v_x_max=bound.v_x_max,
+                        v_y_max=bound.v_y_max,
+                        reference_time=bound.reference_time + 10.0,
+                    )
+                entries.append(bound)
+            query = random_moving_rect(rng)
+            start = query.reference_time + rng.uniform(0.0, 2.0)
+            info = self._info(query, start, start + 20.0)
+            columns = self._columns(entries)
+            matrix = kernels.soa_intersect_many(*columns, [info])
+            for ei, entry in enumerate(entries):
+                scalar = kernels.intersects_interval(
+                    entry.rect.x_min,
+                    entry.rect.y_min,
+                    entry.rect.x_max,
+                    entry.rect.y_max,
+                    entry.v_x_min,
+                    entry.v_y_min,
+                    entry.v_x_max,
+                    entry.v_y_max,
+                    entry.reference_time,
+                    *info,
+                )
+                assert bool(matrix[0, ei]) == scalar, ei
+
+    def test_rejects_inverted_window(self):
+        rng = random.Random(79)
+        entry = random_moving_rect(rng)
+        query = random_moving_rect(rng)
+        info = self._info(query, query.reference_time + 5.0, query.reference_time + 1.0)
+        with pytest.raises(ValueError):
+            kernels.soa_intersect_many(*self._columns([entry]), [info])

@@ -278,3 +278,92 @@ class TestBatchSurface:
         assert sorted(oid for oid, _ in sequential.iter_objects()) == sorted(
             oid for oid, _ in batched.iter_objects()
         )
+
+
+class TestColumnarIterator:
+    def test_iter_records_matches_entries_view(self):
+        rng = random.Random(31)
+        node = TPRNode(page_id=0, is_leaf=True)
+        for oid in range(10):
+            obj = MovingObject(
+                oid,
+                Point(rng.uniform(0, 100), rng.uniform(0, 100)),
+                Vector(rng.uniform(-5, 5), rng.uniform(-5, 5)),
+                reference_time=rng.uniform(0, 10),
+            )
+            node.entries.append(TPREntry(bound=obj.as_moving_rect(), oid=oid))
+        records = list(node.iter_records())
+        assert len(records) == node.num_entries
+        for record, entry in zip(records, node.entries):
+            ref, x0, y0, x1, y1, vx0, vy0, vx1, vy1, tref = record
+            assert ref == entry.oid
+            assert (x0, y0, x1, y1) == (
+                entry.bound.rect.x_min,
+                entry.bound.rect.y_min,
+                entry.bound.rect.x_max,
+                entry.bound.rect.y_max,
+            )
+            assert (vx0, vy0, vx1, vy1) == (
+                entry.bound.v_x_min,
+                entry.bound.v_y_min,
+                entry.bound.v_x_max,
+                entry.bound.v_y_max,
+            )
+            assert tref == entry.bound.reference_time
+
+    def test_iter_objects_yields_exact_stored_bounds(self):
+        tree = TPRTree(buffer=BufferManager(capacity=64), max_entries=4)
+        objects = [
+            MovingObject(
+                oid,
+                Point(oid * 10.0, oid * 5.0),
+                Vector(oid * 0.5, -oid * 0.25),
+                reference_time=0.5 * oid,
+            )
+            for oid in range(30)
+        ]
+        for obj in objects:
+            tree.insert(obj)
+        dumped = dict(tree.iter_objects())
+        assert sorted(dumped) == list(range(30))
+        for obj in objects:
+            assert dumped[obj.oid] == obj.as_moving_rect()
+
+
+class TestVectorizedTraversal:
+    def test_vector_and_scalar_shared_search_agree(self, monkeypatch):
+        """Forcing the numpy pass on or off must not change any batch answer."""
+        import repro.tprtree.tpr_tree as tpr_module
+
+        rng = random.Random(17)
+        objects = [
+            MovingObject(
+                oid,
+                Point(rng.uniform(0, 1000), rng.uniform(0, 1000)),
+                Vector(rng.uniform(-10, 10), rng.uniform(-10, 10)),
+            )
+            for oid in range(300)
+        ]
+        queries = [
+            TimeSliceRangeQuery(
+                RectangularRange(
+                    Rect(x, y, x + rng.uniform(50, 300), y + rng.uniform(50, 300))
+                ),
+                time=rng.uniform(0.0, 20.0),
+            )
+            for x, y in (
+                (rng.uniform(0, 800), rng.uniform(0, 800)) for _ in range(12)
+            )
+        ]
+
+        def answers(min_work):
+            monkeypatch.setattr(tpr_module, "VECTOR_MATCH_MIN_WORK", min_work)
+            tree = TPRTree(buffer=BufferManager(capacity=64), max_entries=8)
+            for obj in objects:
+                tree.insert(obj)
+            return tree.range_query_batch(queries)
+
+        always_vector = answers(0)
+        never_vector = answers(10**9)
+        assert always_vector == never_vector
+        assert any(always_vector), "queries must actually return candidates"
