@@ -51,6 +51,9 @@ from repro.bench.harness import (  # noqa: E402
     run_knn,
 )
 from repro.objects.knn import AdaptiveRadius  # noqa: E402
+from repro.serve import RetryPolicy, SupervisorConfig  # noqa: E402
+from repro.storage import fault_wrap  # noqa: E402
+from repro.workload.events import UpdateEvent  # noqa: E402
 from repro.workload.generator import build_workload  # noqa: E402
 from repro.workload.parameters import WorkloadParameters  # noqa: E402
 
@@ -87,6 +90,38 @@ SCALE_QUICK_PARAMS = dict(
 
 #: Shard counts of the scale sweep (1 is the unsharded baseline row).
 SCALE_SHARD_COUNTS = (1, 2, 4)
+
+#: Fault-injection run: kill 1 of 4 shards mid-stream, measure recovery
+#: time and degraded-answer recall (see docs/robustness.md).
+#: Rectangular queries wide enough that every query returns ids from
+#: every shard — otherwise the degraded-recall metric is trivially 1.0.
+FAULT_PARAMS = dict(
+    num_objects=5_000,
+    time_duration=60.0,
+    num_queries=40,
+    buffer_pages=50,
+    page_size=4096,
+    rectangular_queries=True,
+    rectangle_side=10_000.0,
+)
+
+#: Quick scale for the CI `chaos` job's fault-injection smoke run.
+FAULT_QUICK_PARAMS = dict(
+    num_objects=800,
+    time_duration=30.0,
+    num_queries=10,
+    buffer_pages=10,
+    page_size=1024,
+    rectangular_queries=True,
+    rectangle_side=15_000.0,
+)
+
+#: Shard count and victim of the fault-injection run.
+FAULT_SHARDS = 4
+FAULT_KILLED_SHARD = 2
+
+#: Index families measured by the fault-injection run.
+FAULT_INDEXES = ("Bx",)
 
 #: Index families measured by the scale sweep: one representative per
 #: family keeps the pure-Python replay tractable at 20k objects.
@@ -340,6 +375,121 @@ def measure_scale(
     }
 
 
+def measure_faults(
+    dataset: str = "SA",
+    params: Optional[WorkloadParameters] = None,
+    which: Sequence[str] = FAULT_INDEXES,
+    shards: int = FAULT_SHARDS,
+    killed_shard: int = FAULT_KILLED_SHARD,
+) -> Dict[str, object]:
+    """Kill one shard mid-stream; measure recovery and degraded answers.
+
+    Two sharded indexes replay the same event stream in lockstep: a
+    never-failed *reference* and a *faulted* twin whose shard
+    ``killed_shard`` is killed (cold cache, kill switch) halfway through
+    the update batches.  During the outage the faulted index answers the
+    full query set with ``partial=True`` — the recorded *degraded recall*
+    is the fraction of the reference's result ids (and of its kNN result
+    pairs) the healthy shards still returned.  The second half of the
+    stream flows into both; the first mutation routed to the dead shard
+    triggers WAL-replay recovery (time recorded as ``recovery_ms``), and
+    the run ends by asserting the recovered index's strict range and kNN
+    answers match the reference's exactly (the ``post_recovery_*_match``
+    flags).
+    """
+    if params is None:
+        params = WorkloadParameters(**FAULT_PARAMS)
+    workload = build_workload(dataset, params)
+    probes = knn_queries_from_workload(workload)
+    batches = workload.grouped_events(window=1.0)
+    update_batches = [b for b in batches if isinstance(b[0], UpdateEvent)]
+    queries = [e.query for b in batches if not isinstance(b[0], UpdateEvent) for e in b]
+    supervisor = SupervisorConfig(retry=RetryPolicy(base_delay_s=0.001, max_delay_s=0.01))
+    rows: Dict[str, Dict[str, float]] = {}
+    for name in which:
+        reference = build_standard_indexes(workload, params, which=(name,), shards=shards)[
+            name
+        ]
+        faulted = build_standard_indexes(
+            workload, params, which=(name,), shards=shards, supervisor=supervisor
+        )[name]
+        reference.bulk_load(workload.initial_objects)
+        faulted.bulk_load(workload.initial_objects)
+        mid = len(update_batches) // 2
+        for batch in update_batches[:mid]:
+            pairs = [(event.old, event.new) for event in batch]
+            reference.update_batch(pairs)
+            faulted.update_batch(pairs)
+
+        # The outage: cold the victim's cache so queries must touch the
+        # (now dead) disk, then throw the kill switch.
+        injector = fault_wrap(faulted.shards[killed_shard].buffer)
+        faulted.shards[killed_shard].buffer.clear()
+        injector.kill()
+
+        strict_mid = reference.range_query_batch(queries)
+        started = time.perf_counter()
+        degraded = faulted.range_query_batch(queries, partial=True)
+        degraded_ms = (time.perf_counter() - started) * 1000.0
+        expected_ids = sum(len(ids) for ids in strict_mid)
+        returned_ids = sum(len(ids) for ids in degraded)
+        recall_range = returned_ids / expected_ids if expected_ids else 1.0
+        reference_knn = reference.knn_query_batch(probes)
+        degraded_knn = faulted.knn_query_batch(probes, partial=True)
+        expected_pairs = sum(len(answer) for answer in reference_knn)
+        hit_pairs = sum(
+            len(set(full) & set(part))
+            for full, part in zip(reference_knn, degraded_knn)
+        )
+        recall_knn = hit_pairs / expected_pairs if expected_pairs else 1.0
+
+        # Second half: the first mutation routed to the dead shard
+        # triggers WAL-replay recovery automatically.
+        for batch in update_batches[mid:]:
+            pairs = [(event.old, event.new) for event in batch]
+            reference.update_batch(pairs)
+            faulted.update_batch(pairs)
+        recovery_forced = 0.0
+        if not faulted.recovery_events:
+            faulted.recover_shard(killed_shard)
+            recovery_forced = 1.0
+        recovery = faulted.recovery_events[0]
+
+        range_match = faulted.range_query_batch(queries) == reference.range_query_batch(
+            queries
+        )
+        knn_match = faulted.knn_query_batch(probes) == reference.knn_query_batch(probes)
+        rows[name] = {
+            key: round(value, 4)
+            for key, value in {
+                "killed_shard": float(killed_shard),
+                "recovery_ms": recovery["wall_s"] * 1000.0,
+                "recovery_attempts": float(recovery["attempts"]),
+                "recovery_forced": recovery_forced,
+                "replayed_records": float(recovery["replayed_records"]),
+                "degraded_query_ms": degraded_ms,
+                "degraded_recall_range": recall_range,
+                "degraded_recall_knn": recall_knn,
+                "degraded_complete": float(degraded.complete),
+                "post_recovery_results_match": float(range_match),
+                "post_recovery_knn_match": float(knn_match),
+            }.items()
+        }
+        reference.close()
+        faulted.close()
+    return {
+        "dataset": dataset,
+        "params": {
+            "num_objects": params.num_objects,
+            "time_duration": params.time_duration,
+            "num_queries": params.num_queries,
+            "buffer_pages": params.buffer_pages,
+            "page_size": params.page_size,
+        },
+        "faults": rows,
+    }
+
+
 def load_history(path: str) -> List[Dict[str, object]]:
     """Existing run history at ``path`` (empty when absent).
 
@@ -365,17 +515,24 @@ def run(
     which: Sequence[str] = STANDARD_INDEXES,
     packing: bool = False,
     scale: bool = False,
+    faults: bool = False,
     shard_counts: Sequence[int] = SCALE_SHARD_COUNTS,
 ) -> Dict[str, object]:
     """Measure, append to the history at ``output``, and return the report.
 
     ``scale=True`` runs the serving-layer shard-count sweep
-    (:func:`measure_scale`) instead of the standard build/replay
-    comparison; ``quick`` selects the smoke-scale parameter set in either
+    (:func:`measure_scale`) and ``faults=True`` the fault-injection run
+    (:func:`measure_faults`) instead of the standard build/replay
+    comparison; ``quick`` selects the smoke-scale parameter set in every
     mode.
     """
     started = time.perf_counter()
-    if scale:
+    if faults:
+        overrides = FAULT_QUICK_PARAMS if quick else FAULT_PARAMS
+        params = WorkloadParameters(**overrides)
+        report = measure_faults(dataset=dataset, params=params)
+        report["mode"] = "faults-quick" if quick else "faults"
+    elif scale:
         overrides = SCALE_QUICK_PARAMS if quick else SCALE_PARAMS
         params = WorkloadParameters(**overrides)
         report = measure_scale(dataset=dataset, params=params, shard_counts=shard_counts)
@@ -420,6 +577,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="comma-separated shard counts for --scale; the unsharded "
         "baseline (1) is always included (default %(default)s)",
     )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="run the fault-injection mode instead: kill 1 of "
+        f"{FAULT_SHARDS} shards mid-stream and record recovery time and "
+        "degraded-answer recall",
+    )
     args = parser.parse_args(argv)
     shard_counts = tuple(int(part) for part in args.shards.split(",") if part)
     report = run(
@@ -428,8 +592,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         dataset=args.dataset,
         packing=args.packing,
         scale=args.scale,
+        faults=args.faults,
         shard_counts=shard_counts,
     )
+    for name, row in report.get("faults", {}).items():
+        print(
+            f"faults {name:10s} recovery {row['recovery_ms']:8.2f}ms "
+            f"({row['replayed_records']:.0f} records, "
+            f"{row['recovery_attempts']:.0f} attempt(s))  "
+            f"degraded recall range {row['degraded_recall_range']:.3f} / "
+            f"knn {row['degraded_recall_knn']:.3f}  "
+            f"post-recovery match {row['post_recovery_results_match']:.0f}/"
+            f"{row['post_recovery_knn_match']:.0f}"
+        )
     for count, rows in sorted(report.get("shards", {}).items(), key=lambda item: int(item[0])):
         for name, row in rows.items():
             print(

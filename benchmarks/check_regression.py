@@ -4,11 +4,14 @@ Compares a fresh ``bench_speed.py`` report against the committed
 ``BENCH_speed.json`` history and fails (exit code 1) when a watched batched
 metric regresses by more than the allowed fraction: the standard entries'
 Bx ``update_ms`` / ``knn_ms``, plus — for serving-layer scale entries —
-every ``(shard count, index)`` row's ``update_ms`` / ``knn_ms``.  The
-baseline is the most recent history entry with the *same* mode, dataset and
-workload parameters — quick-mode smoke runs are never judged against full
+every ``(shard count, index)`` row's ``update_ms`` / ``knn_ms``, plus — for
+fault-injection entries — ``recovery_ms`` (latency, gated upward) and the
+degraded-answer recalls (quality, gated as floors).  The baseline is the
+most recent history entry with the *same* mode, dataset and workload
+parameters — quick-mode smoke runs are never judged against full
 bench-scale entries, whose absolute per-operation times differ by an order
-of magnitude.
+of magnitude.  A section new to the fresh report (no counterpart in the
+baseline entry) is skipped with a notice, never a crash.
 
 Usage (what ci.yml runs)::
 
@@ -33,6 +36,13 @@ from typing import Dict, List, Optional
 #: skipped: history entries predating a metric have nothing to regress
 #: against.
 METRICS = ("update_ms", "knn_ms")
+
+#: Latency metrics gated on fault-injection entries (higher = regression).
+FAULT_METRICS = ("recovery_ms",)
+
+#: Quality floors gated on fault-injection entries (lower = regression):
+#: degraded-answer recall during the outage must not erode.
+FAULT_FLOORS = ("degraded_recall_range", "degraded_recall_knn")
 
 #: Indexes the gate watches.
 WATCHED_INDEXES = ("Bx",)
@@ -75,9 +85,10 @@ def _check_row(
     old_row: Dict[str, object],
     max_regression: float,
     failures: List[str],
+    metrics: tuple = METRICS,
 ) -> None:
     """Gate one (new, baseline) row pair on every watched metric."""
-    for metric in METRICS:
+    for metric in metrics:
         if metric not in old_row:
             # Baselines predating the metric have nothing to regress
             # against; newer baselines re-arm the gate automatically.
@@ -108,6 +119,55 @@ def _check_row(
             )
 
 
+def _check_floor(
+    label: str,
+    metric: str,
+    new_row: Dict[str, object],
+    old_row: Dict[str, object],
+    max_regression: float,
+    failures: List[str],
+) -> None:
+    """Gate a quality metric where *lower* values are the regression."""
+    if metric not in old_row or metric not in new_row:
+        return
+    new_value = float(new_row[metric])
+    old_value = float(old_row[metric])
+    if old_value <= 0.0:
+        return
+    erosion = 1.0 - new_value / old_value
+    status = "ok" if erosion <= max_regression else "REGRESSION"
+    print(
+        f"{label} {metric}: {old_value:.4f} -> {new_value:.4f} "
+        f"({-erosion:+.1%}, floor -{max_regression:.0%}) {status}"
+    )
+    if erosion > max_regression:
+        failures.append(
+            f"{label} {metric} eroded {erosion:+.1%} (floor -{max_regression:.0%})"
+        )
+
+
+def _section_has_baseline(
+    section: str, report: Dict[str, object], baseline: Dict[str, object]
+) -> bool:
+    """Whether a report section can be gated; prints a notice when not.
+
+    A brand-new bench section (present in the fresh report, absent from
+    every comparable baseline entry) has nothing to regress against — the
+    gate skips it with a notice instead of crashing, and the next
+    committed history entry arms it automatically.
+    """
+    if not report.get(section):
+        return False
+    if not baseline.get(section):
+        print(
+            f"notice: section {section!r} has no counterpart in the baseline "
+            "entry; skipping its gate (it arms once this report is committed "
+            "to the history)"
+        )
+        return False
+    return True
+
+
 def check(
     report: Dict[str, object],
     baseline: Optional[Dict[str, object]],
@@ -117,15 +177,19 @@ def check(
     if baseline is None:
         return []
     failures: List[str] = []
-    for name in WATCHED_INDEXES:
-        new_row = report.get("indexes", {}).get(name)
-        old_row = baseline.get("indexes", {}).get(name)
-        if not new_row or not old_row:
-            continue
-        _check_row(name, new_row, old_row, max_regression, failures)
+    if _section_has_baseline("indexes", report, baseline):
+        for name in WATCHED_INDEXES:
+            new_row = report.get("indexes", {}).get(name)
+            old_row = baseline.get("indexes", {}).get(name)
+            if not new_row or not old_row:
+                continue
+            _check_row(name, new_row, old_row, max_regression, failures)
     # Sharded scale entries: gate every (shard count, index) row present
     # in both the fresh report and the baseline.
-    new_shards = report.get("shards") or {}
+    if _section_has_baseline("shards", report, baseline):
+        new_shards = report.get("shards") or {}
+    else:
+        new_shards = {}
     old_shards = baseline.get("shards") or {}
     for count in sorted(set(new_shards) & set(old_shards), key=int):
         new_rows = new_shards[count]
@@ -138,6 +202,29 @@ def check(
                 max_regression,
                 failures,
             )
+    # Fault-injection entries: recovery latency is gated like any other
+    # latency; degraded-answer recall is gated as a floor.
+    if _section_has_baseline("faults", report, baseline):
+        new_faults = report.get("faults") or {}
+        old_faults = baseline.get("faults") or {}
+        for name in sorted(set(new_faults) & set(old_faults)):
+            _check_row(
+                f"{name}[faults]",
+                new_faults[name],
+                old_faults[name],
+                max_regression,
+                failures,
+                metrics=FAULT_METRICS,
+            )
+            for metric in FAULT_FLOORS:
+                _check_floor(
+                    f"{name}[faults]",
+                    metric,
+                    new_faults[name],
+                    old_faults[name],
+                    max_regression,
+                    failures,
+                )
     return failures
 
 

@@ -214,3 +214,74 @@ def test_check_regression_gates_sharded_rows(tmp_path):
     # A regressed sharded knn_ms fails even with update_ms stable.
     report.write_text(json.dumps({"history": [entry(0.02, 0.9)]}))
     assert check_regression.main([str(report), "--history", str(history)]) == 1
+
+
+def test_faults_mode_records_recovery_and_recall(tmp_path):
+    """The fault-injection run: kill, degrade, recover, match exactly."""
+    output = tmp_path / "BENCH_speed.json"
+    report = bench_speed.run(quick=True, faults=True, output=str(output))
+    assert report["mode"] == "faults-quick"
+    row = report["faults"]["Bx"]
+    assert row["recovery_ms"] > 0.0
+    assert row["replayed_records"] > 0
+    # The outage was real: partial answers were incomplete, and the
+    # healthy shards still delivered a meaningful fraction of the truth.
+    assert row["degraded_complete"] == 0.0
+    assert 0.0 < row["degraded_recall_range"] < 1.0
+    assert 0.0 < row["degraded_recall_knn"] <= 1.0
+    # WAL-replay recovery restores bit-identical answers.
+    assert row["post_recovery_results_match"] == 1.0
+    assert row["post_recovery_knn_match"] == 1.0
+    on_disk = json.loads(output.read_text(encoding="utf-8"))
+    assert on_disk["history"][-1]["faults"] == report["faults"]
+
+
+def test_check_regression_gates_fault_rows(tmp_path):
+    import check_regression
+
+    def entry(recovery_ms, recall):
+        return {
+            "mode": "faults-quick",
+            "dataset": "SA",
+            "params": {"num_objects": 800},
+            "faults": {
+                "Bx": {
+                    "recovery_ms": recovery_ms,
+                    "degraded_recall_range": recall,
+                    "degraded_recall_knn": recall,
+                }
+            },
+        }
+
+    history = tmp_path / "history.json"
+    report = tmp_path / "report.json"
+    history.write_text(json.dumps({"history": [entry(5.0, 0.75)]}))
+
+    report.write_text(json.dumps({"history": [entry(5.5, 0.75)]}))
+    assert check_regression.main([str(report), "--history", str(history)]) == 0
+
+    # Slower recovery fails the latency gate.
+    report.write_text(json.dumps({"history": [entry(9.0, 0.75)]}))
+    assert check_regression.main([str(report), "--history", str(history)]) == 1
+
+    # Eroded degraded recall fails the quality floor, recovery stable.
+    report.write_text(json.dumps({"history": [entry(5.0, 0.4)]}))
+    assert check_regression.main([str(report), "--history", str(history)]) == 1
+
+
+def test_check_regression_skips_new_section_with_notice(tmp_path, capsys):
+    """A section new to the fresh report passes with a notice, not a crash."""
+    import check_regression
+
+    base = {"mode": "faults-quick", "dataset": "SA", "params": {"num_objects": 800}}
+    history = tmp_path / "history.json"
+    report = tmp_path / "report.json"
+    # The comparable baseline entry predates the 'faults' section entirely.
+    history.write_text(json.dumps({"history": [dict(base)]}))
+    report.write_text(
+        json.dumps(
+            {"history": [{**base, "faults": {"Bx": {"recovery_ms": 5.0}}}]}
+        )
+    )
+    assert check_regression.main([str(report), "--history", str(history)]) == 0
+    assert "notice" in capsys.readouterr().out

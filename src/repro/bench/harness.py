@@ -26,7 +26,7 @@ from repro.core.partitioned_index import (
 from repro.core.velocity_analyzer import VelocityAnalyzer
 from repro.geometry.rect import Rect
 from repro.objects.knn import AdaptiveRadius, KNNQuery
-from repro.serve import ShardedIndex
+from repro.serve import ShardedIndex, SupervisorConfig
 from repro.storage.buffer_manager import BufferManager
 from repro.tprtree.tpr_tree import TPRTree
 from repro.tprtree.tprstar_tree import TPRStarTree
@@ -378,6 +378,7 @@ def build_standard_indexes(
     k: int = 2,
     analyzer_seed: int = 0,
     shards: int = 1,
+    supervisor: Optional[SupervisorConfig] = None,
 ) -> Dict[str, object]:
     """Build the paper's four competing indexes for one workload.
 
@@ -391,6 +392,10 @@ def build_standard_indexes(
     shared-nothing serving model gives every worker its own RAM), behind
     the hash router of the serving layer.  The VP variants' velocity
     analysis still runs once; the shards share the partitioning result.
+    The wrapper is given a ``shard_factory`` building one more identical
+    instance, which arms automatic WAL-replay shard recovery (see
+    ``docs/robustness.md``); ``supervisor`` tunes the retry/breaker/timeout
+    policy.
     """
     if params is None:
         params = WorkloadParameters()
@@ -442,7 +447,11 @@ def build_standard_indexes(
             indexes[name] = make(name)
         else:
             indexes[name] = ShardedIndex(
-                [make(name) for _ in range(shards)], name=name, space=params.space
+                [make(name) for _ in range(shards)],
+                name=name,
+                space=params.space,
+                shard_factory=lambda name=name: make(name),
+                supervisor=supervisor,
             )
     return indexes
 

@@ -6,18 +6,53 @@ shards (any of the standard index families underneath, each with its own
 buffer pool and I/O statistics), routes updates to the owning shard, fans
 queries out to every shard on a thread pool, and merges the per-shard
 answers into exactly the answer the unsharded index would have given.
+
+Every shard call runs under a supervisor: transient storage faults are
+retried with bounded exponential backoff, per-shard circuit breakers stop
+calling shards that keep failing, failed mutations trigger automatic shard
+recovery by replaying the shard's write-ahead :class:`ShardLog`, and
+queries can opt into degraded :class:`PartialResult` answers from the
+healthy shards instead of raising.  See ``docs/robustness.md``.
 """
 
+from repro.serve.shard_log import LOG_OPS, ShardLog
 from repro.serve.sharded_index import (
     DEFAULT_SHARDS,
     AggregateStats,
     ShardedIndex,
     shard_of,
 )
+from repro.serve.supervisor import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    SHARD_FAILED,
+    SHARD_OK,
+    SHARD_SKIPPED,
+    CircuitBreaker,
+    PartialResult,
+    RetryPolicy,
+    ShardFailedError,
+    ShardStatus,
+    SupervisorConfig,
+)
 
 __all__ = [
     "AggregateStats",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
     "DEFAULT_SHARDS",
+    "LOG_OPS",
+    "PartialResult",
+    "RetryPolicy",
+    "SHARD_FAILED",
+    "SHARD_OK",
+    "SHARD_SKIPPED",
+    "ShardFailedError",
+    "ShardLog",
+    "ShardStatus",
     "ShardedIndex",
-    "shard_of",
+    "SupervisorConfig",
 ]

@@ -1,0 +1,109 @@
+"""Per-shard write-ahead update log backing shard recovery.
+
+Every routed mutation of a :class:`~repro.serve.ShardedIndex` — bulk
+load, insert, delete, update, and their batch forms — is appended to the
+owning shard's :class:`ShardLog` *before* the shard executes it.  The log
+is therefore the shard's complete intended history: replaying it, in
+order, through the same public calls into a freshly built empty shard
+deterministically reconstructs the state of a shard that never failed
+(the indexes are deterministic functions of their operation sequence, so
+the rebuilt structure — and every subsequent answer — is bit-identical;
+``tests/test_faults.py`` pins this).
+
+Logging ahead of execution is what makes mid-operation failure safe: if
+a shard dies halfway through applying a batch, its on-"disk" state is
+suspect, but the log still holds the full batch — recovery discards the
+suspect shard entirely and replays the log, so the batch is applied
+exactly once on the rebuilt timeline.
+
+The log is in-memory and unbounded, which matches the simulator's scale
+(a replayed workload is a few thousand events); a durable deployment
+would append the same records to stable storage and add checkpointing so
+replay cost stays bounded.  See ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+#: Operations a :class:`ShardLog` record may carry.
+LOG_OPS = (
+    "bulk_load",
+    "insert",
+    "insert_batch",
+    "delete",
+    "delete_batch",
+    "update",
+    "update_batch",
+)
+
+
+class ShardLog:
+    """An append-only, in-memory WAL of one shard's mutations."""
+
+    __slots__ = ("_records",)
+
+    def __init__(self) -> None:
+        self._records: List[Tuple[str, Any]] = []
+
+    def append(self, op: str, payload: Any) -> None:
+        """Append one record; ``op`` must be a member of :data:`LOG_OPS`.
+
+        Sequence payloads are copied into tuples so a caller mutating its
+        batch list after the call cannot corrupt the replay history.
+        """
+        if op not in LOG_OPS:
+            raise ValueError(f"unknown shard-log op {op!r}")
+        if op == "bulk_load":
+            objects, strategy = payload
+            payload = (tuple(objects), strategy)
+        elif op.endswith("_batch"):
+            payload = tuple(payload)
+        self._records.append((op, payload))
+
+    def replay(self, index: Any) -> Any:
+        """Apply every record to ``index`` in order; returns the last result.
+
+        The last record's return value is what the *current* (most
+        recently logged) operation would have returned on a never-failed
+        shard — exactly what the supervisor must hand back to the caller
+        whose mutation triggered the recovery.
+        """
+        result: Any = None
+        for op, payload in self._records:
+            if op == "bulk_load":
+                objects, strategy = payload
+                loader = index.bulk_load
+                if strategy is not None:
+                    result = loader(list(objects), strategy=strategy)
+                else:
+                    result = loader(list(objects))
+            elif op == "insert":
+                result = index.insert(payload)
+            elif op == "insert_batch":
+                result = index.insert_batch(list(payload))
+            elif op == "delete":
+                result = index.delete(payload)
+            elif op == "delete_batch":
+                result = index.delete_batch(list(payload))
+            elif op == "update":
+                old, new = payload
+                result = index.update(old, new)
+            else:  # update_batch
+                result = index.update_batch(list(payload))
+        return result
+
+    @property
+    def records(self) -> Sequence[Tuple[str, Any]]:
+        """The logged records, oldest first (read-only view)."""
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        """Drop the history (only sensible when the shard is discarded)."""
+        self._records.clear()
+
+
+__all__ = ["LOG_OPS", "ShardLog"]

@@ -1,4 +1,4 @@
-"""The sharded serving layer (shared-nothing fan-out over index shards).
+"""The sharded serving layer (supervised fan-out over index shards).
 
 A :class:`ShardedIndex` owns N independent *shards* — complete instances of
 any moving-object index family (``BxTree``, ``TPRTree``/``TPRStarTree``,
@@ -23,6 +23,21 @@ top-``k`` lists by ``(distance, oid)`` and keeping the first ``k`` yields
 exactly the unsharded answer — see ``docs/sharding.md`` for the one-line
 proof.
 
+**Supervision.**  Every shard call runs under a supervisor (see
+``docs/robustness.md``): transient I/O faults
+(:class:`~repro.storage.faults.InjectedFault`) on read-only calls are
+retried with bounded exponential backoff + jitter; per-shard circuit
+breakers stop calling a shard that keeps failing; fanned-out calls can
+carry a per-shard timeout.  A failed *mutation* never blind-retries —
+the shard's state is suspect — and instead triggers **recovery**: every
+routed mutation is appended to a per-shard write-ahead
+:class:`~repro.serve.shard_log.ShardLog` *before* execution, so a fresh
+shard built by ``shard_factory`` and replayed from the log is equivalent,
+answer for answer, to a shard that never failed.  Queries can opt into
+**degraded answers** (``partial=True``): open-circuit or failing shards
+are skipped and the healthy shards' merged answers come back in a
+:class:`~repro.serve.supervisor.PartialResult` instead of an exception.
+
 **Concurrency.**  Shards share no mutable state, so work on different
 shards runs in parallel (thread pool).  Within one shard everything is
 serialized by a per-shard lock: the buffer pool's LRU bookkeeping mutates
@@ -34,10 +49,22 @@ the serving layer is live (see ``docs/sharding.md``).
 
 from __future__ import annotations
 
+import random
 import threading
+import time
 import weakref
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.bulk import loader_accepts
 from repro.geometry.point import Point
@@ -45,6 +72,17 @@ from repro.geometry.rect import Rect
 from repro.objects.knn import AdaptiveRadius, KNNQuery
 from repro.objects.moving_object import MovingObject
 from repro.objects.queries import RangeQuery
+from repro.serve.shard_log import ShardLog
+from repro.serve.supervisor import (
+    SHARD_FAILED,
+    SHARD_SKIPPED,
+    CircuitBreaker,
+    PartialResult,
+    ShardFailedError,
+    ShardStatus,
+    SupervisorConfig,
+)
+from repro.storage.faults import InjectedFault, ShardDownError
 from repro.storage.stats import BufferCounter, Counter, IOStats
 
 #: Default shard count of the serving layer.
@@ -76,58 +114,84 @@ def shard_of(oid: int, num_shards: int) -> int:
     return (mixed >> 32) % num_shards
 
 
+class _ShardSkipped(Exception):
+    """Internal control flow: a query skipped a shard whose circuit is open."""
+
+    def __init__(self, shard_id: int) -> None:
+        super().__init__(f"shard {shard_id} skipped (circuit open)")
+        self.shard_id = shard_id
+
+
 class AggregateStats:
     """Live read-only sum of several shards' :class:`IOStats`.
 
     Each property materializes a fresh counter summed across the shards at
     access time, so harness-style ``before = stats.physical.total`` /
     ``after - before`` accounting works unchanged on a sharded index.
+
+    ``parts`` may be a fixed sequence of :class:`IOStats` or a callable
+    returning the current sequence — the serving layer passes a callable
+    so the aggregate follows shard *recovery* (a rebuilt shard brings a
+    fresh stats object; a snapshot would keep summing the dead one).
     """
 
-    def __init__(self, parts: Sequence[IOStats]) -> None:
-        self._parts = list(parts)
+    def __init__(
+        self, parts: Union[Sequence[IOStats], Callable[[], Sequence[IOStats]]]
+    ) -> None:
+        if callable(parts):
+            self._provider = parts
+        else:
+            fixed = list(parts)
+            self._provider = lambda: fixed
 
     @property
     def physical(self) -> Counter:
         """Summed physical read/write counter."""
+        parts = self._provider()
         return Counter(
-            reads=sum(p.physical.reads for p in self._parts),
-            writes=sum(p.physical.writes for p in self._parts),
+            reads=sum(p.physical.reads for p in parts),
+            writes=sum(p.physical.writes for p in parts),
         )
 
     @property
     def logical(self) -> Counter:
         """Summed logical read/write counter."""
+        parts = self._provider()
         return Counter(
-            reads=sum(p.logical.reads for p in self._parts),
-            writes=sum(p.logical.writes for p in self._parts),
+            reads=sum(p.logical.reads for p in parts),
+            writes=sum(p.logical.writes for p in parts),
         )
 
     @property
     def buffer(self) -> BufferCounter:
         """Summed buffer hit/miss counter."""
+        parts = self._provider()
         return BufferCounter(
-            hits=sum(p.buffer.hits for p in self._parts),
-            misses=sum(p.buffer.misses for p in self._parts),
+            hits=sum(p.buffer.hits for p in parts),
+            misses=sum(p.buffer.misses for p in parts),
         )
 
 
 class _AggregateBuffer:
-    """Buffer facade summing the shards' pools (what the harness reads)."""
+    """Buffer facade summing the shards' pools (what the harness reads).
+
+    Reads through the live shard list so the aggregate stays correct
+    after a shard is swapped out by recovery.
+    """
 
     def __init__(self, shards: Sequence) -> None:
-        self._buffers = [shard.buffer for shard in shards]
-        self.stats = AggregateStats([buffer.stats for buffer in self._buffers])
+        self._shards = shards
+        self.stats = AggregateStats(lambda: [shard.buffer.stats for shard in shards])
 
     @property
     def batch_hints_enabled(self) -> bool:
         """Whether the advisory sweep hints are enabled on every shard."""
-        return all(buffer.batch_hints_enabled for buffer in self._buffers)
+        return all(shard.buffer.batch_hints_enabled for shard in self._shards)
 
     @batch_hints_enabled.setter
     def batch_hints_enabled(self, enabled: bool) -> None:
-        for buffer in self._buffers:
-            buffer.batch_hints_enabled = enabled
+        for shard in self._shards:
+            shard.buffer.batch_hints_enabled = enabled
 
 
 class ShardedIndex:
@@ -140,7 +204,17 @@ class ShardedIndex:
         name: display name used by the harness.
         space: data space (forwarded as the default kNN search space).
         max_workers: thread-pool width for fan-out; defaults to the shard
-            count.
+            count.  Must be at least 1.
+        shard_factory: zero-argument callable building one fresh, empty
+            shard (same family and configuration as ``shards``).  Enables
+            automatic shard recovery: a failed mutation rebuilds the
+            owning shard and replays its write-ahead log.  Without a
+            factory, failed shards stay failed (queries can still degrade
+            with ``partial=True``).
+        supervisor: retry/backoff, circuit-breaker and timeout policy
+            (:class:`~repro.serve.supervisor.SupervisorConfig`); the
+            default policy retries transient faults and trips a shard's
+            breaker after 3 consecutive failures, with no timeouts.
     """
 
     def __init__(
@@ -149,18 +223,42 @@ class ShardedIndex:
         name: Optional[str] = None,
         space: Optional[Rect] = None,
         max_workers: Optional[int] = None,
+        shard_factory: Optional[Callable[[], object]] = None,
+        supervisor: Optional[SupervisorConfig] = None,
     ) -> None:
         shards = list(shards)
         if not shards:
-            raise ValueError("a ShardedIndex needs at least one shard")
+            raise ValueError("a ShardedIndex needs at least one shard (num_shards >= 1)")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
         buffers = [shard.buffer for shard in shards]
         if len({id(buffer) for buffer in buffers}) != len(buffers):
             raise ValueError("shards must not share a buffer pool")
         self.shards = shards
         self.name = name or f"{getattr(shards[0], 'name', type(shards[0]).__name__)}"
         self.space = space
+        self.shard_factory = shard_factory
+        self._config = supervisor if supervisor is not None else SupervisorConfig()
         self.buffer = _AggregateBuffer(shards)
         self._locks = [threading.Lock() for _ in shards]
+        self._logs = [ShardLog() for _ in shards]
+        self._breakers = [
+            CircuitBreaker(
+                failure_threshold=self._config.failure_threshold,
+                reset_timeout_s=self._config.reset_timeout_s,
+                clock=self._config.clock,
+            )
+            for _ in shards
+        ]
+        # One jitter RNG per shard: backoff schedules stay deterministic
+        # even when several shards retry concurrently.
+        self._rngs = [
+            random.Random(self._config.seed * 1_000_003 + shard_id)
+            for shard_id in range(len(shards))
+        ]
+        #: Completed recoveries, oldest first (shard id, wall seconds,
+        #: replayed record count, attempts) — read by the fault bench.
+        self.recovery_events: List[Dict[str, float]] = []
         self._max_workers = max_workers or len(shards)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
@@ -181,6 +279,14 @@ class ShardedIndex:
         """Per-shard :class:`IOStats` (each shard's own counters)."""
         return [shard.buffer.stats for shard in self.shards]
 
+    def shard_log(self, shard_id: int) -> ShardLog:
+        """The write-ahead log of one shard (tests and tooling)."""
+        return self._logs[shard_id]
+
+    def breaker_states(self) -> List[str]:
+        """Current circuit-breaker state per shard."""
+        return [breaker.state for breaker in self._breakers]
+
     def _executor(self) -> ThreadPoolExecutor:
         with self._pool_lock:
             if self._pool is None:
@@ -195,34 +301,250 @@ class ShardedIndex:
             return self._pool
 
     def close(self) -> None:
-        """Shut the fan-out thread pool down (idempotent)."""
+        """Shut the fan-out thread pool down (idempotent).
+
+        Queued-but-unstarted tasks are cancelled; running tasks are
+        awaited, so after ``close()`` returns no worker can still be
+        touching a shard.  Calling it again (or on a never-used index) is
+        a no-op.
+        """
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
-            pool.shutdown(wait=True)
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def __enter__(self) -> "ShardedIndex":
         return self
 
     def __exit__(self, *exc_info) -> None:
+        # Runs on success *and* when an exception escaped mid-fan-out;
+        # _gather has already cancelled/awaited that call's futures, so
+        # shutdown cannot deadlock on abandoned work.
         self.close()
 
-    def _run_on(self, tasks: Dict[int, Callable[[], T]]) -> Dict[int, T]:
-        """Run one task per shard (under its lock), in parallel when > 1.
+    # ------------------------------------------------------------------
+    # Supervised execution
+    # ------------------------------------------------------------------
+    def _locked_supervised(
+        self,
+        shard_id: int,
+        task: Callable[[object], T],
+        read_only: bool,
+        status: ShardStatus,
+    ) -> T:
+        """Run ``task(shard)`` under the shard lock with the full policy.
 
-        Results are keyed by shard so merge order never depends on thread
-        scheduling.
+        Read-only calls retry transient faults with backoff; mutations
+        never blind-retry (the shard may have half-applied the batch) and
+        recover from the write-ahead log instead.  Non-fault exceptions
+        (caller bugs like a bad argument) propagate unchanged and do not
+        touch the breaker.
         """
+        with self._locks[shard_id]:
+            breaker = self._breakers[shard_id]
+            retry = self._config.retry
+            rng = self._rngs[shard_id]
+            if not breaker.allow():
+                if read_only or self.shard_factory is None:
+                    status.state = SHARD_SKIPPED
+                    status.error = "circuit open"
+                    raise _ShardSkipped(shard_id)
+                # A mutation routed to an open shard: the WAL already
+                # holds it, so recovery both heals the shard and applies
+                # the mutation.
+                value = self._recover_locked(shard_id)
+                status.attempts = 1
+                return value
+            for attempt in range(retry.max_attempts):
+                status.attempts = attempt + 1
+                try:
+                    value = task(self.shards[shard_id])
+                except InjectedFault as fault:
+                    transient = not isinstance(fault, ShardDownError)
+                    if read_only:
+                        if transient and attempt + 1 < retry.max_attempts:
+                            self._config.sleep(retry.backoff_delay(attempt, rng))
+                            continue
+                        breaker.record_failure()
+                        status.state = SHARD_FAILED
+                        status.error = f"{type(fault).__name__}: {fault}"
+                        raise ShardFailedError(shard_id, fault) from fault
+                    if self.shard_factory is None:
+                        breaker.record_failure()
+                        status.state = SHARD_FAILED
+                        status.error = f"{type(fault).__name__}: {fault}"
+                        raise ShardFailedError(shard_id, fault) from fault
+                    try:
+                        return self._recover_locked(shard_id)
+                    except InjectedFault as recovery_fault:
+                        breaker.record_failure()
+                        status.state = SHARD_FAILED
+                        status.error = (
+                            f"recovery failed: {type(recovery_fault).__name__}: "
+                            f"{recovery_fault}"
+                        )
+                        raise ShardFailedError(shard_id, recovery_fault) from recovery_fault
+                else:
+                    breaker.record_success()
+                    return value
+            raise AssertionError("unreachable: retry loop always returns or raises")
 
-        def locked(shard_id: int, task: Callable[[], T]) -> T:
-            with self._locks[shard_id]:
-                return task()
+    def _recover_locked(self, shard_id: int) -> object:
+        """Rebuild one shard from its WAL (caller holds the shard lock).
 
-        if len(tasks) <= 1:
-            return {sid: locked(sid, task) for sid, task in tasks.items()}
+        Builds a fresh shard via ``shard_factory`` and replays the full
+        write-ahead log into it, retrying with backoff when the replay
+        itself hits transient faults (each attempt starts over on a new
+        fresh shard, so a half-replayed attempt is simply discarded).  On
+        success the shard is swapped in, its breaker force-closed, and
+        the last replayed record's result returned — exactly what the
+        mutation that triggered the recovery would have returned on a
+        never-failed shard.
+        """
+        if self.shard_factory is None:
+            raise ShardFailedError(shard_id, RuntimeError("no shard_factory configured"))
+        retry = self._config.retry
+        rng = self._rngs[shard_id]
+        started = time.perf_counter()
+        for attempt in range(retry.max_attempts):
+            fresh = self.shard_factory()
+            try:
+                result = self._logs[shard_id].replay(fresh)
+            except InjectedFault:
+                if attempt + 1 < retry.max_attempts:
+                    self._config.sleep(retry.backoff_delay(attempt, rng))
+                    continue
+                raise
+            self.shards[shard_id] = fresh
+            self._breakers[shard_id].reset()
+            self.recovery_events.append(
+                {
+                    "shard_id": shard_id,
+                    "wall_s": time.perf_counter() - started,
+                    "replayed_records": len(self._logs[shard_id]),
+                    "attempts": attempt + 1,
+                }
+            )
+            return result
+        raise AssertionError("unreachable: recovery loop always returns or raises")
+
+    def recover_shard(self, shard_id: int) -> None:
+        """Rebuild one shard from its write-ahead log, unconditionally.
+
+        The operational entry point (a health checker or operator would
+        call this on a shard whose circuit stays open); requires a
+        ``shard_factory``.
+        """
+        with self._locks[shard_id]:
+            self._recover_locked(shard_id)
+
+    def _gather(
+        self,
+        futures: Dict[int, "Future[T]"],
+        statuses: Dict[int, ShardStatus],
+        timeout: Optional[float],
+    ) -> Tuple[Dict[int, T], Dict[int, ShardFailedError]]:
+        """Collect fan-out futures into per-shard results and failures.
+
+        A per-call ``timeout`` is a shared deadline: every future must
+        resolve within ``timeout`` seconds of the gather starting.  On an
+        unexpected (non-supervision) exception the remaining futures are
+        cancelled and awaited before it propagates, so ``__exit__`` /
+        ``close()`` never races abandoned workers.
+        """
+        results: Dict[int, T] = {}
+        failures: Dict[int, ShardFailedError] = {}
+        deadline = None if timeout is None else time.monotonic() + timeout
+        pending = dict(futures)
+        try:
+            for shard_id, future in futures.items():
+                remaining: Optional[float] = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                try:
+                    results[shard_id] = future.result(timeout=remaining)
+                except _ShardSkipped:
+                    pass
+                except ShardFailedError as error:
+                    failures[shard_id] = error
+                except FutureTimeoutError:
+                    # The worker cannot be interrupted; abandon it (it
+                    # still holds the shard lock until it finishes) and
+                    # record the failure against the breaker.
+                    statuses[shard_id].state = SHARD_FAILED
+                    statuses[shard_id].error = f"timeout after {timeout}s"
+                    self._breakers[shard_id].record_failure()
+                    failures[shard_id] = ShardFailedError(
+                        shard_id, TimeoutError(f"shard call exceeded {timeout}s")
+                    )
+                except CancelledError:
+                    statuses[shard_id].state = SHARD_FAILED
+                    statuses[shard_id].error = "cancelled"
+                    failures[shard_id] = ShardFailedError(
+                        shard_id, RuntimeError("shard call cancelled")
+                    )
+                finally:
+                    pending.pop(shard_id, None)
+        except BaseException:
+            for future in pending.values():
+                future.cancel()
+            for future in pending.values():
+                try:
+                    future.result()
+                except BaseException:
+                    pass
+            raise
+        return results, failures
+
+    def _supervised_run(
+        self,
+        tasks: Dict[int, Callable[[object], T]],
+        read_only: bool,
+        timeout: Optional[float],
+    ) -> Tuple[Dict[int, T], Dict[int, ShardStatus], Dict[int, ShardFailedError]]:
+        """Run one supervised task per shard, in parallel when useful.
+
+        Results, statuses and failures are keyed by shard so merge order
+        never depends on thread scheduling.
+        """
+        statuses = {shard_id: ShardStatus(shard_id) for shard_id in tasks}
+
+        def work(shard_id: int, task: Callable[[object], T]) -> T:
+            return self._locked_supervised(shard_id, task, read_only, statuses[shard_id])
+
+        if len(tasks) <= 1 and timeout is None:
+            results: Dict[int, T] = {}
+            failures: Dict[int, ShardFailedError] = {}
+            for shard_id, task in tasks.items():
+                try:
+                    results[shard_id] = work(shard_id, task)
+                except _ShardSkipped:
+                    pass
+                except ShardFailedError as error:
+                    failures[shard_id] = error
+            return results, statuses, failures
         pool = self._executor()
-        futures = {sid: pool.submit(locked, sid, task) for sid, task in tasks.items()}
-        return {sid: future.result() for sid, future in futures.items()}
+        futures = {
+            shard_id: pool.submit(work, shard_id, task) for shard_id, task in tasks.items()
+        }
+        results, failures = self._gather(futures, statuses, timeout)
+        return results, statuses, failures
+
+    @staticmethod
+    def _raise_first(failures: Dict[int, ShardFailedError]) -> None:
+        """Raise the lowest-shard-id failure (deterministic strict mode)."""
+        if failures:
+            raise failures[min(failures)]
+
+    def _strict_statuses(
+        self, statuses: Dict[int, ShardStatus], failures: Dict[int, ShardFailedError]
+    ) -> None:
+        """Strict mode: skipped shards are failures too (no silent gaps)."""
+        for shard_id, status in statuses.items():
+            if status.state == SHARD_SKIPPED and shard_id not in failures:
+                failures[shard_id] = ShardFailedError(
+                    shard_id, RuntimeError("circuit open")
+                )
 
     def _group_by_shard(self, oids: Sequence[int]) -> Dict[int, List[int]]:
         """Input positions grouped by owning shard (input order preserved)."""
@@ -234,49 +556,78 @@ class ShardedIndex:
     def _scatter(
         self,
         groups: Dict[int, List[int]],
-        apply: Callable[[int, List[int]], T],
+        apply: Callable[[object, List[int]], T],
     ) -> Dict[int, T]:
-        """Run ``apply(shard_id, member_positions)`` per routed group.
+        """Run ``apply(shard, member_positions)`` per routed group (strict).
 
-        The single place the per-shard task closures are built, so the
-        late-binding capture (``s=sid, m=members``) lives here once.
+        Mutation path: failures after the supervision policy (retry /
+        recovery) are strict — the first one raises.
         """
-        return self._run_on(
-            {
-                sid: (lambda s=sid, m=members: apply(s, m))
-                for sid, members in groups.items()
-            }
+        tasks = {
+            shard_id: (lambda shard, m=members: apply(shard, m))
+            for shard_id, members in groups.items()
+        }
+        results, statuses, failures = self._supervised_run(
+            tasks, read_only=False, timeout=self._config.update_timeout_s
         )
+        self._strict_statuses(statuses, failures)
+        self._raise_first(failures)
+        return results
 
-    def _fan_out(self, apply: Callable[[int], T]) -> Dict[int, T]:
-        """Run ``apply(shard_id)`` on every shard (query fan-out)."""
-        return self._run_on({sid: (lambda s=sid: apply(s)) for sid in range(len(self.shards))})
+    def _fan_out(
+        self, apply: Callable[[object], T], partial: bool
+    ) -> Tuple[Dict[int, T], Dict[int, ShardStatus]]:
+        """Run ``apply(shard)`` on every shard (query fan-out).
+
+        Strict mode (``partial=False``) raises on any failed or skipped
+        shard; partial mode returns whatever the healthy shards answered
+        plus the per-shard statuses.
+        """
+        tasks = {
+            shard_id: (lambda shard: apply(shard)) for shard_id in range(len(self.shards))
+        }
+        results, statuses, failures = self._supervised_run(
+            tasks, read_only=True, timeout=self._config.query_timeout_s
+        )
+        if not partial:
+            self._strict_statuses(statuses, failures)
+            self._raise_first(failures)
+        return results, statuses
 
     # ------------------------------------------------------------------
-    # Updates (routed by owning shard)
+    # Updates (routed by owning shard, write-ahead logged)
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return sum(len(shard) for shard in self.shards)
 
+    def _single(self, shard_id: int, task: Callable[[object], T]) -> T:
+        """One supervised mutation on one shard (strict)."""
+        results, statuses, failures = self._supervised_run(
+            {shard_id: task}, read_only=False, timeout=self._config.update_timeout_s
+        )
+        self._strict_statuses(statuses, failures)
+        self._raise_first(failures)
+        return results[shard_id]
+
     def insert(self, obj: MovingObject) -> None:
         """Insert an object into its owning shard."""
         shard_id = self.shard_of(obj.oid)
-        with self._locks[shard_id]:
-            self.shards[shard_id].insert(obj)
+        self._logs[shard_id].append("insert", obj)
+        self._single(shard_id, lambda shard: shard.insert(obj))
 
     def delete(self, obj: MovingObject) -> bool:
         """Delete an object snapshot from its owning shard."""
         shard_id = self.shard_of(obj.oid)
-        with self._locks[shard_id]:
-            return self.shards[shard_id].delete(obj)
+        self._logs[shard_id].append("delete", obj)
+        return self._single(shard_id, lambda shard: shard.delete(obj))
 
     def update(self, old: MovingObject, new: MovingObject) -> bool:
         """Update one object on its owning shard; True when ``old`` existed."""
         if old.oid != new.oid:
             raise ValueError("an update must keep the object id")
         shard_id = self.shard_of(old.oid)
-        with self._locks[shard_id]:
-            return self.shards[shard_id].update(old, new)
+        self._logs[shard_id].append("update", (old, new))
+        return self._single(shard_id, lambda shard: shard.update(old, new))
 
     def bulk_load(self, objects: Sequence[MovingObject], strategy: Optional[str] = None) -> None:
         """Bulk-build every shard from its routed slice of ``objects``.
@@ -286,40 +637,47 @@ class ShardedIndex:
         ignore it, mirroring :meth:`IndexManager.bulk_load`.
         """
         objects = list(objects)
+        groups = self._group_by_shard([obj.oid for obj in objects])
+        slices = {
+            shard_id: [objects[i] for i in members] for shard_id, members in groups.items()
+        }
+        for shard_id, group in slices.items():
+            self._logs[shard_id].append("bulk_load", (group, strategy))
 
-        def load(shard_id: int, members: List[int]) -> None:
-            loader = self.shards[shard_id].bulk_load
+        def load(shard, members: List[int]) -> None:
+            loader = shard.bulk_load
             group = [objects[i] for i in members]
             if strategy is not None and loader_accepts(loader, "strategy"):
                 loader(group, strategy=strategy)
             else:
                 loader(group)
 
-        self._scatter(self._group_by_shard([obj.oid for obj in objects]), load)
+        self._scatter(groups, load)
 
     def insert_batch(self, objects: Sequence[MovingObject]) -> None:
         """Insert a batch, one grouped ``insert_batch`` per owning shard."""
         objects = list(objects)
+        groups = self._group_by_shard([obj.oid for obj in objects])
+        for shard_id, members in groups.items():
+            self._logs[shard_id].append("insert_batch", [objects[i] for i in members])
         self._scatter(
-            self._group_by_shard([obj.oid for obj in objects]),
-            lambda sid, members: self.shards[sid].insert_batch(
-                [objects[i] for i in members]
-            ),
+            groups,
+            lambda shard, members: shard.insert_batch([objects[i] for i in members]),
         )
 
     def delete_batch(self, objects: Sequence[MovingObject]) -> List[bool]:
         """Delete a batch; per-object success flags aligned with the input."""
         objects = list(objects)
         groups = self._group_by_shard([obj.oid for obj in objects])
+        for shard_id, members in groups.items():
+            self._logs[shard_id].append("delete_batch", [objects[i] for i in members])
         flag_groups = self._scatter(
             groups,
-            lambda sid, members: self.shards[sid].delete_batch(
-                [objects[i] for i in members]
-            ),
+            lambda shard, members: shard.delete_batch([objects[i] for i in members]),
         )
         flags = [False] * len(objects)
-        for sid, members in groups.items():
-            for position, flag in zip(members, flag_groups[sid]):
+        for shard_id, members in groups.items():
+            for position, flag in zip(members, flag_groups[shard_id]):
                 flags[position] = bool(flag)
         return flags
 
@@ -334,11 +692,12 @@ class ShardedIndex:
         for old, new in pairs:
             if old.oid != new.oid:
                 raise ValueError("an update must keep the object id")
+        groups = self._group_by_shard([old.oid for old, _ in pairs])
+        for shard_id, members in groups.items():
+            self._logs[shard_id].append("update_batch", [pairs[i] for i in members])
         counts = self._scatter(
-            self._group_by_shard([old.oid for old, _ in pairs]),
-            lambda sid, members: self.shards[sid].update_batch(
-                [pairs[i] for i in members]
-            ),
+            groups,
+            lambda shard, members: shard.update_batch([pairs[i] for i in members]),
         )
         return sum(counts.values())
 
@@ -356,22 +715,35 @@ class ShardedIndex:
         return self.range_query_batch([query], exact=exact)[0]
 
     def range_query_batch(
-        self, queries: Sequence[RangeQuery], exact: bool = True
-    ) -> List[List[int]]:
-        """Batched :meth:`range_query`; per-query results align with the input."""
+        self,
+        queries: Sequence[RangeQuery],
+        exact: bool = True,
+        partial: bool = False,
+    ) -> Union[List[List[int]], PartialResult]:
+        """Batched :meth:`range_query`; per-query results align with the input.
+
+        With ``partial=True`` the call never raises on shard failure:
+        open-circuit shards are skipped, failing/timing-out shards are
+        dropped after the retry policy, and the healthy shards' merged
+        answers come back in a :class:`PartialResult` (``complete`` iff
+        no shard failed — then the payload equals the strict answer).
+        """
         queries = list(queries)
         if not queries:
-            return []
-        per_shard = self._fan_out(
-            lambda sid: self.shards[sid].range_query_batch(queries, exact=exact)
+            return PartialResult([], []) if partial else []
+        per_shard, statuses = self._fan_out(
+            lambda shard: shard.range_query_batch(queries, exact=exact), partial=partial
         )
         results: List[List[int]] = []
+        answered = sorted(per_shard)
         for qi in range(len(queries)):
             merged: List[int] = []
-            for sid in range(len(self.shards)):
-                merged.extend(per_shard[sid][qi])
+            for shard_id in answered:
+                merged.extend(per_shard[shard_id][qi])
             merged.sort()
             results.append(merged)
+        if partial:
+            return PartialResult(results, [statuses[sid] for sid in sorted(statuses)])
         return results
 
     def knn_query(
@@ -392,7 +764,8 @@ class ShardedIndex:
         queries: Sequence[KNNQuery],
         space: Optional[Rect] = None,
         radius_state: Optional[AdaptiveRadius] = None,
-    ) -> List[List[Tuple[int, float]]]:
+        partial: bool = False,
+    ) -> Union[List[List[Tuple[int, float]]], PartialResult]:
         """Answer kNN probes by merging every shard's local top-``k``.
 
         Each shard answers the whole probe batch over its own objects
@@ -402,22 +775,31 @@ class ShardedIndex:
         among the ``k`` nearest of its own shard (fewer than ``k``
         objects in total are closer; see ``docs/sharding.md``).
 
+        With ``partial=True`` failing shards are skipped (see
+        :meth:`range_query_batch`); the merged ranking then covers only
+        healthy shards' candidates — distances remain exact, membership
+        may miss nearer objects stored on failed shards.
+
         ``radius_state`` is shared across the shards as a pure perf hint:
         its observe/suggest races are benign (answers are provably
         radius-schedule independent).
         """
         queries = list(queries)
         if not queries:
-            return []
+            return PartialResult([], []) if partial else []
         search_space = space if space is not None else self.space
-        per_shard = self._fan_out(
-            lambda sid: self.shards[sid].knn_query_batch(
+        per_shard, statuses = self._fan_out(
+            lambda shard: shard.knn_query_batch(
                 queries, space=search_space, radius_state=radius_state
-            )
+            ),
+            partial=partial,
         )
         results: List[List[Tuple[int, float]]] = []
+        answered = sorted(per_shard)
         for qi, probe in enumerate(queries):
-            merged = [pair for sid in range(len(self.shards)) for pair in per_shard[sid][qi]]
+            merged = [pair for shard_id in answered for pair in per_shard[shard_id][qi]]
             merged.sort(key=lambda pair: (pair[1], pair[0]))
             results.append(merged[: probe.k])
+        if partial:
+            return PartialResult(results, [statuses[sid] for sid in sorted(statuses)])
         return results

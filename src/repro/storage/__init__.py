@@ -10,6 +10,16 @@ physical reads and writes that would have hit the disk.
 from repro.storage.page import Page, PAGE_SIZE_BYTES
 from repro.storage.disk_manager import DiskManager
 from repro.storage.buffer_manager import BufferManager
+from repro.storage.faults import (
+    FaultCounters,
+    FaultInjectingDiskManager,
+    FaultProfile,
+    InjectedFault,
+    PageReadError,
+    PageWriteError,
+    ShardDownError,
+    fault_wrap,
+)
 from repro.storage.stats import IOStats, Counter
 
 __all__ = [
@@ -17,6 +27,14 @@ __all__ = [
     "PAGE_SIZE_BYTES",
     "DiskManager",
     "BufferManager",
+    "FaultCounters",
+    "FaultInjectingDiskManager",
+    "FaultProfile",
+    "InjectedFault",
+    "PageReadError",
+    "PageWriteError",
+    "ShardDownError",
+    "fault_wrap",
     "IOStats",
     "Counter",
 ]

@@ -93,14 +93,30 @@ class BufferManager:
     # Page lifecycle
     # ------------------------------------------------------------------
     def new_page(self, payload: Any = None) -> Page:
-        """Allocate a new page and cache it (dirty) in the buffer."""
+        """Allocate a new page and cache it (dirty) in the buffer.
+
+        Room is made *before* the page is allocated: if evicting a dirty
+        victim fails (e.g. an injected :class:`PageWriteError`), the error
+        surfaces with the pool unchanged and no orphan page allocated on
+        disk — a retry starts from a clean slate.
+        """
+        self._ensure_capacity()
         page = self.disk.allocate(payload)
         page.mark_dirty()
-        self._admit(page)
+        self._frames[page.page_id] = page
         return page
 
     def fetch(self, page_id: int) -> Page:
-        """Fetch a page, reading it from disk on a miss."""
+        """Fetch a page, reading it from disk on a miss.
+
+        The miss path is exception-safe against disk faults: room is made
+        first (an eviction write-back failure leaves the victim resident
+        and dirty), the disk read runs second (a read failure leaves the
+        pool untouched), and only then is the frame admitted — a plain
+        dictionary insert that cannot fail.  A failed fetch therefore
+        never leaves a half-admitted frame, and retrying it costs exactly
+        one extra logical read + buffer miss per failed attempt.
+        """
         self.stats.record_logical_read()
         if page_id in self._frames:
             self.hits += 1
@@ -109,8 +125,9 @@ class BufferManager:
             return self._frames[page_id]
         self.misses += 1
         self.stats.record_buffer_miss()
+        self._ensure_capacity()
         page = self.disk.read(page_id)
-        self._admit(page)
+        self._frames[page_id] = page
         return page
 
     def mark_dirty(self, page: Page) -> None:
@@ -238,13 +255,15 @@ class BufferManager:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _admit(self, page: Page) -> None:
-        if page.page_id in self._frames:
-            self._frames.move_to_end(page.page_id)
-            return
+    def _ensure_capacity(self) -> None:
+        """Evict until one free frame exists (may raise; pool stays valid).
+
+        An eviction that fails mid write-back leaves the victim resident
+        and dirty (``_evict_one`` only drops a frame after its write-back
+        succeeded), so callers can always retry after a transient fault.
+        """
         while len(self._frames) >= self.capacity:
             self._evict_one()
-        self._frames[page.page_id] = page
 
     def _evict_one(self) -> None:
         if self._sequential_depth > 0:
