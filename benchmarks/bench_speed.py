@@ -35,7 +35,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import sys
+import tempfile
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -50,8 +52,9 @@ from repro.bench.harness import (  # noqa: E402
     knn_queries_from_workload,
     run_knn,
 )
+from repro.bxtree.bx_tree import BxTree  # noqa: E402
 from repro.objects.knn import AdaptiveRadius  # noqa: E402
-from repro.serve import RetryPolicy, SupervisorConfig  # noqa: E402
+from repro.serve import DurableStore, RetryPolicy, SupervisorConfig  # noqa: E402
 from repro.storage import fault_wrap  # noqa: E402
 from repro.workload.events import UpdateEvent  # noqa: E402
 from repro.workload.generator import build_workload  # noqa: E402
@@ -119,6 +122,29 @@ FAULT_QUICK_PARAMS = dict(
 #: Shard count and victim of the fault-injection run.
 FAULT_SHARDS = 4
 FAULT_KILLED_SHARD = 2
+
+#: Persistence run: durable (file-backed, checkpoint/WAL) serving store.
+PERSIST_PARAMS = dict(
+    num_objects=2_000,
+    time_duration=60.0,
+    num_queries=20,
+    buffer_pages=50,
+    page_size=4096,
+)
+
+#: Quick scale for the CI `durability` job's smoke run.
+PERSIST_QUICK_PARAMS = dict(
+    num_objects=400,
+    time_duration=30.0,
+    num_queries=10,
+    buffer_pages=20,
+    page_size=1024,
+)
+
+#: Shard count and index families of the persistence run (durability
+#: currently covers the picklable families; Bx is the representative).
+PERSIST_SHARDS = 2
+PERSIST_INDEXES = ("Bx",)
 
 #: Index families measured by the fault-injection run.
 FAULT_INDEXES = ("Bx",)
@@ -490,6 +516,136 @@ def measure_faults(
     }
 
 
+def measure_persistence(
+    dataset: str = "SA",
+    params: Optional[WorkloadParameters] = None,
+    persist_dir: Optional[str] = None,
+    which: Sequence[str] = PERSIST_INDEXES,
+    shards: int = PERSIST_SHARDS,
+) -> Dict[str, object]:
+    """Durable-store lifecycle: build, checkpoint, crash, recover, reopen.
+
+    For every index family a durable :class:`~repro.serve.DurableStore`
+    is created under ``persist_dir``, bulk-loaded and checkpointed, then
+    driven through the workload's update stream (every mutation lands in
+    the per-shard durable WALs).  Three reopen scenarios are measured on
+    top:
+
+    * **crash-sim reopen** — the live process state is abandoned without
+      a close (dirty buffer pages never reach the page file), and
+      ``recovery_ms`` is the wall time of ``DurableStore.open()``:
+      checkpoint-image restore plus WAL-tail replay (``wal_tail_records``
+      is the bounded tail length).  The recovered answers are compared
+      bit for bit against the live index's (the ``recovered_match_*``
+      flags — 1.0 means identical range/kNN answers);
+    * **cold queries** — the first post-recovery query batch runs on cold
+      buffers against checksummed on-disk pages (``cold_query_ms`` versus
+      the live index's ``warm_query_ms``);
+    * **clean reopen** — after a proper ``close()`` (which checkpoints),
+      ``cold_reopen_ms`` is the reopen wall time with an empty WAL
+      (``clean_reopen_replayed`` stays 0.0).
+    """
+    if params is None:
+        params = WorkloadParameters(**PERSIST_PARAMS)
+    workload = build_workload(dataset, params)
+    probes = knn_queries_from_workload(workload)
+    batches = workload.grouped_events(window=1.0)
+    update_batches = [b for b in batches if isinstance(b[0], UpdateEvent)]
+    queries = [e.query for b in batches if not isinstance(b[0], UpdateEvent) for e in b]
+    if persist_dir is None:
+        persist_dir = tempfile.mkdtemp(prefix="repro_persist_")
+    rows: Dict[str, Dict[str, float]] = {}
+    for name in which:
+        root = os.path.join(persist_dir, name.replace("*", "star").replace("(", "_").replace(")", ""))
+        if os.path.exists(root):
+            shutil.rmtree(root)
+
+        def factory(buffer, params=params):
+            return BxTree(
+                buffer=buffer,
+                space=params.space,
+                max_update_interval=params.max_update_interval,
+                page_size=params.page_size,
+            )
+
+        started = time.perf_counter()
+        index = DurableStore(root).create(
+            factory,
+            num_shards=shards,
+            name=name,
+            space=params.space,
+            buffer_pages=params.buffer_pages,
+            max_workers=1,
+        )
+        index.bulk_load(workload.initial_objects)
+        build_s = time.perf_counter() - started
+        started = time.perf_counter()
+        index.checkpoint()
+        checkpoint_ms = (time.perf_counter() - started) * 1000.0
+        num_updates = 0
+        started = time.perf_counter()
+        for batch in update_batches:
+            pairs = [(event.old, event.new) for event in batch]
+            index.update_batch(pairs)
+            num_updates += len(pairs)
+        update_ms = (time.perf_counter() - started) * 1000.0 / max(1, num_updates)
+        started = time.perf_counter()
+        warm_range = index.range_query_batch(queries)
+        warm_query_ms = (time.perf_counter() - started) * 1000.0 / max(1, len(queries))
+        warm_knn = index.knn_query_batch(probes)
+
+        # Crash simulation: abandon the live index — no close, no final
+        # checkpoint — and recover the store from disk alone.
+        started = time.perf_counter()
+        crashed = DurableStore(root)
+        recovered = crashed.open(max_workers=1)
+        recovery_ms = (time.perf_counter() - started) * 1000.0
+        started = time.perf_counter()
+        cold_range = recovered.range_query_batch(queries)
+        cold_query_ms = (time.perf_counter() - started) * 1000.0 / max(1, len(queries))
+        cold_knn = recovered.knn_query_batch(probes)
+        recovered_match_range = float(cold_range == warm_range)
+        recovered_match_knn = float(cold_knn == warm_knn)
+        recovered.close()
+
+        # Clean shutdown happened above: the reopen replays nothing.
+        started = time.perf_counter()
+        clean = DurableStore(root)
+        reopened = clean.open(max_workers=1)
+        cold_reopen_ms = (time.perf_counter() - started) * 1000.0
+        clean_match_range = float(reopened.range_query_batch(queries) == warm_range)
+        reopened.close()
+
+        rows[name] = {
+            key: round(value, 4)
+            for key, value in {
+                "build_s": build_s,
+                "checkpoint_ms": checkpoint_ms,
+                "update_ms": update_ms,
+                "warm_query_ms": warm_query_ms,
+                "recovery_ms": recovery_ms,
+                "wal_tail_records": float(sum(crashed.replayed_on_open)),
+                "cold_query_ms": cold_query_ms,
+                "recovered_match_range": recovered_match_range,
+                "recovered_match_knn": recovered_match_knn,
+                "cold_reopen_ms": cold_reopen_ms,
+                "clean_reopen_replayed": float(sum(clean.replayed_on_open)),
+                "clean_match_range": clean_match_range,
+            }.items()
+        }
+    return {
+        "dataset": dataset,
+        "params": {
+            "num_objects": params.num_objects,
+            "time_duration": params.time_duration,
+            "num_queries": params.num_queries,
+            "buffer_pages": params.buffer_pages,
+            "page_size": params.page_size,
+        },
+        "persistence": rows,
+    }
+
+
 def load_history(path: str) -> List[Dict[str, object]]:
     """Existing run history at ``path`` (empty when absent).
 
@@ -516,18 +672,28 @@ def run(
     packing: bool = False,
     scale: bool = False,
     faults: bool = False,
+    persist: bool = False,
+    persist_dir: Optional[str] = None,
     shard_counts: Sequence[int] = SCALE_SHARD_COUNTS,
 ) -> Dict[str, object]:
     """Measure, append to the history at ``output``, and return the report.
 
     ``scale=True`` runs the serving-layer shard-count sweep
-    (:func:`measure_scale`) and ``faults=True`` the fault-injection run
-    (:func:`measure_faults`) instead of the standard build/replay
-    comparison; ``quick`` selects the smoke-scale parameter set in every
-    mode.
+    (:func:`measure_scale`), ``faults=True`` the fault-injection run
+    (:func:`measure_faults`), and ``persist=True`` the durable-store
+    lifecycle run (:func:`measure_persistence`) instead of the standard
+    build/replay comparison; ``quick`` selects the smoke-scale parameter
+    set in every mode.
     """
     started = time.perf_counter()
-    if faults:
+    if persist:
+        overrides = PERSIST_QUICK_PARAMS if quick else PERSIST_PARAMS
+        params = WorkloadParameters(**overrides)
+        report = measure_persistence(
+            dataset=dataset, params=params, persist_dir=persist_dir
+        )
+        report["mode"] = "persist-quick" if quick else "persist"
+    elif faults:
         overrides = FAULT_QUICK_PARAMS if quick else FAULT_PARAMS
         params = WorkloadParameters(**overrides)
         report = measure_faults(dataset=dataset, params=params)
@@ -584,6 +750,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{FAULT_SHARDS} shards mid-stream and record recovery time and "
         "degraded-answer recall",
     )
+    parser.add_argument(
+        "--persist",
+        action="store_true",
+        help="run the durable-store mode instead: file-backed checkpoint/WAL "
+        "store, crash-simulated reopen (recovery_ms + WAL-tail replay), "
+        "cold-vs-warm queries and clean reopen",
+    )
+    parser.add_argument(
+        "--persist-dir",
+        default=None,
+        help="directory for the --persist store files (default: a fresh "
+        "temp directory); kept on disk after the run for inspection",
+    )
     args = parser.parse_args(argv)
     shard_counts = tuple(int(part) for part in args.shards.split(",") if part)
     report = run(
@@ -593,8 +772,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         packing=args.packing,
         scale=args.scale,
         faults=args.faults,
+        persist=args.persist,
+        persist_dir=args.persist_dir,
         shard_counts=shard_counts,
     )
+    for name, row in report.get("persistence", {}).items():
+        print(
+            f"persist {name:10s} recovery {row['recovery_ms']:8.2f}ms "
+            f"({row['wal_tail_records']:.0f} WAL records)  "
+            f"clean reopen {row['cold_reopen_ms']:8.2f}ms "
+            f"({row['clean_reopen_replayed']:.0f} replayed)  "
+            f"query warm {row['warm_query_ms']:7.3f} -> cold "
+            f"{row['cold_query_ms']:7.3f}ms  "
+            f"recovered match {row['recovered_match_range']:.0f}/"
+            f"{row['recovered_match_knn']:.0f}"
+        )
     for name, row in report.get("faults", {}).items():
         print(
             f"faults {name:10s} recovery {row['recovery_ms']:8.2f}ms "

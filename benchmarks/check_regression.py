@@ -44,6 +44,15 @@ FAULT_METRICS = ("recovery_ms",)
 #: degraded-answer recall during the outage must not erode.
 FAULT_FLOORS = ("degraded_recall_range", "degraded_recall_knn")
 
+#: Latency metrics gated on durable-store persistence entries (higher =
+#: regression): crash recovery and clean cold reopen must not slow down.
+PERSIST_METRICS = ("recovery_ms", "cold_reopen_ms")
+
+#: Correctness floors gated on persistence entries: the crash-recovered
+#: index's range/kNN answers must stay bit-identical to the live ones
+#: (these are 0/1 flags, so *any* mismatch erodes the floor and fails).
+PERSIST_FLOORS = ("recovered_match_range", "recovered_match_knn")
+
 #: Indexes the gate watches.
 WATCHED_INDEXES = ("Bx",)
 
@@ -222,6 +231,29 @@ def check(
                     metric,
                     new_faults[name],
                     old_faults[name],
+                    max_regression,
+                    failures,
+                )
+    # Durable-store persistence entries: recovery/reopen latency gated
+    # upward, recovered-answer equality gated as a (0/1) floor.
+    if _section_has_baseline("persistence", report, baseline):
+        new_persist = report.get("persistence") or {}
+        old_persist = baseline.get("persistence") or {}
+        for name in sorted(set(new_persist) & set(old_persist)):
+            _check_row(
+                f"{name}[persist]",
+                new_persist[name],
+                old_persist[name],
+                max_regression,
+                failures,
+                metrics=PERSIST_METRICS,
+            )
+            for metric in PERSIST_FLOORS:
+                _check_floor(
+                    f"{name}[persist]",
+                    metric,
+                    new_persist[name],
+                    old_persist[name],
                     max_regression,
                     failures,
                 )

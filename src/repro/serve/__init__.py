@@ -15,12 +15,18 @@ queries can opt into degraded :class:`PartialResult` answers from the
 healthy shards instead of raising.  See ``docs/robustness.md``.
 """
 
-from repro.serve.shard_log import LOG_OPS, ShardLog
+from repro.serve.shard_log import LOG_OPS, DurableShardLog, ShardLog
 from repro.serve.sharded_index import (
     DEFAULT_SHARDS,
     AggregateStats,
     ShardedIndex,
     shard_of,
+)
+from repro.serve.durable_store import (
+    DurableStore,
+    ShardStore,
+    dumps_index,
+    loads_index,
 )
 from repro.serve.supervisor import (
     BREAKER_CLOSED,
@@ -44,6 +50,8 @@ __all__ = [
     "BREAKER_OPEN",
     "CircuitBreaker",
     "DEFAULT_SHARDS",
+    "DurableShardLog",
+    "DurableStore",
     "LOG_OPS",
     "PartialResult",
     "RetryPolicy",
@@ -53,6 +61,9 @@ __all__ = [
     "ShardFailedError",
     "ShardLog",
     "ShardStatus",
+    "ShardStore",
     "ShardedIndex",
     "SupervisorConfig",
+    "dumps_index",
+    "loads_index",
 ]

@@ -16,15 +16,27 @@ suspect, but the log still holds the full batch — recovery discards the
 suspect shard entirely and replays the log, so the batch is applied
 exactly once on the rebuilt timeline.
 
-The log is in-memory and unbounded, which matches the simulator's scale
-(a replayed workload is a few thousand events); a durable deployment
-would append the same records to stable storage and add checkpointing so
-replay cost stays bounded.  See ``docs/robustness.md``.
+The base :class:`ShardLog` is in-memory; replay cost is kept bounded by
+*compaction* — the serving layer truncates the log after a successful
+checkpoint or recovery, once the records are folded into a checkpoint
+image (durable) or deepcopy baseline (in-memory), so a recovery replays
+only the tail since the last checkpoint instead of the shard's full
+history.  :class:`DurableShardLog` adds the on-disk mode: every record is
+appended to a file as a length-prefixed, CRC32-checksummed, fsync'd
+pickle, and reopening the file recovers the record list — truncating a
+torn tail, which is safe because records are appended *before* execution,
+so a torn final record describes a mutation whose caller never got an
+acknowledgement.  See ``docs/storage.md`` and ``docs/robustness.md``.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence, Tuple
+import os
+import pickle
+import struct
+import threading
+import zlib
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 #: Operations a :class:`ShardLog` record may carry.
 LOG_OPS = (
@@ -59,6 +71,10 @@ class ShardLog:
             payload = (tuple(objects), strategy)
         elif op.endswith("_batch"):
             payload = tuple(payload)
+        self._store(op, payload)
+
+    def _store(self, op: str, payload: Any) -> None:
+        """Persist one canonicalized record (subclasses add durability)."""
         self._records.append((op, payload))
 
     def replay(self, index: Any) -> Any:
@@ -105,5 +121,148 @@ class ShardLog:
         """Drop the history (only sensible when the shard is discarded)."""
         self._records.clear()
 
+    def truncate(self) -> None:
+        """Compact the log after a checkpoint folded its records away.
 
-__all__ = ["LOG_OPS", "ShardLog"]
+        Only correct when the shard's recovery source (checkpoint image or
+        deepcopy baseline) already reflects every logged record — the
+        serving layer enforces that ordering.  On the base class this is
+        :meth:`clear`; the durable subclass also truncates the file.
+        """
+        self.clear()
+
+    def close(self) -> None:
+        """Release backing resources (no-op for the in-memory log)."""
+
+    @property
+    def path(self) -> Optional[str]:
+        """Backing file of the log, or None for the in-memory mode."""
+        return None
+
+
+class DurableShardLog(ShardLog):
+    """A :class:`ShardLog` whose records also live in an append-only file.
+
+    Record format: ``length (u32) | crc32(body) (u32) | body`` where the
+    body is the pickled ``(op, payload)`` pair.  Appends are written and
+    (by default) fsync'd before :meth:`append` returns, so by the time the
+    serving layer executes a mutation its WAL record is already durable —
+    the invariant shard recovery relies on.
+
+    Opening an existing file rebuilds the record list, stopping at the
+    first record whose length or checksum does not add up and truncating
+    the file there: a torn tail record is a mutation that was never
+    executed (append happens before execution) and never acknowledged, so
+    dropping it keeps the log consistent with every answer the index ever
+    returned.
+
+    Appends are serialized by an internal lock — the serving layer appends
+    outside the per-shard locks, so two routed mutations may hit the same
+    shard's log concurrently.
+
+    Args:
+        path: backing file (created when absent, recovered when present).
+        fsync: fsync after every append (disable only in tests).
+        crash_hook: test-only callable invoked between the two halves of
+            an append (``"wal:torn"``) so crash tests can land a SIGKILL
+            inside a torn WAL write.
+    """
+
+    __slots__ = ("_path", "_fsync_enabled", "_crash_hook", "_lock", "_fd", "_size")
+
+    _HEADER = struct.Struct("<II")
+
+    def __init__(
+        self,
+        path: str,
+        fsync: bool = True,
+        crash_hook: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        super().__init__()
+        self._path = str(path)
+        self._fsync_enabled = fsync
+        self._crash_hook = crash_hook
+        self._lock = threading.Lock()
+        self._fd = os.open(self._path, os.O_RDWR | os.O_CREAT, 0o644)
+        self._size = 0
+        self._load_existing()
+
+    @property
+    def path(self) -> str:
+        """The log's backing file."""
+        return self._path
+
+    def _file_sync(self) -> None:
+        if self._fsync_enabled:
+            os.fsync(self._fd)
+
+    def _load_existing(self) -> None:
+        data = os.pread(self._fd, os.fstat(self._fd).st_size, 0)
+        offset = 0
+        header = self._HEADER
+        while offset + header.size <= len(data):
+            length, crc = header.unpack_from(data, offset)
+            body = data[offset + header.size : offset + header.size + length]
+            if len(body) < length or zlib.crc32(body) != crc:
+                break
+            try:
+                op, payload = pickle.loads(body)
+            except Exception:
+                break
+            self._records.append((op, payload))
+            offset += header.size + length
+        self._size = offset
+        if offset < len(data):
+            # Torn/corrupt tail: drop it so the next append lands on a
+            # clean record boundary.
+            os.ftruncate(self._fd, offset)
+            self._file_sync()
+
+    def _store(self, op: str, payload: Any) -> None:
+        body = pickle.dumps((op, payload), protocol=pickle.HIGHEST_PROTOCOL)
+        frame = self._HEADER.pack(len(body), zlib.crc32(body)) + body
+        with self._lock:
+            if self._crash_hook is None:
+                os.pwrite(self._fd, frame, self._size)
+            else:
+                half = max(1, len(frame) // 2)
+                os.pwrite(self._fd, frame[:half], self._size)
+                self._crash_hook("wal:torn")
+                os.pwrite(self._fd, frame[half:], self._size + half)
+            self._file_sync()
+            self._size += len(frame)
+            self._records.append((op, payload))
+
+    def truncate(self) -> None:
+        """Compact: drop the records and empty the backing file."""
+        with self._lock:
+            self._records.clear()
+            os.ftruncate(self._fd, 0)
+            self._file_sync()
+            self._size = 0
+
+    def rotate(self, new_path: str) -> None:
+        """Switch the log to a fresh (empty) file at ``new_path``.
+
+        Used by the checkpoint protocol: the WAL is generation-named, so a
+        checkpoint starts a new empty log file instead of truncating the
+        old one in place (the old file stays valid for a crash that lands
+        before the checkpoint's commit point).
+        """
+        with self._lock:
+            os.close(self._fd)
+            self._path = str(new_path)
+            self._fd = os.open(self._path, os.O_RDWR | os.O_CREAT | os.O_TRUNC, 0o644)
+            self._file_sync()
+            self._records.clear()
+            self._size = 0
+
+    def close(self) -> None:
+        """Close the backing file (idempotent)."""
+        with self._lock:
+            if self._fd >= 0:
+                os.close(self._fd)
+                self._fd = -1
+
+
+__all__ = ["LOG_OPS", "DurableShardLog", "ShardLog"]

@@ -49,6 +49,7 @@ the serving layer is live (see ``docs/sharding.md``).
 
 from __future__ import annotations
 
+import copy
 import random
 import threading
 import time
@@ -215,6 +216,17 @@ class ShardedIndex:
             (:class:`~repro.serve.supervisor.SupervisorConfig`); the
             default policy retries transient faults and trips a shard's
             breaker after 3 consecutive failures, with no timeouts.
+        logs: pre-built per-shard write-ahead logs (one per shard).  The
+            durable store passes :class:`~repro.serve.shard_log.
+            DurableShardLog` instances here; by default each shard gets a
+            private in-memory :class:`ShardLog`.
+        stores: per-shard :class:`~repro.serve.durable_store.ShardStore`
+            backends (one per shard).  When present, recovery restores
+            the shard from its checkpoint image instead of rebuilding
+            from ``shard_factory``, and :meth:`checkpoint`/:meth:`close`
+            persist through them.  Normally wired by
+            :class:`~repro.serve.durable_store.DurableStore`, not by
+            hand.
     """
 
     def __init__(
@@ -225,6 +237,8 @@ class ShardedIndex:
         max_workers: Optional[int] = None,
         shard_factory: Optional[Callable[[], object]] = None,
         supervisor: Optional[SupervisorConfig] = None,
+        logs: Optional[Sequence[ShardLog]] = None,
+        stores: Optional[Sequence[object]] = None,
     ) -> None:
         shards = list(shards)
         if not shards:
@@ -241,7 +255,23 @@ class ShardedIndex:
         self._config = supervisor if supervisor is not None else SupervisorConfig()
         self.buffer = _AggregateBuffer(shards)
         self._locks = [threading.Lock() for _ in shards]
-        self._logs = [ShardLog() for _ in shards]
+        if logs is None:
+            self._logs: List[ShardLog] = [ShardLog() for _ in shards]
+        else:
+            self._logs = list(logs)
+            if len(self._logs) != len(shards):
+                raise ValueError("logs must match the shard count")
+        if stores is None:
+            self._stores: List[Optional[object]] = [None for _ in shards]
+        else:
+            self._stores = list(stores)
+            if len(self._stores) != len(shards):
+                raise ValueError("stores must match the shard count")
+        # Per-shard deepcopy of the shard at its last checkpoint: the
+        # in-memory recovery source once the WAL has been compacted
+        # (durable shards restore from their checkpoint image instead).
+        self._baselines: List[Optional[object]] = [None for _ in shards]
+        self._stores_closed = False
         self._breakers = [
             CircuitBreaker(
                 failure_threshold=self._config.failure_threshold,
@@ -301,17 +331,61 @@ class ShardedIndex:
             return self._pool
 
     def close(self) -> None:
-        """Shut the fan-out thread pool down (idempotent).
+        """Shut down the pool, flush every shard, persist durable shards.
 
         Queued-but-unstarted tasks are cancelled; running tasks are
         awaited, so after ``close()`` returns no worker can still be
-        touching a shard.  Calling it again (or on a never-used index) is
-        a no-op.
+        touching a shard.  Every shard's buffer is then flushed — a
+        durable backend must never silently drop dirty frames on a clean
+        shutdown (a shard whose storage is faulted cannot flush and is
+        skipped; nothing is lost in-memory, and a durable shard recovers
+        from its WAL).  Shards with a durable store are checkpointed and
+        their stores closed, so a clean shutdown leaves an empty WAL and
+        reopening replays nothing.  An in-memory index stays usable after
+        ``close()``; a durable one does not (its page files are closed).
         """
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+        for shard_id in range(len(self.shards)):
+            store = self._stores[shard_id]
+            with self._locks[shard_id]:
+                if store is not None:
+                    if not self._stores_closed:
+                        self._compact_locked(shard_id)
+                        store.close()
+                else:
+                    try:
+                        self.shards[shard_id].buffer.flush()
+                    except InjectedFault:
+                        pass
+        if any(store is not None for store in self._stores):
+            self._stores_closed = True
+
+    def checkpoint(self) -> None:
+        """Checkpoint every shard and truncate its write-ahead log.
+
+        Per shard (under its lock): flush the buffer's dirty frames, then
+        either commit a new checkpoint generation through the shard's
+        durable store, or — for in-memory shards — capture a deepcopy
+        baseline; in both cases the WAL is truncated afterwards, so the
+        next recovery replays only the tail logged since this call.
+        """
+        for shard_id in range(len(self.shards)):
+            with self._locks[shard_id]:
+                self._compact_locked(shard_id)
+
+    @classmethod
+    def open(cls, root: str, **kwargs) -> "ShardedIndex":
+        """Recover a durable index from a :class:`DurableStore` directory.
+
+        Convenience for ``DurableStore(root).open(**kwargs)`` (the import
+        is deferred — the durable store imports this module).
+        """
+        from repro.serve.durable_store import DurableStore
+
+        return DurableStore(root).open(**kwargs)
 
     def __enter__(self) -> "ShardedIndex":
         return self
@@ -345,7 +419,7 @@ class ShardedIndex:
             retry = self._config.retry
             rng = self._rngs[shard_id]
             if not breaker.allow():
-                if read_only or self.shard_factory is None:
+                if read_only or not self._can_recover(shard_id):
                     status.state = SHARD_SKIPPED
                     status.error = "circuit open"
                     raise _ShardSkipped(shard_id)
@@ -369,7 +443,7 @@ class ShardedIndex:
                         status.state = SHARD_FAILED
                         status.error = f"{type(fault).__name__}: {fault}"
                         raise ShardFailedError(shard_id, fault) from fault
-                    if self.shard_factory is None:
+                    if not self._can_recover(shard_id):
                         breaker.record_failure()
                         status.state = SHARD_FAILED
                         status.error = f"{type(fault).__name__}: {fault}"
@@ -389,25 +463,76 @@ class ShardedIndex:
                     return value
             raise AssertionError("unreachable: retry loop always returns or raises")
 
+    def _can_recover(self, shard_id: int) -> bool:
+        """Whether the shard has any recovery source (store/baseline/factory)."""
+        return (
+            self._stores[shard_id] is not None
+            or self._baselines[shard_id] is not None
+            or self.shard_factory is not None
+        )
+
+    def _fresh_shard_locked(self, shard_id: int) -> object:
+        """A shard holding exactly the state the WAL tail replays on top of.
+
+        Durable shards restore their last checkpoint image; in-memory
+        shards deepcopy their checkpoint baseline when one exists (the
+        WAL was compacted at that point) and otherwise rebuild empty from
+        ``shard_factory`` (the WAL still holds the full history then).
+        """
+        store = self._stores[shard_id]
+        if store is not None:
+            return store.restore_image()
+        baseline = self._baselines[shard_id]
+        if baseline is not None:
+            return copy.deepcopy(baseline)
+        return self.shard_factory()
+
+    def _compact_locked(self, shard_id: int) -> None:
+        """Checkpoint one shard and truncate its WAL (lock held by caller).
+
+        A durable shard commits a new checkpoint generation through its
+        store; an in-memory shard flushes its buffer and captures a
+        deepcopy baseline.  Either way the log's records are folded into
+        the recovery source, so truncating them afterwards preserves the
+        recovery invariant (fresh shard + tail replay == never-failed
+        shard) while bounding replay to the post-checkpoint tail.
+        """
+        shard = self.shards[shard_id]
+        store = self._stores[shard_id]
+        log = self._logs[shard_id]
+        if store is not None:
+            store.checkpoint(shard, log)
+        else:
+            shard.buffer.flush()
+            self._baselines[shard_id] = copy.deepcopy(shard)
+            log.truncate()
+
     def _recover_locked(self, shard_id: int) -> object:
         """Rebuild one shard from its WAL (caller holds the shard lock).
 
-        Builds a fresh shard via ``shard_factory`` and replays the full
-        write-ahead log into it, retrying with backoff when the replay
-        itself hits transient faults (each attempt starts over on a new
-        fresh shard, so a half-replayed attempt is simply discarded).  On
-        success the shard is swapped in, its breaker force-closed, and
-        the last replayed record's result returned — exactly what the
-        mutation that triggered the recovery would have returned on a
-        never-failed shard.
+        Builds a fresh shard — restored from its durable checkpoint
+        image, deepcopied from its in-memory baseline, or built empty by
+        ``shard_factory`` — and replays the write-ahead log into it,
+        retrying with backoff when the replay itself hits transient
+        faults (each attempt starts over on a new fresh shard, so a
+        half-replayed attempt is simply discarded).  On success the shard
+        is swapped in, its breaker force-closed, the log compacted (the
+        recovered state becomes the next checkpoint, so future
+        recoveries replay only newer records), and the last replayed
+        record's result returned — exactly what the mutation that
+        triggered the recovery would have returned on a never-failed
+        shard.
         """
-        if self.shard_factory is None:
-            raise ShardFailedError(shard_id, RuntimeError("no shard_factory configured"))
+        if not self._can_recover(shard_id):
+            raise ShardFailedError(
+                shard_id,
+                RuntimeError("no shard_factory, checkpoint baseline or store"),
+            )
         retry = self._config.retry
         rng = self._rngs[shard_id]
         started = time.perf_counter()
         for attempt in range(retry.max_attempts):
-            fresh = self.shard_factory()
+            fresh = self._fresh_shard_locked(shard_id)
             try:
                 result = self._logs[shard_id].replay(fresh)
             except InjectedFault:
@@ -417,12 +542,21 @@ class ShardedIndex:
                 raise
             self.shards[shard_id] = fresh
             self._breakers[shard_id].reset()
+            replayed = len(self._logs[shard_id])
+            try:
+                self._compact_locked(shard_id)
+                compacted = True
+            except InjectedFault:
+                # The shard is healthy either way; an uncompacted WAL just
+                # keeps its history until the next successful checkpoint.
+                compacted = False
             self.recovery_events.append(
                 {
                     "shard_id": shard_id,
                     "wall_s": time.perf_counter() - started,
-                    "replayed_records": len(self._logs[shard_id]),
+                    "replayed_records": replayed,
                     "attempts": attempt + 1,
+                    "compacted": compacted,
                 }
             )
             return result

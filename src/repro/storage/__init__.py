@@ -21,20 +21,36 @@ from repro.storage.faults import (
     fault_wrap,
 )
 from repro.storage.stats import IOStats, Counter
+from repro.storage.durable import (
+    DEFAULT_SLOT_BYTES,
+    DurabilityError,
+    FileDiskManager,
+    PageCorruptionError,
+    PageOverflowError,
+    inject_bit_flip,
+    inject_torn_page,
+)
 
 __all__ = [
     "Page",
     "PAGE_SIZE_BYTES",
     "DiskManager",
     "BufferManager",
+    "DEFAULT_SLOT_BYTES",
+    "DurabilityError",
     "FaultCounters",
     "FaultInjectingDiskManager",
     "FaultProfile",
+    "FileDiskManager",
     "InjectedFault",
+    "PageCorruptionError",
+    "PageOverflowError",
     "PageReadError",
     "PageWriteError",
     "ShardDownError",
     "fault_wrap",
+    "inject_bit_flip",
+    "inject_torn_page",
     "IOStats",
     "Counter",
 ]

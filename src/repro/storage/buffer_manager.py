@@ -165,6 +165,19 @@ class BufferManager:
         self.flush()
         self._frames.clear()
 
+    def __enter__(self) -> "BufferManager":
+        """Context-manager support: ``with buffer: ...`` flushes on exit.
+
+        The durable backend only persists what reaches the disk manager,
+        so scopes that mutate an index flush their dirty frames on the way
+        out — including the exceptional way out, where losing the writes
+        on top of the exception would compound the failure.
+        """
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.flush()
+
     # ------------------------------------------------------------------
     # Explicit pinning
     # ------------------------------------------------------------------

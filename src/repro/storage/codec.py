@@ -1,0 +1,303 @@
+"""Stable binary codec for page payloads (node serialization).
+
+The durable backend (:mod:`repro.storage.durable`) stores every page as a
+fixed-size slot of bytes, so the live node objects the indexes put into
+page payloads — the B+-tree's ``_LeafNode``/``_InteriorNode`` and the TPR
+family's :class:`~repro.tprtree.node.TPRNode` — need a byte representation
+that round-trips *exactly*.  This module provides one: a tagged binary
+format built from ``struct``-packed scalars and ``array`` column dumps.
+
+Exactness is the load-bearing property.  Keys are ``int64`` and geometry
+is IEEE-754 ``double``; both serialize to their in-memory bit patterns, so
+a node decoded from disk is indistinguishable from the node that was
+encoded — which is what lets the crash-recovery tests pin *bit-identical*
+range and kNN answers after a reopen.
+
+Payload types without a dedicated tag (index families can put anything
+into a page) fall back to a pickle envelope: less compact and not
+format-stable across library versions, but always correct within one
+deployment.  Leaf *values* get the same treatment one level down: the
+common cases (:class:`~repro.objects.moving_object.MovingObject`, ints,
+floats, strings) have compact fixed encodings, everything else pickles.
+
+Numbers are packed little-endian (``<`` in every format string) and the
+``array`` columns are byte-dumped, so the on-disk format is only portable
+between machines of the same byte order; :class:`~repro.storage.durable.
+FileDiskManager` records the byte order in its header and refuses to open
+a store written under the other one.
+
+The node classes are imported lazily: ``repro.btree`` and ``repro.tprtree``
+themselves import ``repro.storage``, and a module-level import here would
+close that cycle while those packages are still half-initialized.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from array import array
+from typing import Any, Callable, Dict, List, Tuple
+
+#: Payload (page-level) tags.
+_P_PICKLE = 0
+_P_NONE = 1
+_P_BTREE_LEAF = 2
+_P_BTREE_INTERIOR = 3
+_P_TPR_NODE = 4
+
+#: Value (leaf-entry-level) tags.
+_V_PICKLE = 0
+_V_NONE = 1
+_V_MOVING_OBJECT = 2
+_V_INT = 3
+_V_FLOAT = 4
+_V_STR = 5
+_V_BYTES = 6
+_V_TRUE = 7
+_V_FALSE = 8
+_V_TUPLE = 9
+_V_LIST = 10
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+#: oid + (x, y, vx, vy, reference_time).
+_MOVING_OBJECT = struct.Struct("<q5d")
+#: page_id, next_leaf (or -1), entry count.
+_LEAF_HEADER = struct.Struct("<qqI")
+#: page_id, key count, child count.
+_INTERIOR_HEADER = struct.Struct("<qII")
+#: page_id, parent_page_id (or -1), is_leaf flag, entry count.
+_TPR_HEADER = struct.Struct("<qqBI")
+
+
+class _Classes:
+    """Lazily resolved node/value classes (breaks the import cycle)."""
+
+    _resolved: Dict[str, Any] = {}
+
+    @classmethod
+    def get(cls) -> Dict[str, Any]:
+        if not cls._resolved:
+            from repro.btree.bplus_tree import _InteriorNode, _LeafNode
+            from repro.geometry.point import Point
+            from repro.geometry.vector import Vector
+            from repro.objects.moving_object import MovingObject
+            from repro.tprtree.node import TPRNode
+
+            cls._resolved = {
+                "leaf": _LeafNode,
+                "interior": _InteriorNode,
+                "tpr": TPRNode,
+                "obj": MovingObject,
+                "point": Point,
+                "vector": Vector,
+            }
+        return cls._resolved
+
+
+def _pack_bytes(out: List[bytes], blob: bytes) -> None:
+    out.append(_U32.pack(len(blob)))
+    out.append(blob)
+
+
+def _unpack_bytes(data: bytes, offset: int) -> Tuple[bytes, int]:
+    (length,) = _U32.unpack_from(data, offset)
+    offset += _U32.size
+    return data[offset : offset + length], offset + length
+
+
+# ----------------------------------------------------------------------
+# Leaf values
+# ----------------------------------------------------------------------
+def _encode_value(out: List[bytes], value: Any) -> None:
+    classes = _Classes.get()
+    if value is None:
+        out.append(bytes([_V_NONE]))
+    elif type(value) is classes["obj"]:
+        out.append(bytes([_V_MOVING_OBJECT]))
+        out.append(
+            _MOVING_OBJECT.pack(
+                value.oid,
+                value.position.x,
+                value.position.y,
+                value.velocity.vx,
+                value.velocity.vy,
+                value.reference_time,
+            )
+        )
+    elif value is True:
+        out.append(bytes([_V_TRUE]))
+    elif value is False:
+        out.append(bytes([_V_FALSE]))
+    elif type(value) is int and _I64_MIN <= value <= _I64_MAX:
+        out.append(bytes([_V_INT]))
+        out.append(_I64.pack(value))
+    elif type(value) is float:
+        out.append(bytes([_V_FLOAT]))
+        out.append(_F64.pack(value))
+    elif type(value) is str:
+        out.append(bytes([_V_STR]))
+        _pack_bytes(out, value.encode("utf-8"))
+    elif type(value) is bytes:
+        out.append(bytes([_V_BYTES]))
+        _pack_bytes(out, value)
+    elif type(value) in (tuple, list):
+        out.append(bytes([_V_TUPLE if type(value) is tuple else _V_LIST]))
+        out.append(_U32.pack(len(value)))
+        for item in value:
+            _encode_value(out, item)
+    else:
+        out.append(bytes([_V_PICKLE]))
+        _pack_bytes(out, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
+    classes = _Classes.get()
+    tag = data[offset]
+    offset += 1
+    if tag == _V_NONE:
+        return None, offset
+    if tag == _V_MOVING_OBJECT:
+        oid, x, y, vx, vy, tref = _MOVING_OBJECT.unpack_from(data, offset)
+        obj = classes["obj"](
+            oid=oid,
+            position=classes["point"](x, y),
+            velocity=classes["vector"](vx, vy),
+            reference_time=tref,
+        )
+        return obj, offset + _MOVING_OBJECT.size
+    if tag == _V_TRUE:
+        return True, offset
+    if tag == _V_FALSE:
+        return False, offset
+    if tag == _V_INT:
+        (value,) = _I64.unpack_from(data, offset)
+        return value, offset + _I64.size
+    if tag == _V_FLOAT:
+        (value,) = _F64.unpack_from(data, offset)
+        return value, offset + _F64.size
+    if tag == _V_STR:
+        blob, offset = _unpack_bytes(data, offset)
+        return blob.decode("utf-8"), offset
+    if tag == _V_BYTES:
+        return _unpack_bytes(data, offset)
+    if tag in (_V_TUPLE, _V_LIST):
+        (count,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        items = []
+        for _ in range(count):
+            item, offset = _decode_value(data, offset)
+            items.append(item)
+        return (tuple(items) if tag == _V_TUPLE else items), offset
+    if tag == _V_PICKLE:
+        blob, offset = _unpack_bytes(data, offset)
+        return pickle.loads(blob), offset
+    raise ValueError(f"unknown value tag {tag}")
+
+
+# ----------------------------------------------------------------------
+# Page payloads
+# ----------------------------------------------------------------------
+def encode_payload(payload: Any) -> bytes:
+    """Serialize one page payload to bytes (see module docstring).
+
+    The encoding is a pure function of the payload's logical content, so
+    re-encoding a decoded payload yields the same bytes.
+    """
+    classes = _Classes.get()
+    if payload is None:
+        return bytes([_P_NONE])
+    out: List[bytes] = []
+    kind = type(payload)
+    if kind is classes["leaf"]:
+        out.append(bytes([_P_BTREE_LEAF]))
+        next_leaf = -1 if payload.next_leaf is None else payload.next_leaf
+        out.append(_LEAF_HEADER.pack(payload.page_id, next_leaf, len(payload.keys)))
+        out.append(payload.keys.tobytes())
+        for value in payload.values:
+            _encode_value(out, value)
+    elif kind is classes["interior"]:
+        out.append(bytes([_P_BTREE_INTERIOR]))
+        out.append(
+            _INTERIOR_HEADER.pack(
+                payload.page_id, len(payload.keys), len(payload.children)
+            )
+        )
+        out.append(payload.keys.tobytes())
+        out.append(struct.pack(f"<{len(payload.children)}q", *payload.children))
+    elif kind is classes["tpr"]:
+        out.append(bytes([_P_TPR_NODE]))
+        parent = -1 if payload.parent_page_id is None else payload.parent_page_id
+        columns = payload.columns
+        out.append(
+            _TPR_HEADER.pack(
+                payload.page_id, parent, 1 if payload.is_leaf else 0, len(columns[0])
+            )
+        )
+        for column in columns:
+            out.append(column.tobytes())
+        out.append(payload._refs.tobytes())
+    else:
+        out.append(bytes([_P_PICKLE]))
+        out.append(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    return b"".join(out)
+
+
+def decode_payload(data: bytes) -> Any:
+    """Rebuild a page payload from :func:`encode_payload` bytes."""
+    classes = _Classes.get()
+    tag = data[0]
+    if tag == _P_NONE:
+        return None
+    if tag == _P_PICKLE:
+        return pickle.loads(data[1:])
+    offset = 1
+    if tag == _P_BTREE_LEAF:
+        page_id, next_leaf, count = _LEAF_HEADER.unpack_from(data, offset)
+        offset += _LEAF_HEADER.size
+        keys = array("q")
+        keys.frombytes(data[offset : offset + 8 * count])
+        offset += 8 * count
+        values: List[Any] = []
+        for _ in range(count):
+            value, offset = _decode_value(data, offset)
+            values.append(value)
+        return classes["leaf"](
+            page_id=page_id,
+            keys=keys,
+            values=values,
+            next_leaf=None if next_leaf < 0 else next_leaf,
+        )
+    if tag == _P_BTREE_INTERIOR:
+        page_id, key_count, child_count = _INTERIOR_HEADER.unpack_from(data, offset)
+        offset += _INTERIOR_HEADER.size
+        keys = array("q")
+        keys.frombytes(data[offset : offset + 8 * key_count])
+        offset += 8 * key_count
+        children = list(struct.unpack_from(f"<{child_count}q", data, offset))
+        return classes["interior"](page_id=page_id, keys=keys, children=children)
+    if tag == _P_TPR_NODE:
+        page_id, parent, is_leaf, count = _TPR_HEADER.unpack_from(data, offset)
+        offset += _TPR_HEADER.size
+        node = classes["tpr"](
+            page_id=page_id,
+            is_leaf=bool(is_leaf),
+            parent_page_id=None if parent < 0 else parent,
+        )
+        for name in ("_x0", "_y0", "_x1", "_y1", "_vx0", "_vy0", "_vx1", "_vy1", "_tref"):
+            column = array("d")
+            column.frombytes(data[offset : offset + 8 * count])
+            offset += 8 * count
+            setattr(node, name, column)
+        refs = array("q")
+        refs.frombytes(data[offset : offset + 8 * count])
+        node._refs = refs
+        return node
+    raise ValueError(f"unknown payload tag {tag}")
+
+
+__all__ = ["encode_payload", "decode_payload"]

@@ -1,0 +1,241 @@
+"""Crash recovery: checkpoint/WAL reopen equals the never-crashed twin.
+
+Two tiers (see ``docs/storage.md`` for the recovery state machine):
+
+* in-process tests simulate a crash by abandoning a durable
+  :class:`~repro.serve.DurableStore` without closing it, then reopen and
+  pin bit-identical range/kNN answers plus bounded WAL-tail replay;
+* subprocess tests (marked slow) land a real ``SIGKILL`` inside a chosen
+  torn-write window — mid double-write, after the DW fsync but before
+  the home write, and mid WAL append — via the storage crash hooks, then
+  recover in the parent and compare against a clean twin.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+import crash_child
+import repro
+from repro.serve.durable_store import DurableStore
+from repro.storage import FaultProfile, fault_wrap
+from repro.storage.durable import FileDiskManager
+
+
+def _twin_with_history(objects, updates):
+    """A never-crashed in-memory reference with the same history applied."""
+    twin = crash_child.build_twin()
+    twin.bulk_load(objects)
+    for old, new in updates:
+        twin.update(old, new)
+    return twin
+
+
+def _assert_pages_checksum_clean(index):
+    """Directly re-read every allocated page of every durable shard."""
+    for shard in index.shards:
+        disk = shard.buffer.disk
+        assert isinstance(disk, FileDiskManager)
+        for page_id in disk.allocated_page_ids:
+            disk.read(page_id)  # PageCorruptionError would fail the test
+        assert disk.checksum_failures == 0
+
+
+# ----------------------------------------------------------------------
+# In-process: clean shutdown, simulated crash, explicit checkpoint
+# ----------------------------------------------------------------------
+def test_clean_close_reopen_replays_nothing(tmp_path):
+    root = str(tmp_path / "store")
+    objects = crash_child.make_objects()
+    updates = crash_child.make_updates(objects)
+
+    index = DurableStore(root, fsync=False).create(
+        crash_child.make_shard,
+        num_shards=crash_child.NUM_SHARDS,
+        space=crash_child.SPACE,
+        buffer_pages=crash_child.BUFFER_PAGES,
+        max_workers=1,
+    )
+    index.bulk_load(objects)
+    for old, new in updates:
+        index.update(old, new)
+    live = crash_child.answers(index)
+    index.close()
+
+    store = DurableStore(root, fsync=False)
+    reopened = store.open(max_workers=1)
+    # close() checkpointed every shard: nothing is left to replay.
+    assert store.replayed_on_open == [0] * crash_child.NUM_SHARDS
+    assert crash_child.answers(reopened) == live
+    assert crash_child.answers(reopened) == crash_child.answers(
+        _twin_with_history(objects, updates)
+    )
+    _assert_pages_checksum_clean(reopened)
+    reopened.close()
+
+
+def test_abandoned_store_reopen_replays_bounded_tail(tmp_path):
+    root = str(tmp_path / "store")
+    objects = crash_child.make_objects()
+    updates = crash_child.make_updates(objects)
+
+    index = DurableStore(root, fsync=False).create(
+        crash_child.make_shard,
+        num_shards=crash_child.NUM_SHARDS,
+        space=crash_child.SPACE,
+        buffer_pages=crash_child.BUFFER_PAGES,
+        max_workers=1,
+    )
+    index.bulk_load(objects)
+    index.checkpoint()
+    for old, new in updates:
+        index.update(old, new)
+    live = crash_child.answers(index)
+    # Simulated crash: the process state is simply abandoned — dirty
+    # buffer pages never reach pages.db, no checkpoint, no close.
+
+    store = DurableStore(root, fsync=False)
+    recovered = store.open(max_workers=1)
+    # Bounded replay: the checkpoint truncated the bulk-load history, so
+    # each shard replays exactly its post-checkpoint updates and nothing
+    # else.
+    assert sum(store.replayed_on_open) == len(updates)
+    for shard_id in range(crash_child.NUM_SHARDS):
+        ops = [op for op, _ in recovered.shard_log(shard_id).records]
+        assert "bulk_load" not in ops
+    assert crash_child.answers(recovered) == live
+    _assert_pages_checksum_clean(recovered)
+    recovered.close()
+
+
+def test_explicit_checkpoint_truncates_wals(tmp_path):
+    root = str(tmp_path / "store")
+    objects = crash_child.make_objects()
+    updates = crash_child.make_updates(objects)
+
+    index = DurableStore(root, fsync=False).create(
+        crash_child.make_shard,
+        num_shards=crash_child.NUM_SHARDS,
+        space=crash_child.SPACE,
+        buffer_pages=crash_child.BUFFER_PAGES,
+        max_workers=1,
+    )
+    index.bulk_load(objects)
+    for old, new in updates:
+        index.update(old, new)
+    assert sum(len(index.shard_log(s)) for s in range(crash_child.NUM_SHARDS)) > 0
+    live = crash_child.answers(index)
+
+    index.checkpoint()
+    for shard_id in range(crash_child.NUM_SHARDS):
+        assert len(index.shard_log(shard_id)) == 0
+        wal = index.shard_log(shard_id).path
+        assert wal is not None and os.path.getsize(wal) == 0
+    # Abandon post-checkpoint: recovery now replays nothing at all.
+    store = DurableStore(root, fsync=False)
+    recovered = store.open(max_workers=1)
+    assert store.replayed_on_open == [0] * crash_child.NUM_SHARDS
+    assert crash_child.answers(recovered) == live
+    recovered.close()
+
+
+def test_supervised_recovery_restores_durable_shard_from_store(tmp_path):
+    """An injected mid-batch kill on a durable shard recovers through its
+    store (checkpoint image + WAL replay), not a factory rebuild."""
+    root = str(tmp_path / "store")
+    objects = crash_child.make_objects()
+    updates = crash_child.make_updates(objects)
+
+    index = DurableStore(root, fsync=False).create(
+        crash_child.make_shard,
+        num_shards=crash_child.NUM_SHARDS,
+        space=crash_child.SPACE,
+        buffer_pages=crash_child.BUFFER_PAGES,
+        max_workers=1,
+    )
+    index.bulk_load(objects)
+    index.checkpoint()
+    # Kill shard 0's storage a few physical ops into the update storm.
+    fault_wrap(index.shards[0].buffer, FaultProfile(kill_at_op=5))
+    for old, new in updates:
+        index.update(old, new)
+    assert len(index.recovery_events) >= 1
+    event = index.recovery_events[0]
+    assert event["shard_id"] == 0
+    assert event["replayed_records"] > 0
+    assert event["compacted"]
+    live = crash_child.answers(index)
+    assert crash_child.answers(_twin_with_history(objects, updates)) == live
+    index.close()
+
+    store = DurableStore(root, fsync=False)
+    recovered = store.open(max_workers=1)
+    assert crash_child.answers(recovered) == live
+    recovered.close()
+
+
+# ----------------------------------------------------------------------
+# Subprocess: a real SIGKILL inside each torn-write window
+# ----------------------------------------------------------------------
+def _run_child(root, kill_event, kill_ordinal):
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, os.path.join(os.path.dirname(__file__), "crash_child.py"),
+         root, kill_event, str(kill_ordinal)],
+        env=env,
+        capture_output=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "kill_event,kill_ordinal",
+    [
+        ("dw:torn", 3),  # mid double-write-slot write
+        ("dw:synced", 3),  # DW durable, home slot not yet written
+        ("home:torn", 3),  # mid home-slot write (DW protects it)
+        ("wal:torn", 4),  # mid WAL append (record never executed)
+    ],
+)
+def test_sigkill_recovery_matches_clean_twin(tmp_path, kill_event, kill_ordinal):
+    root = str(tmp_path / "store")
+    result = _run_child(root, kill_event, kill_ordinal)
+    assert result.returncode == -signal.SIGKILL, (
+        f"child exited {result.returncode}: {result.stderr.decode()[-2000:]}"
+    )
+
+    store = DurableStore(root)
+    recovered = store.open(max_workers=1)
+    # Bounded replay: only post-checkpoint updates live in the tails —
+    # never the bulk load the checkpoint folded away.
+    assert sum(store.replayed_on_open) <= crash_child.NUM_UPDATES
+    replayed_pairs = []
+    for shard_id in range(crash_child.NUM_SHARDS):
+        records = recovered.shard_log(shard_id).records
+        assert all(op == "update" for op, _ in records)
+        replayed_pairs.extend(payload for _, payload in records)
+    _assert_pages_checksum_clean(recovered)
+
+    # The clean twin applies exactly the updates whose WAL append
+    # completed: a mutation is acknowledged only after its log record is
+    # durable, so the recovered index must answer as if precisely those
+    # updates happened.
+    objects = crash_child.make_objects()
+    updates = crash_child.make_updates(objects)
+    durable_set = {(old.oid, new.reference_time) for old, new in replayed_pairs}
+    twin = crash_child.build_twin()
+    twin.bulk_load(objects)
+    applied = 0
+    for old, new in updates:
+        if (old.oid, new.reference_time) in durable_set:
+            twin.update(old, new)
+            applied += 1
+    assert applied == len(replayed_pairs)
+    assert crash_child.answers(recovered) == crash_child.answers(twin)
+    recovered.close()
