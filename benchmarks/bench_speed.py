@@ -16,14 +16,29 @@ visible instead of being overwritten.  Run it directly::
 
     PYTHONPATH=src python benchmarks/bench_speed.py            # bench scale
     PYTHONPATH=src python benchmarks/bench_speed.py --quick    # CI smoke run
-    PYTHONPATH=src python benchmarks/bench_speed.py --scale    # sharded serving
-    PYTHONPATH=src python benchmarks/bench_speed.py --scale --quick  # CI scale job
+    PYTHONPATH=src python benchmarks/bench_speed.py scale      # sharded serving
+    PYTHONPATH=src python benchmarks/bench_speed.py scale --quick   # CI scale job
+    PYTHONPATH=src python benchmarks/bench_speed.py serve --quick   # CI serve job
 
-``--scale`` replays the serving-layer workload (20k objects, 4 KB pages)
-through :class:`repro.serve.ShardedIndex` at several shard counts
-(``--shards 1,2,4``) and records per-shard-count ``update_ms`` /
-``query_ms`` / ``knn_ms`` rows plus answers-match flags against the
-unsharded baseline row.
+The non-default modes are subcommands sharing the common options
+(``--quick``, ``--dataset``, ``--output``):
+
+* ``scale`` replays the serving-layer workload (20k objects, 4 KB pages)
+  through :class:`repro.serve.ShardedIndex` at several shard counts
+  (``--shards 1,2,4``) and records per-shard-count ``update_ms`` /
+  ``query_ms`` / ``knn_ms`` rows plus answers-match flags against the
+  unsharded baseline row;
+* ``faults`` kills 1 of 4 shards mid-stream and records recovery time
+  and degraded-answer recall;
+* ``persist`` measures the durable (file-backed checkpoint/WAL) store
+  lifecycle: crash-simulated reopen, cold-vs-warm queries, clean reopen;
+* ``serve`` runs the scale workload at serving buffer pressure under a
+  chosen shard *executor* (``--executor process`` hosts every shard in
+  its own worker process) and adds a ``latency`` section: per-op-type
+  p50/p95/p99 from the open-loop Poisson driver in ``load_driver.py``.
+
+The pre-subcommand flag spellings (``--scale``, ``--faults``,
+``--persist``) are kept as hidden aliases.
 
 ``test_speed_harness.py`` invokes the quick mode as part of the test run
 and asserts the two headline claims — bulk loading beats incremental
@@ -56,6 +71,7 @@ from repro.bxtree.bx_tree import BxTree  # noqa: E402
 from repro.objects.knn import AdaptiveRadius  # noqa: E402
 from repro.serve import DurableStore, RetryPolicy, SupervisorConfig  # noqa: E402
 from repro.storage import fault_wrap  # noqa: E402
+from repro.storage.faults import FaultProfile  # noqa: E402
 from repro.workload.events import UpdateEvent  # noqa: E402
 from repro.workload.generator import build_workload  # noqa: E402
 from repro.workload.parameters import WorkloadParameters  # noqa: E402
@@ -93,6 +109,55 @@ SCALE_QUICK_PARAMS = dict(
 
 #: Shard counts of the scale sweep (1 is the unsharded baseline row).
 SCALE_SHARD_COUNTS = (1, 2, 4)
+
+#: The serve mode: the scale workload at serving buffer pressure.  The
+#: pool is sized so one box's RAM no longer holds the working set but a
+#: quarter of it per shard does — a serving deployment shards precisely
+#: at that point, and it is the regime where per-shard buffer pools
+#: (N * buffer_pages pages over N-times-smaller trees) pay for the
+#: per-request fan-out.
+SERVE_PARAMS = dict(
+    num_objects=20_000,
+    time_duration=60.0,
+    num_queries=40,
+    buffer_pages=300,
+    page_size=2048,
+)
+
+#: Quick scale for the CI `serve` job's smoke run (the ~120-page tree
+#: thrashes a 40-page pool unsharded; a 4-shard slice fits).
+SERVE_QUICK_PARAMS = dict(
+    num_objects=2_500,
+    time_duration=30.0,
+    num_queries=30,
+    buffer_pages=40,
+    page_size=2048,
+)
+
+#: The serve device model: every physical page read pays an SSD-class
+#: latency (injected by the storage layer's fault injector, which ships
+#: into worker processes with the shard).  Without it a simulated read
+#: costs only its decode CPU, which no real serving deployment enjoys;
+#: with it, shards that fit their buffer pool skip the waits entirely
+#: and worker processes overlap the ones that remain.
+SERVE_READ_LATENCY_S = 150e-6
+
+#: Shard counts of the serve sweep (1 is the unsharded baseline row).
+SERVE_SHARD_COUNTS = (1, 2, 4)
+
+#: Index families measured by the serve mode (the latency driver replays
+#: the stream once per family and loop mode, so one representative).
+#: TPR*, not Bx: a Bx kNN round pays a curve-interval decomposition per
+#: shard whose cost does not shrink with shard size, so sharding cannot
+#: help its kNN path on one box — TPR*'s traversal-bound kNN does shrink.
+SERVE_INDEXES = ("TPR*",)
+
+#: Default shard executor of the serve mode (the serving claim under
+#: measurement is the process-per-shard deployment).
+SERVE_EXECUTOR = "process"
+
+#: Closed-loop client threads of the latency driver.
+SERVE_CLIENTS = 2
 
 #: Fault-injection run: kill 1 of 4 shards mid-stream, measure recovery
 #: time and degraded-answer recall (see docs/robustness.md).
@@ -401,6 +466,134 @@ def measure_scale(
     }
 
 
+def measure_serve(
+    dataset: str = "SA",
+    params: Optional[WorkloadParameters] = None,
+    shard_counts: Sequence[int] = SERVE_SHARD_COUNTS,
+    which: Sequence[str] = SERVE_INDEXES,
+    executor: str = SERVE_EXECUTOR,
+    workers: Optional[int] = None,
+    clients: int = SERVE_CLIENTS,
+    rate_ops_s: Optional[float] = None,
+    read_latency_s: float = SERVE_READ_LATENCY_S,
+) -> Dict[str, object]:
+    """Shard-count sweep under a chosen executor, plus request latency.
+
+    The sweep mirrors :func:`measure_scale` — batched replay and batched
+    kNN per shard count, every row's answers checked against the
+    unsharded (1-shard) baseline row — but the sharded rows run under
+    ``executor`` (``process`` hosts every shard in a worker process;
+    queries cross as one batched message per shard per call), and every
+    instance (the unsharded baseline included) runs under the serve
+    device model: each physical page read pays ``read_latency_s``.  The
+    1-shard row is always the plain in-process index: it *is* the
+    baseline the serving deployment is judged against.
+
+    On top, ``load_driver.drive`` replays the mixed update/range/kNN
+    request stream against a fresh index at the largest shard count:
+    closed-loop saturation first, then open-loop Poisson arrivals at
+    ~70% of it (or ``rate_ops_s``), recording per-op-type p50/p95/p99
+    into the report's ``latency`` section.
+    """
+    import load_driver
+
+    if params is None:
+        params = WorkloadParameters(**SERVE_PARAMS)
+    disk_profile = (
+        FaultProfile(read_latency_s=read_latency_s) if read_latency_s > 0.0 else None
+    )
+    workload = build_workload(dataset, params)
+    probes = knn_queries_from_workload(workload)
+    counts = sorted(set(shard_counts) | {1})
+    shard_rows: Dict[str, Dict[str, Dict[str, float]]] = {}
+    baselines: Dict[str, Dict[str, object]] = {}
+    for count in counts:
+        indexes = build_standard_indexes(
+            workload,
+            params,
+            which=which,
+            shards=count,
+            executor=executor if count > 1 else None,
+            max_workers=workers,
+            disk_profile=disk_profile,
+        )
+        runner = ExperimentRunner(workload, batch=True)
+        for name, index in indexes.items():
+            metrics = runner.run(index, name=name)
+            knn = run_knn(
+                index,
+                probes,
+                space=params.space,
+                batch=True,
+                batch_size=KNN_BATCH_SIZE,
+                radius_state=AdaptiveRadius(),
+            )
+            row = {
+                "build_s": metrics.build_time,
+                "update_ms": metrics.avg_update_time_ms,
+                "query_ms": metrics.avg_query_time_ms,
+                "knn_ms": knn.avg_time_ms,
+                "update_io": metrics.avg_update_io,
+                "query_io": metrics.avg_query_io,
+                "knn_io": knn.avg_io,
+                "results": metrics.results_returned,
+            }
+            baseline = baselines.setdefault(
+                name, {"results": metrics.results_returned, "knn": knn.results}
+            )
+            row["results_match"] = float(metrics.results_returned == baseline["results"])
+            row["knn_results_match"] = float(knn.results == baseline["knn"])
+            shard_rows.setdefault(str(count), {})[name] = {
+                key: round(value, 4) for key, value in row.items()
+            }
+            if hasattr(index, "close"):
+                index.close()
+
+    # Request latency at the largest shard count under the executor.
+    name = which[0]
+    top = max(counts)
+
+    def make_index():
+        index = build_standard_indexes(
+            workload,
+            params,
+            which=(name,),
+            shards=top,
+            executor=executor if top > 1 else None,
+            max_workers=workers,
+            disk_profile=disk_profile,
+        )[name]
+        index.bulk_load(workload.initial_objects)
+        return index
+
+    operations = load_driver.build_operations(workload, probes)
+    latency = load_driver.drive(
+        make_index,
+        operations,
+        clients=clients,
+        rate_ops_s=rate_ops_s,
+        space=params.space,
+    )
+    latency["index"] = name
+    latency["shards"] = top
+    latency["operations"] = len(operations)
+    return {
+        "dataset": dataset,
+        "params": {
+            "num_objects": params.num_objects,
+            "time_duration": params.time_duration,
+            "num_queries": params.num_queries,
+            "buffer_pages": params.buffer_pages,
+            "page_size": params.page_size,
+            "executor": executor,
+            "workers": workers,
+            "read_latency_us": round(read_latency_s * 1e6, 1),
+        },
+        "serve": shard_rows,
+        "latency": latency,
+    }
+
+
 def measure_faults(
     dataset: str = "SA",
     params: Optional[WorkloadParameters] = None,
@@ -673,20 +866,40 @@ def run(
     scale: bool = False,
     faults: bool = False,
     persist: bool = False,
+    serve: bool = False,
     persist_dir: Optional[str] = None,
     shard_counts: Sequence[int] = SCALE_SHARD_COUNTS,
+    executor: str = SERVE_EXECUTOR,
+    workers: Optional[int] = None,
+    clients: int = SERVE_CLIENTS,
+    rate_ops_s: Optional[float] = None,
 ) -> Dict[str, object]:
     """Measure, append to the history at ``output``, and return the report.
 
     ``scale=True`` runs the serving-layer shard-count sweep
     (:func:`measure_scale`), ``faults=True`` the fault-injection run
-    (:func:`measure_faults`), and ``persist=True`` the durable-store
-    lifecycle run (:func:`measure_persistence`) instead of the standard
-    build/replay comparison; ``quick`` selects the smoke-scale parameter
-    set in every mode.
+    (:func:`measure_faults`), ``persist=True`` the durable-store
+    lifecycle run (:func:`measure_persistence`), and ``serve=True`` the
+    executor-backed sweep plus the open-loop latency driver
+    (:func:`measure_serve`) instead of the standard build/replay
+    comparison; ``quick`` selects the smoke-scale parameter set in every
+    mode.
     """
     started = time.perf_counter()
-    if persist:
+    if serve:
+        overrides = SERVE_QUICK_PARAMS if quick else SERVE_PARAMS
+        params = WorkloadParameters(**overrides)
+        report = measure_serve(
+            dataset=dataset,
+            params=params,
+            shard_counts=shard_counts,
+            executor=executor,
+            workers=workers,
+            clients=clients,
+            rate_ops_s=rate_ops_s,
+        )
+        report["mode"] = "serve-quick" if quick else "serve"
+    elif persist:
         overrides = PERSIST_QUICK_PARAMS if quick else PERSIST_PARAMS
         params = WorkloadParameters(**overrides)
         report = measure_persistence(
@@ -719,62 +932,156 @@ def run(
     return report
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true", help="small smoke-run scale")
-    parser.add_argument("--dataset", default="SA", help="workload dataset (default SA)")
-    parser.add_argument("--output", default=DEFAULT_OUTPUT, help="JSON output path")
+def _build_parser() -> argparse.ArgumentParser:
+    """The subcommand CLI (`scale`/`faults`/`persist`/`serve`).
+
+    The common options live on a shared parent parser so they work both
+    before and after the subcommand; their parent-parser defaults are
+    ``argparse.SUPPRESS`` because a subparser's defaults would otherwise
+    overwrite values already parsed at the top level (``--quick serve``
+    must mean the same as ``serve --quick``).  The pre-subcommand mode
+    flags (``--scale``/``--faults``/``--persist``) stay as hidden
+    aliases, as do the top-level spellings of the per-mode options.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--quick",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="small smoke-run scale",
+    )
+    common.add_argument(
+        "--dataset", default=argparse.SUPPRESS, help="workload dataset (default SA)"
+    )
+    common.add_argument(
+        "--output", default=argparse.SUPPRESS, help="JSON output path"
+    )
+
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], parents=[common]
+    )
+    parser.set_defaults(mode=None)
     parser.add_argument(
         "--packing",
         action="store_true",
         help="also compare bulk-packing strategies (midpoint vs velocity STR) "
-        "on replayed SA/CH workloads",
+        "on replayed SA/CH workloads (default mode only)",
     )
+    # Hidden aliases: the pre-subcommand spellings keep working.
+    parser.add_argument("--scale", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--faults", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--persist", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--shards", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
     parser.add_argument(
-        "--scale",
-        action="store_true",
-        help="run the serving-layer scale workload (sharded replay at "
-        f"{SCALE_PARAMS['num_objects']} objects) instead of the standard "
-        "comparison",
+        "--persist-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS
     )
-    parser.add_argument(
+
+    subparsers = parser.add_subparsers(dest="mode", metavar="{scale,faults,persist,serve}")
+    shards_help = (
+        "comma-separated shard counts; the unsharded baseline (1) is "
+        "always included (default %(default)s)"
+    )
+    scale = subparsers.add_parser(
+        "scale",
+        parents=[common],
+        help="serving-layer shard-count sweep "
+        f"({SCALE_PARAMS['num_objects']} objects)",
+    )
+    scale.add_argument(
         "--shards",
         default=",".join(str(count) for count in SCALE_SHARD_COUNTS),
-        help="comma-separated shard counts for --scale; the unsharded "
-        "baseline (1) is always included (default %(default)s)",
+        help=shards_help,
     )
-    parser.add_argument(
-        "--faults",
-        action="store_true",
-        help="run the fault-injection mode instead: kill 1 of "
-        f"{FAULT_SHARDS} shards mid-stream and record recovery time and "
-        "degraded-answer recall",
+    subparsers.add_parser(
+        "faults",
+        parents=[common],
+        help=f"kill 1 of {FAULT_SHARDS} shards mid-stream; record recovery "
+        "time and degraded-answer recall",
     )
-    parser.add_argument(
-        "--persist",
-        action="store_true",
-        help="run the durable-store mode instead: file-backed checkpoint/WAL "
-        "store, crash-simulated reopen (recovery_ms + WAL-tail replay), "
-        "cold-vs-warm queries and clean reopen",
+    persist = subparsers.add_parser(
+        "persist",
+        parents=[common],
+        help="durable-store lifecycle: checkpoint/WAL store, crash-simulated "
+        "reopen, cold-vs-warm queries, clean reopen",
     )
-    parser.add_argument(
+    persist.add_argument(
         "--persist-dir",
         default=None,
-        help="directory for the --persist store files (default: a fresh "
-        "temp directory); kept on disk after the run for inspection",
+        help="directory for the store files (default: a fresh temp "
+        "directory); kept on disk after the run for inspection",
     )
+    serve = subparsers.add_parser(
+        "serve",
+        parents=[common],
+        help="executor-backed shard sweep plus the open-loop latency driver "
+        f"({SERVE_PARAMS['num_objects']} objects at serving buffer pressure)",
+    )
+    serve.add_argument(
+        "--shards",
+        default=",".join(str(count) for count in SERVE_SHARD_COUNTS),
+        help=shards_help,
+    )
+    serve.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default=SERVE_EXECUTOR,
+        help="shard executor backend (default %(default)s)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan-out width per call (default: one per shard)",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=SERVE_CLIENTS,
+        help="closed-loop client threads of the latency driver "
+        "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open-loop arrival rate in ops/s (default: 70%% of the "
+        "measured closed-loop throughput)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
-    shard_counts = tuple(int(part) for part in args.shards.split(",") if part)
+    mode = args.mode
+    if mode is None:
+        if getattr(args, "scale", False):
+            mode = "scale"
+        elif getattr(args, "faults", False):
+            mode = "faults"
+        elif getattr(args, "persist", False):
+            mode = "persist"
+    default_counts = SERVE_SHARD_COUNTS if mode == "serve" else SCALE_SHARD_COUNTS
+    shards_spec = getattr(
+        args, "shards", ",".join(str(count) for count in default_counts)
+    )
+    shard_counts = tuple(int(part) for part in shards_spec.split(",") if part)
+    output = getattr(args, "output", DEFAULT_OUTPUT)
     report = run(
-        quick=args.quick,
-        output=args.output,
-        dataset=args.dataset,
-        packing=args.packing,
-        scale=args.scale,
-        faults=args.faults,
-        persist=args.persist,
-        persist_dir=args.persist_dir,
+        quick=getattr(args, "quick", False),
+        output=output,
+        dataset=getattr(args, "dataset", "SA"),
+        packing=getattr(args, "packing", False),
+        scale=mode == "scale",
+        faults=mode == "faults",
+        persist=mode == "persist",
+        serve=mode == "serve",
+        persist_dir=getattr(args, "persist_dir", None),
         shard_counts=shard_counts,
+        executor=getattr(args, "executor", SERVE_EXECUTOR),
+        workers=getattr(args, "workers", None),
+        clients=getattr(args, "clients", SERVE_CLIENTS),
+        rate_ops_s=getattr(args, "rate", None),
     )
     for name, row in report.get("persistence", {}).items():
         print(
@@ -797,6 +1104,36 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"post-recovery match {row['post_recovery_results_match']:.0f}/"
             f"{row['post_recovery_knn_match']:.0f}"
         )
+    for count, rows in sorted(report.get("serve", {}).items(), key=lambda item: int(item[0])):
+        for name, row in rows.items():
+            print(
+                f"serve shards={count} {name:6s} "
+                f"update {row['update_ms']:7.4f}ms  "
+                f"query {row['query_ms']:7.3f}ms  "
+                f"knn {row['knn_ms']:7.3f}ms  "
+                f"io(u/q/k) {row['update_io']:.1f}/{row['query_io']:.1f}/"
+                f"{row['knn_io']:.1f}  "
+                f"match {row['results_match']:.0f}/{row['knn_results_match']:.0f}"
+            )
+    latency = report.get("latency", {})
+    for loop in ("closed", "open"):
+        section = latency.get(loop)
+        if not section:
+            continue
+        rate = f" @ {section['rate_ops_s']:.1f} ops/s" if "rate_ops_s" in section else ""
+        print(
+            f"latency {loop}{rate}: {section['throughput_ops']:.1f} ops/s "
+            f"over {section['wall_s']:.1f}s"
+        )
+        for kind in ("update", "range", "knn"):
+            row = section.get(kind)
+            if not row:
+                continue
+            print(
+                f"  {kind:6s} n={row['count']:<5d} "
+                f"p50 {row['p50_ms']:8.3f}ms  p95 {row['p95_ms']:8.3f}ms  "
+                f"p99 {row['p99_ms']:8.3f}ms  mean {row['mean_ms']:8.3f}ms"
+            )
     for count, rows in sorted(report.get("shards", {}).items(), key=lambda item: int(item[0])):
         for name, row in rows.items():
             print(
@@ -829,7 +1166,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"(velocity)  update_io {mid['update_io']:5.2f} vs "
                 f"{vel['update_io']:5.2f}"
             )
-    print(f"wrote {args.output} ({report['total_wall_s']}s total)")
+    print(f"wrote {output} ({report['total_wall_s']}s total)")
     return 0
 
 

@@ -5,8 +5,11 @@ Compares a fresh ``bench_speed.py`` report against the committed
 metric regresses by more than the allowed fraction: the standard entries'
 Bx ``update_ms`` / ``knn_ms``, plus — for serving-layer scale entries —
 every ``(shard count, index)`` row's ``update_ms`` / ``knn_ms``, plus — for
-fault-injection entries — ``recovery_ms`` (latency, gated upward) and the
-degraded-answer recalls (quality, gated as floors).  The baseline is the
+serve entries — every row's batched per-op times (answers-match flags as
+floors) and the ``latency`` section's per-op-type p95s (closed-loop
+throughput as a floor), plus — for fault-injection entries —
+``recovery_ms`` (latency, gated upward) and the degraded-answer recalls
+(quality, gated as floors).  The baseline is the
 most recent history entry with the *same* mode, dataset and workload
 parameters — quick-mode smoke runs are never judged against full
 bench-scale entries, whose absolute per-operation times differ by an order
@@ -52,6 +55,28 @@ PERSIST_METRICS = ("recovery_ms", "cold_reopen_ms")
 #: index's range/kNN answers must stay bit-identical to the live ones
 #: (these are 0/1 flags, so *any* mismatch erodes the floor and fails).
 PERSIST_FLOORS = ("recovered_match_range", "recovered_match_knn")
+
+#: Batched per-operation metrics gated on serve entries (higher =
+#: regression), for every (shard count, index) row.
+SERVE_METRICS = ("update_ms", "query_ms", "knn_ms")
+
+#: Correctness floors gated on serve entries: every row's answers must
+#: stay identical to the unsharded baseline row's (0/1 flags — *any*
+#: mismatch erodes the floor and fails).
+SERVE_FLOORS = ("results_match", "knn_results_match")
+
+#: Latency-distribution metrics gated on the serve entries' ``latency``
+#: section, per loop mode ("open"/"closed") and op type (higher =
+#: regression).  p95 only: tail-of-tail percentiles at smoke scale are
+#: scheduler noise, and the p50 is already covered by the serve rows'
+#: batched per-op times.
+LATENCY_METRICS = ("p95_ms",)
+
+#: Loop modes of the latency section the gate walks.
+LATENCY_LOOPS = ("closed", "open")
+
+#: Op types of the latency section the gate walks.
+LATENCY_KINDS = ("update", "range", "knn")
 
 #: Indexes the gate watches.
 WATCHED_INDEXES = ("Bx",)
@@ -211,6 +236,59 @@ def check(
                 max_regression,
                 failures,
             )
+    # Serve entries: every (shard count, index) row's batched per-op
+    # times gated upward, answers-match flags gated as (0/1) floors.
+    if _section_has_baseline("serve", report, baseline):
+        new_serve = report.get("serve") or {}
+        old_serve = baseline.get("serve") or {}
+        for count in sorted(set(new_serve) & set(old_serve), key=int):
+            new_rows = new_serve[count]
+            old_rows = old_serve[count]
+            for name in sorted(set(new_rows) & set(old_rows)):
+                _check_row(
+                    f"{name}[serve={count}]",
+                    new_rows[name],
+                    old_rows[name],
+                    max_regression,
+                    failures,
+                    metrics=SERVE_METRICS,
+                )
+                for metric in SERVE_FLOORS:
+                    _check_floor(
+                        f"{name}[serve={count}]",
+                        metric,
+                        new_rows[name],
+                        old_rows[name],
+                        max_regression,
+                        failures,
+                    )
+    # The serve latency section: per-loop, per-op-type p95 gated upward,
+    # plus the closed-loop saturation throughput as a floor.
+    if _section_has_baseline("latency", report, baseline):
+        new_latency = report.get("latency") or {}
+        old_latency = baseline.get("latency") or {}
+        for loop in LATENCY_LOOPS:
+            new_loop = new_latency.get(loop) or {}
+            old_loop = old_latency.get(loop) or {}
+            for kind in LATENCY_KINDS:
+                if kind in new_loop and kind in old_loop:
+                    _check_row(
+                        f"latency[{loop}:{kind}]",
+                        new_loop[kind],
+                        old_loop[kind],
+                        max_regression,
+                        failures,
+                        metrics=LATENCY_METRICS,
+                    )
+            if loop == "closed":
+                _check_floor(
+                    f"latency[{loop}]",
+                    "throughput_ops",
+                    new_loop,
+                    old_loop,
+                    max_regression,
+                    failures,
+                )
     # Fault-injection entries: recovery latency is gated like any other
     # latency; degraded-answer recall is gated as a floor.
     if _section_has_baseline("faults", report, baseline):

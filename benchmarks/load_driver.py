@@ -1,0 +1,228 @@
+"""Open-loop latency load driver for the sharded serving layer.
+
+``bench_speed.py serve`` measures *batch* cost per operation; this driver
+measures what a client actually experiences: per-request latency under a
+fixed arrival process.  It replays a mixed update/range/kNN operation
+stream against a (usually sharded, usually process-backed) index in two
+modes and reports per-op-type percentiles plus throughput:
+
+* **closed loop** — ``clients`` threads issue requests back to back; the
+  latency of a request is its service time, and the aggregate throughput
+  is the system's saturation rate.  Updates all ride one lane (client 0)
+  so their stream order — which the index's update semantics require —
+  is preserved; queries fan across the remaining lanes.
+* **open loop** — requests arrive on a Poisson process at ``rate_ops_s``
+  (self-calibrated to ~70% of the closed-loop throughput when not
+  given), and the latency of a request is measured from its *scheduled*
+  arrival, not from when the driver got around to issuing it.  A slow
+  request therefore also charges the requests queued behind it — the
+  coordinated-omission-free number a closed loop cannot produce.
+
+Percentiles are nearest-rank (no interpolation), so a reported p99 is an
+actually observed latency.  The driver builds a fresh index per mode
+(the update stream is stateful and cannot be replayed twice into the
+same index), which is why it takes an index *factory*, not an index.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: (kind, payload): kind is "update" (payload ``(old, new)``), "range"
+#: (payload a RangeQuery) or "knn" (payload a KNNQuery).
+Operation = Tuple[str, object]
+
+#: Open-loop arrival rate as a fraction of the measured closed-loop
+#: saturation throughput, when --rate is not given.  Below saturation so
+#: the queue drains between bursts; high enough that queueing happens.
+CALIBRATION_FRACTION = 0.7
+
+#: Minimum self-calibrated rate: keeps the open loop finite when the
+#: closed-loop measurement was degenerate (e.g. a near-empty op list).
+MIN_RATE_OPS_S = 1.0
+
+
+def build_operations(
+    workload, probes: Sequence[object], seed: int = 0
+) -> List[Operation]:
+    """The mixed request stream: every update, range query and kNN probe.
+
+    Updates keep their stream order (the workload's update semantics
+    depend on it); queries and probes are interleaved among them at
+    seeded-random positions, so the mix — not the workload file's
+    event grouping — decides what contends with what.
+    """
+    lanes: Dict[str, List[Operation]] = {
+        "update": [("update", (e.old, e.new)) for e in workload.update_events],
+        "range": [("range", e.query) for e in workload.query_events],
+        "knn": [("knn", probe) for probe in probes],
+    }
+    kinds = [kind for kind, ops in lanes.items() for _ in ops]
+    random.Random(seed).shuffle(kinds)
+    cursors = {kind: iter(ops) for kind, ops in lanes.items()}
+    return [next(cursors[kind]) for kind in kinds]
+
+
+def _issue(index, kind: str, payload, space) -> None:
+    """Execute one request against ``index`` (the unit of latency)."""
+    if kind == "update":
+        old, new = payload
+        index.update(old, new)
+    elif kind == "range":
+        index.range_query_batch([payload])
+    else:
+        index.knn_query_batch([payload], space=space)
+
+
+def percentile(sorted_samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample list."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(1, math.ceil(len(sorted_samples) * fraction))
+    return sorted_samples[rank - 1]
+
+
+def summarize(
+    samples: Dict[str, List[float]], wall_s: float
+) -> Dict[str, object]:
+    """Per-op-type p50/p95/p99 (ms) plus aggregate throughput."""
+    total = sum(len(latencies) for latencies in samples.values())
+    report: Dict[str, object] = {
+        "wall_s": round(wall_s, 3),
+        "throughput_ops": round(total / wall_s, 2) if wall_s > 0.0 else 0.0,
+    }
+    for kind, latencies in sorted(samples.items()):
+        ordered = sorted(latencies)
+        report[kind] = {
+            "count": len(ordered),
+            "p50_ms": round(percentile(ordered, 0.50) * 1000.0, 3),
+            "p95_ms": round(percentile(ordered, 0.95) * 1000.0, 3),
+            "p99_ms": round(percentile(ordered, 0.99) * 1000.0, 3),
+            "mean_ms": round(
+                sum(ordered) / len(ordered) * 1000.0 if ordered else 0.0, 3
+            ),
+        }
+    return report
+
+
+def run_closed_loop(
+    index, operations: Sequence[Operation], clients: int = 2, space=None
+) -> Dict[str, object]:
+    """``clients`` threads issue back to back; latency = service time."""
+    if clients < 1:
+        raise ValueError("clients must be at least 1")
+    lanes: List[List[Operation]] = [[] for _ in range(clients)]
+    spread = 0
+    for operation in operations:
+        if operation[0] == "update":
+            lanes[0].append(operation)  # one lane keeps the update order
+        else:
+            lanes[spread % clients].append(operation)
+            spread += 1
+
+    samples: Dict[str, List[float]] = {}
+    errors: List[BaseException] = []
+    merge = threading.Lock()
+
+    def worker(lane: List[Operation]) -> None:
+        local: Dict[str, List[float]] = {}
+        try:
+            for kind, payload in lane:
+                issued = time.perf_counter()
+                _issue(index, kind, payload, space)
+                local.setdefault(kind, []).append(time.perf_counter() - issued)
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            errors.append(error)
+        with merge:
+            for kind, latencies in local.items():
+                samples.setdefault(kind, []).extend(latencies)
+
+    threads = [threading.Thread(target=worker, args=(lane,)) for lane in lanes]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return summarize(samples, wall)
+
+
+def run_open_loop(
+    index,
+    operations: Sequence[Operation],
+    rate_ops_s: float,
+    space=None,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Poisson arrivals at ``rate_ops_s``; latency measured from arrival.
+
+    One dispatch lane serves the arrival queue in order (which also
+    preserves the update stream's order).  When the lane falls behind,
+    requests are issued immediately but *charged from their scheduled
+    arrival* — queue wait is part of the latency, never silently
+    dropped (no coordinated omission).
+    """
+    if rate_ops_s <= 0.0:
+        raise ValueError("rate_ops_s must be positive")
+    rng = random.Random(seed)
+    due, arrivals = 0.0, []
+    for _ in operations:
+        due += rng.expovariate(rate_ops_s)
+        arrivals.append(due)
+
+    samples: Dict[str, List[float]] = {}
+    started = time.perf_counter()
+    for (kind, payload), scheduled in zip(operations, arrivals):
+        ahead = scheduled - (time.perf_counter() - started)
+        if ahead > 0.0:
+            time.sleep(ahead)
+        _issue(index, kind, payload, space)
+        samples.setdefault(kind, []).append(
+            (time.perf_counter() - started) - scheduled
+        )
+    wall = time.perf_counter() - started
+    report = summarize(samples, wall)
+    report["rate_ops_s"] = round(rate_ops_s, 2)
+    return report
+
+
+def drive(
+    make_index: Callable[[], object],
+    operations: Sequence[Operation],
+    clients: int = 2,
+    rate_ops_s: Optional[float] = None,
+    space=None,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Closed-loop saturation run, then the open-loop latency run.
+
+    ``make_index`` builds (and loads) a fresh index per mode; each index
+    is closed afterwards when it has a ``close``.  When ``rate_ops_s``
+    is None the open-loop rate is :data:`CALIBRATION_FRACTION` of the
+    measured closed-loop throughput.
+    """
+    index = make_index()
+    try:
+        closed = run_closed_loop(index, operations, clients=clients, space=space)
+    finally:
+        if hasattr(index, "close"):
+            index.close()
+    if rate_ops_s is None:
+        rate_ops_s = max(
+            MIN_RATE_OPS_S, CALIBRATION_FRACTION * float(closed["throughput_ops"])
+        )
+    index = make_index()
+    try:
+        open_loop = run_open_loop(
+            index, operations, rate_ops_s, space=space, seed=seed
+        )
+    finally:
+        if hasattr(index, "close"):
+            index.close()
+    return {"clients": clients, "closed": closed, "open": open_loop}

@@ -269,6 +269,114 @@ def test_check_regression_gates_fault_rows(tmp_path):
     assert check_regression.main([str(report), "--history", str(history)]) == 1
 
 
+def test_serve_mode_records_executor_rows_and_latency(tmp_path):
+    """The executor-backed sweep plus the open-loop latency sections."""
+    output = tmp_path / "BENCH_speed.json"
+    report = bench_speed.run(
+        quick=True,
+        serve=True,
+        output=str(output),
+        shard_counts=(1, 2),
+        workers=2,
+    )
+    assert report["mode"] == "serve-quick"
+    assert report["params"]["executor"] == bench_speed.SERVE_EXECUTOR
+    assert sorted(report["serve"], key=int) == ["1", "2"]
+    for count, rows in report["serve"].items():
+        for name in bench_speed.SERVE_INDEXES:
+            row = rows[name]
+            assert row["update_ms"] > 0.0
+            assert row["query_ms"] > 0.0
+            assert row["knn_ms"] > 0.0
+            # Executor-served rows must answer bit-identically to the
+            # unsharded baseline row.
+            assert row["results_match"] == 1.0, (count, name)
+            assert row["knn_results_match"] == 1.0, (count, name)
+    latency = report["latency"]
+    assert latency["shards"] == 2
+    assert latency["operations"] > 0
+    for loop in ("closed", "open"):
+        section = latency[loop]
+        assert section["throughput_ops"] > 0.0
+        for kind in ("update", "range", "knn"):
+            assert section[kind]["count"] > 0, (loop, kind)
+            assert section[kind]["p95_ms"] >= section[kind]["p50_ms"]
+    # Open-loop arrivals are calibrated below closed-loop saturation.
+    assert latency["open"]["rate_ops_s"] <= latency["closed"]["throughput_ops"]
+    on_disk = json.loads(output.read_text(encoding="utf-8"))
+    assert on_disk["history"][-1]["latency"] == report["latency"]
+
+
+def test_check_regression_gates_serve_rows(tmp_path):
+    import check_regression
+
+    def entry(query_ms, match=1.0):
+        return {
+            "mode": "serve-quick",
+            "dataset": "SA",
+            "params": {"num_objects": 2500, "executor": "process"},
+            "serve": {
+                "1": {"TPR*": {"query_ms": query_ms, "results_match": match}},
+                "4": {"TPR*": {"query_ms": query_ms, "results_match": match}},
+            },
+        }
+
+    history = tmp_path / "history.json"
+    report = tmp_path / "report.json"
+    history.write_text(json.dumps({"history": [entry(1.0)]}))
+
+    report.write_text(json.dumps({"history": [entry(1.1)]}))
+    assert check_regression.main([str(report), "--history", str(history)]) == 0
+
+    # A regressed served batch-query time fails.
+    report.write_text(json.dumps({"history": [entry(2.0)]}))
+    assert check_regression.main([str(report), "--history", str(history)]) == 1
+
+    # Answers that stop matching the unsharded baseline fail the floor
+    # even with timings stable.
+    report.write_text(json.dumps({"history": [entry(1.0, match=0.0)]}))
+    assert check_regression.main([str(report), "--history", str(history)]) == 1
+
+    # A different executor is a different experiment, not a baseline.
+    changed = entry(9.0)
+    changed["params"]["executor"] = "serial"
+    report.write_text(json.dumps({"history": [changed]}))
+    assert check_regression.main([str(report), "--history", str(history)]) == 0
+
+
+def test_check_regression_gates_latency_sections(tmp_path):
+    import check_regression
+
+    def entry(p95_ms, throughput=1000.0):
+        kinds = {
+            kind: {"p95_ms": p95_ms} for kind in ("update", "range", "knn")
+        }
+        return {
+            "mode": "serve-quick",
+            "dataset": "SA",
+            "params": {"num_objects": 2500, "executor": "process"},
+            "latency": {
+                "closed": {"throughput_ops": throughput, **kinds},
+                "open": dict(kinds),
+            },
+        }
+
+    history = tmp_path / "history.json"
+    report = tmp_path / "report.json"
+    history.write_text(json.dumps({"history": [entry(5.0)]}))
+
+    report.write_text(json.dumps({"history": [entry(5.5)]}))
+    assert check_regression.main([str(report), "--history", str(history)]) == 0
+
+    # A regressed p95 fails.
+    report.write_text(json.dumps({"history": [entry(11.0)]}))
+    assert check_regression.main([str(report), "--history", str(history)]) == 1
+
+    # Collapsed closed-loop throughput fails the floor, p95s stable.
+    report.write_text(json.dumps({"history": [entry(5.0, throughput=100.0)]}))
+    assert check_regression.main([str(report), "--history", str(history)]) == 1
+
+
 def test_check_regression_skips_new_section_with_notice(tmp_path, capsys):
     """A section new to the fresh report passes with a notice, not a crash."""
     import check_regression

@@ -26,7 +26,7 @@ from repro.core.partitioned_index import (
 from repro.core.velocity_analyzer import VelocityAnalyzer
 from repro.geometry.rect import Rect
 from repro.objects.knn import AdaptiveRadius, KNNQuery
-from repro.serve import ShardedIndex, SupervisorConfig
+from repro.serve import ServeConfig, ShardedIndex, SupervisorConfig
 from repro.storage.buffer_manager import BufferManager
 from repro.tprtree.tpr_tree import TPRTree
 from repro.tprtree.tprstar_tree import TPRStarTree
@@ -379,6 +379,9 @@ def build_standard_indexes(
     analyzer_seed: int = 0,
     shards: int = 1,
     supervisor: Optional[SupervisorConfig] = None,
+    executor: Optional[object] = None,
+    max_workers: Optional[int] = None,
+    disk_profile: Optional[object] = None,
 ) -> Dict[str, object]:
     """Build the paper's four competing indexes for one workload.
 
@@ -395,7 +398,18 @@ def build_standard_indexes(
     The wrapper is given a ``shard_factory`` building one more identical
     instance, which arms automatic WAL-replay shard recovery (see
     ``docs/robustness.md``); ``supervisor`` tunes the retry/breaker/timeout
-    policy.
+    policy and ``executor`` picks where shard calls run (``"serial"`` /
+    ``"thread"`` / ``"process"`` or an :class:`~repro.serve.Executor`
+    instance — a fresh instance is required per index, so string specs are
+    the convenient spelling here), with ``max_workers`` capping the
+    fan-out width.  See ``docs/serving.md``.
+
+    ``disk_profile`` (a :class:`~repro.storage.faults.FaultProfile`)
+    slides a fault injector under every built instance's simulated disk —
+    sharded, unsharded baseline and recovery-factory shards alike — so a
+    whole comparison runs under one device model (e.g. an SSD-class
+    ``read_latency_s``).  The injector travels with the shard into worker
+    processes under the ``process`` executor.
     """
     if params is None:
         params = WorkloadParameters()
@@ -442,16 +456,29 @@ def build_standard_indexes(
             )
         raise ValueError(f"unknown index name {name!r}")
 
+    def make_instance(name: str) -> object:
+        """``make`` plus the shared device model, when one is configured."""
+        index = make(name)
+        if disk_profile is not None:
+            from repro.storage.faults import fault_wrap
+
+            fault_wrap(index.buffer, profile=disk_profile)
+        return index
+
     for name in which:
         if shards == 1:
-            indexes[name] = make(name)
+            indexes[name] = make_instance(name)
         else:
             indexes[name] = ShardedIndex(
-                [make(name) for _ in range(shards)],
-                name=name,
-                space=params.space,
-                shard_factory=lambda name=name: make(name),
-                supervisor=supervisor,
+                [make_instance(name) for _ in range(shards)],
+                config=ServeConfig(
+                    name=name,
+                    space=params.space,
+                    shard_factory=lambda name=name: make_instance(name),
+                    supervisor=supervisor,
+                    executor=executor,
+                    max_workers=max_workers,
+                ),
             )
     return indexes
 

@@ -15,6 +15,15 @@ queries can opt into degraded :class:`PartialResult` answers from the
 healthy shards instead of raising.  See ``docs/robustness.md``.
 """
 
+from repro.serve.config import ServeConfig
+from repro.serve.executor import (
+    EXECUTORS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from repro.serve.shard_log import LOG_OPS, DurableShardLog, ShardLog
 from repro.serve.sharded_index import (
     DEFAULT_SHARDS,
@@ -52,9 +61,14 @@ __all__ = [
     "DEFAULT_SHARDS",
     "DurableShardLog",
     "DurableStore",
+    "EXECUTORS",
+    "Executor",
     "LOG_OPS",
     "PartialResult",
+    "ProcessExecutor",
     "RetryPolicy",
+    "SerialExecutor",
+    "ServeConfig",
     "SHARD_FAILED",
     "SHARD_OK",
     "SHARD_SKIPPED",
@@ -64,6 +78,8 @@ __all__ = [
     "ShardStore",
     "ShardedIndex",
     "SupervisorConfig",
+    "ThreadExecutor",
     "dumps_index",
     "loads_index",
+    "make_executor",
 ]

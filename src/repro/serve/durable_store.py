@@ -44,11 +44,11 @@ already contains everything the old WAL held.
 Index *metadata* is pickled with the storage objects cut out: a custom
 pickler replaces the index's :class:`~repro.storage.BufferManager` (and
 any disk/stats reference) with persistent ids, and unpickling binds them
-to a fresh buffer over the restored page file.  Index families built by
-unpicklable factories (the ``VPIndex`` convenience constructors close
-over local functions) fail checkpointing with a clear
-:class:`~repro.storage.durable.DurabilityError` — durability currently
-supports the picklable families (Bx, TPR/TPR*, B+).
+to a fresh buffer over the restored page file.  Every standard family —
+Bx, TPR/TPR*, B+ and the ``VPIndex`` variants (their velocity-partition
+factories are consumed at construction, not retained) — round-trips;
+an index that genuinely cannot be pickled fails checkpointing with a
+clear :class:`~repro.storage.durable.DurabilityError`.
 """
 
 from __future__ import annotations
@@ -62,6 +62,7 @@ import zlib
 from typing import Any, Callable, List, Optional
 
 from repro.geometry.rect import Rect
+from repro.serve.config import ServeConfig
 from repro.serve.shard_log import DurableShardLog, ShardLog
 from repro.serve.sharded_index import ShardedIndex
 from repro.serve.supervisor import SupervisorConfig
@@ -148,9 +149,8 @@ def dumps_index(index: Any) -> bytes:
     except (pickle.PicklingError, AttributeError, TypeError) as error:
         raise DurabilityError(
             f"index {type(index).__name__} cannot be checkpointed: {error} "
-            "(indexes built from local-closure factories, e.g. the VPIndex "
-            "convenience constructors, are not picklable — durability "
-            "currently supports the Bx/TPR/B+ families)"
+            "(the index holds something pickle cannot serialize — every "
+            "standard family, VP variants included, round-trips cleanly)"
         ) from error
     return stream.getvalue()
 
@@ -398,19 +398,25 @@ class DurableStore:
         shards: List[Any],
         stores: List[ShardStore],
         manifest: dict,
-        max_workers: Optional[int],
-        supervisor: Optional[SupervisorConfig],
+        config: Optional[ServeConfig],
     ) -> ShardedIndex:
         space = manifest.get("space")
-        return ShardedIndex(
-            shards,
-            name=manifest.get("name"),
-            space=None if space is None else Rect(*space),
-            max_workers=max_workers,
-            supervisor=supervisor,
+        base = config if config is not None else ServeConfig()
+        # The store's logs/stores always win (they are the durable state);
+        # the manifest supplies name/space defaults the config can override.
+        resolved = ServeConfig(
+            name=base.name or manifest.get("name"),
+            space=base.space if base.space is not None else (
+                None if space is None else Rect(*space)
+            ),
+            executor=base.executor,
+            max_workers=base.max_workers,
+            shard_factory=base.shard_factory,
+            supervisor=base.supervisor,
             logs=[store.log for store in stores],
             stores=stores,
         )
+        return ShardedIndex(shards, config=resolved)
 
     def create(
         self,
@@ -422,6 +428,7 @@ class DurableStore:
         slot_bytes: int = DEFAULT_SLOT_BYTES,
         max_workers: Optional[int] = None,
         supervisor: Optional[SupervisorConfig] = None,
+        config: Optional[ServeConfig] = None,
     ) -> ShardedIndex:
         """Create a new durable sharded index at :attr:`root`.
 
@@ -429,6 +436,9 @@ class DurableStore:
         returns an empty index over it — unlike the in-memory
         ``shard_factory`` of :class:`ShardedIndex`, which allocates its
         own storage, a durable shard's storage is owned by its store.
+        ``config`` carries the serving-policy fields (supervisor, fan-out
+        width, executor — which must stay in-process for durable shards);
+        ``max_workers``/``supervisor`` remain as store-level shorthands.
         """
         if self.exists:
             raise DurabilityError(f"{self.root}: store already exists; open() it")
@@ -454,12 +464,16 @@ class DurableStore:
             json.dumps(manifest, indent=2).encode("utf-8"),
             self._fsync,
         )
-        return self._assemble(shards, stores, manifest, max_workers, supervisor)
+        resolved = (config if config is not None else ServeConfig()).merged(
+            max_workers=max_workers, supervisor=supervisor
+        )
+        return self._assemble(shards, stores, manifest, resolved)
 
     def open(
         self,
         max_workers: Optional[int] = None,
         supervisor: Optional[SupervisorConfig] = None,
+        config: Optional[ServeConfig] = None,
     ) -> ShardedIndex:
         """Recover the durable index (checkpoint images + WAL-tail replay)."""
         try:
@@ -478,7 +492,10 @@ class DurableStore:
         stores = self._stores(manifest)
         shards = [store.open() for store in stores]
         self.replayed_on_open = [store.replayed_on_open for store in stores]
-        return self._assemble(shards, stores, manifest, max_workers, supervisor)
+        resolved = (config if config is not None else ServeConfig()).merged(
+            max_workers=max_workers, supervisor=supervisor
+        )
+        return self._assemble(shards, stores, manifest, resolved)
 
 
 __all__ = [

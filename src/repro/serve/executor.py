@@ -1,0 +1,626 @@
+"""Pluggable shard executors: where a shard's operations actually run.
+
+The :class:`~repro.serve.ShardedIndex` above this module decides *what*
+runs on each shard (routing, supervision, WAL, merge); an
+:class:`Executor` decides *where*:
+
+* :class:`SerialExecutor` — every shard call runs inline on the calling
+  thread, one shard after another.  No threads, no processes: the
+  deterministic reference backend (and the fastest one for tiny
+  workloads, where fan-out overhead dominates).
+* :class:`ThreadExecutor` — shard calls fan out on a thread pool.  This
+  is the historical default: updates scale (they route to one shard
+  each) but query fan-out shares one GIL, so per-query latency *loses*
+  at higher shard counts (measured in ``BENCH_speed.json``'s scale
+  entries).
+* :class:`ProcessExecutor` — each shard lives in its own worker process
+  and the serving layer talks to it through a :class:`_ProcessShard`
+  proxy speaking a compact message protocol over a pipe.  Queries cross
+  as one batched message per shard, replies carry the worker's I/O
+  counters so the parent-side aggregate stays exact, and a dead worker
+  surfaces as :class:`~repro.storage.faults.ShardDownError` — which the
+  supervisor already treats as "rebuild from the WAL", so process death
+  recovers through the exact machinery shard faults do.
+
+**Handles.**  ``attach(shards)`` returns one *handle* per shard and the
+serving layer only ever talks to handles.  For the in-process executors
+the handle *is* the index; for the process executor it is a proxy with
+the same method surface (``insert`` … ``knn_query_batch``, ``buffer``
+with live ``stats``), so the supervision/merge code upstairs is executor
+agnostic.
+
+**Message protocol** (process mode).  Parent → worker messages are
+``(op, args, kwargs)`` tuples, pickled by the pipe; ``op`` is an index
+method name (``"update_batch"``, ``"range_query_batch"``, …) or one of
+the double-underscore control verbs (``"__len__"``, ``"__flush__"``,
+``"__snapshot__"``, ``"__hints_get__"``, ``"__hints_set__"``,
+``"__close__"``).  Worker → parent replies are ``(ok, payload, stats)``
+where ``payload`` is the return value (or the raised exception) and
+``stats`` is the worker's cumulative six-counter I/O state
+``(physical r/w, logical r/w, buffer hit/miss)``, copied into the
+parent's per-shard mirror :class:`~repro.storage.stats.IOStats` on every
+reply — aggregate accounting is therefore exact, not sampled, at one
+message per shard per batch.  See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import os
+import threading
+import warnings
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.storage.faults import ShardDownError
+from repro.storage.stats import IOStats
+
+#: Control verbs of the process-mode message protocol (everything else is
+#: dispatched as an index method by name).
+CONTROL_VERBS = (
+    "__len__",
+    "__flush__",
+    "__snapshot__",
+    "__hints_get__",
+    "__hints_set__",
+    "__close__",
+)
+
+
+class Executor:
+    """Where shard operations run (see the module docstring).
+
+    An executor is single-use: it binds to one :class:`ShardedIndex` via
+    :meth:`attach` and is torn down by that index's ``close()``.  The
+    serving layer holds the per-shard locks and the supervision policy;
+    the executor only provides placement (inline / thread / process) and
+    the handle objects the supervised calls run against.
+
+    Attributes:
+        kind: short name (``"serial"`` / ``"thread"`` / ``"process"``).
+        parallel: whether fanned-out calls should run on the fan-out
+            pool (False = the serving layer loops inline, which is what
+            makes :class:`SerialExecutor` deterministic).
+    """
+
+    kind = "base"
+    parallel = False
+
+    def __init__(self) -> None:
+        self._attached = False
+        self._closed = False
+        self._max_workers = 1
+        self._fan_out_pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+    def attach(self, shards: Sequence[Any], max_workers: Optional[int] = None) -> List[Any]:
+        """Bind the executor to ``shards``; returns one handle per shard."""
+        if self._attached:
+            raise RuntimeError(
+                f"{type(self).__name__} is already attached to a ShardedIndex "
+                "(executors are single-use; build a fresh one per index)"
+            )
+        if self._closed:
+            raise RuntimeError(f"{type(self).__name__} is closed")
+        self._attached = True
+        self._max_workers = max_workers or len(shards) or 1
+        return self._attach(list(shards))
+
+    def _attach(self, shards: List[Any]) -> List[Any]:
+        return shards
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def pool(self) -> ThreadPoolExecutor:
+        """The fan-out thread pool (created lazily; parallel modes only)."""
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError(f"{type(self).__name__} is closed")
+            if self._fan_out_pool is None:
+                self._fan_out_pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix=f"shard-{self.kind}",
+                )
+                # GC backstop only: a leaked index must not leak threads.
+                # The supported teardown path is ShardedIndex.close().
+                weakref.finalize(self, self._fan_out_pool.shutdown, wait=False)
+            return self._fan_out_pool
+
+    def quiesce(self) -> None:
+        """Stop the fan-out pool (waits for in-flight calls to finish)."""
+        with self._pool_lock:
+            pool, self._fan_out_pool = self._fan_out_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def close(self) -> None:
+        """Tear the executor down (idempotent at this level)."""
+        self.quiesce()
+        self._closed = True
+
+    # -- shard plumbing ------------------------------------------------
+    def replace(self, shard_id: int, fresh: Any) -> Any:
+        """Swap in a recovered shard; returns the replacement handle."""
+        raise NotImplementedError
+
+    def snapshot(self, shard_id: int) -> Any:
+        """A parent-side deep copy of the shard's current state.
+
+        Used as the in-memory checkpoint baseline: replaying the WAL tail
+        into (a deepcopy of) the snapshot must reproduce the live shard.
+        The caller flushes the shard's buffer first and holds its lock.
+        """
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """Deterministic reference backend: every shard call runs inline.
+
+    Fan-out order is always ascending shard id on the calling thread, so
+    a run's interleaving is reproducible operation for operation.  Per-
+    call timeouts cannot be enforced without a second thread and are
+    ignored (documented in ``docs/serving.md``).
+    """
+
+    kind = "serial"
+    parallel = False
+
+    def _attach(self, shards: List[Any]) -> List[Any]:
+        self._shards = shards
+        return shards
+
+    def replace(self, shard_id: int, fresh: Any) -> Any:
+        self._shards[shard_id] = fresh
+        return fresh
+
+    def snapshot(self, shard_id: int) -> Any:
+        return copy.deepcopy(self._shards[shard_id])
+
+
+class ThreadExecutor(SerialExecutor):
+    """The historical backend: shard calls fan out on a thread pool.
+
+    Handles are the index instances themselves; parallelism is capped by
+    ``max_workers`` (default: the shard count) and, in CPython, by the
+    GIL — which is exactly the limitation :class:`ProcessExecutor`
+    removes.
+    """
+
+    kind = "thread"
+    parallel = True
+
+
+# ----------------------------------------------------------------------
+# Process mode
+# ----------------------------------------------------------------------
+def _stats_tuple(stats: IOStats) -> Tuple[int, int, int, int, int, int]:
+    return (
+        stats.physical.reads,
+        stats.physical.writes,
+        stats.logical.reads,
+        stats.logical.writes,
+        stats.buffer.hits,
+        stats.buffer.misses,
+    )
+
+
+def _apply_stats(mirror: IOStats, values: Tuple[int, int, int, int, int, int]) -> None:
+    (
+        mirror.physical.reads,
+        mirror.physical.writes,
+        mirror.logical.reads,
+        mirror.logical.writes,
+        mirror.buffer.hits,
+        mirror.buffer.misses,
+    ) = values
+
+
+def _shard_worker_main(conn, index: Any) -> None:
+    """Worker-process loop: execute messages against the hosted shard.
+
+    Runs until a ``__close__`` verb or a closed pipe.  Every reply —
+    success or failure — carries the shard's cumulative I/O counters so
+    the parent's mirror stays exact without extra round trips.
+    """
+    from repro.bulk import loader_accepts
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        op, args, kwargs = message
+        try:
+            if op == "__close__":
+                conn.send((True, None, _stats_tuple(index.buffer.stats)))
+                break
+            if op == "__len__":
+                value: Any = len(index)
+            elif op == "__flush__":
+                value = index.buffer.flush()
+            elif op == "__snapshot__":
+                value = index
+            elif op == "__hints_get__":
+                value = index.buffer.batch_hints_enabled
+            elif op == "__hints_set__":
+                index.buffer.batch_hints_enabled = args[0]
+                value = None
+            elif op == "bulk_load":
+                objects, strategy = args
+                loader = index.bulk_load
+                if strategy is not None and loader_accepts(loader, "strategy"):
+                    value = loader(objects, strategy=strategy)
+                else:
+                    value = loader(objects)
+            else:
+                value = getattr(index, op)(*args, **kwargs)
+            reply = (True, value, _stats_tuple(index.buffer.stats))
+        except BaseException as error:  # noqa: BLE001 - forwarded to the parent
+            reply = (False, error, _stats_tuple(index.buffer.stats))
+        try:
+            conn.send(reply)
+        except Exception:
+            # Unpicklable payload (or a vanished parent): degrade to a
+            # picklable error so the parent is never left blocked.
+            try:
+                conn.send(
+                    (
+                        False,
+                        RuntimeError(f"shard worker could not send a {op!r} reply"),
+                        _stats_tuple(index.buffer.stats),
+                    )
+                )
+            except Exception:
+                break
+    conn.close()
+
+
+class _ProcessBuffer:
+    """The ``buffer`` facade of a :class:`_ProcessShard` handle.
+
+    ``stats`` is the parent-side mirror — a plain :class:`IOStats`
+    refreshed from every worker reply, so reads are local and exact as
+    of the last completed call.  ``flush`` and the batch-hints toggle
+    cross the pipe.
+    """
+
+    def __init__(self, owner: "ProcessExecutor", shard_id: int, stats: IOStats) -> None:
+        self._owner = owner
+        self._shard_id = shard_id
+        self.stats = stats
+
+    def flush(self) -> None:
+        self._owner._call(self._shard_id, "__flush__", (), {})
+
+    @property
+    def batch_hints_enabled(self) -> bool:
+        return self._owner._call(self._shard_id, "__hints_get__", (), {})
+
+    @batch_hints_enabled.setter
+    def batch_hints_enabled(self, enabled: bool) -> None:
+        self._owner._call(self._shard_id, "__hints_set__", (bool(enabled),), {})
+
+
+class _ProcessShard:
+    """Parent-side proxy of one worker-hosted shard.
+
+    Exposes the same method surface as the index it fronts, so the
+    supervision and merge code of :class:`~repro.serve.ShardedIndex`
+    is identical across executors.  Every method is one message over the
+    shard's pipe; batched calls therefore cost one round trip per shard
+    per batch regardless of batch size.
+    """
+
+    def __init__(self, owner: "ProcessExecutor", shard_id: int, name: str, stats: IOStats) -> None:
+        self._owner = owner
+        self._shard_id = shard_id
+        self.name = name
+        self.buffer = _ProcessBuffer(owner, shard_id, stats)
+
+    def _call(self, op: str, *args, **kwargs) -> Any:
+        return self._owner._call(self._shard_id, op, args, kwargs)
+
+    # -- mutations -----------------------------------------------------
+    def insert(self, obj) -> None:
+        return self._call("insert", obj)
+
+    def delete(self, obj) -> bool:
+        return self._call("delete", obj)
+
+    def update(self, old, new) -> bool:
+        return self._call("update", old, new)
+
+    def insert_batch(self, objects) -> None:
+        return self._call("insert_batch", list(objects))
+
+    def delete_batch(self, objects) -> List[bool]:
+        return self._call("delete_batch", list(objects))
+
+    def update_batch(self, pairs) -> int:
+        return self._call("update_batch", list(pairs))
+
+    def bulk_load(self, objects, strategy: Optional[str] = None) -> None:
+        # The worker re-checks whether the hosted loader accepts a
+        # strategy, so this proxy can always advertise the parameter.
+        return self._owner._call(
+            self._shard_id, "bulk_load", (list(objects), strategy), {}
+        )
+
+    # -- queries -------------------------------------------------------
+    def range_query(self, query, exact: bool = True) -> List[int]:
+        return self._call("range_query", query, exact=exact)
+
+    def range_query_batch(self, queries, exact: bool = True) -> List[List[int]]:
+        return self._call("range_query_batch", list(queries), exact=exact)
+
+    def knn_query(self, center, k, query_time, issue_time=0.0, space=None, radius_state=None):
+        return self._call(
+            "knn_query",
+            center,
+            k,
+            query_time,
+            issue_time=issue_time,
+            space=space,
+            radius_state=radius_state,
+        )
+
+    def knn_query_batch(self, queries, space=None, radius_state=None):
+        # radius_state crosses as a pickled copy: the worker still shares
+        # radii *within* the batch, but cross-shard adaptation is cut —
+        # a pure perf hint either way (answers are radius independent).
+        return self._call(
+            "knn_query_batch", list(queries), space=space, radius_state=radius_state
+        )
+
+    def __len__(self) -> int:
+        return self._call("__len__")
+
+
+class _Worker:
+    """One worker process plus its pipe and per-shard bookkeeping."""
+
+    __slots__ = ("process", "conn", "lock", "dead")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()
+        self.dead = False
+
+
+def _terminate_workers(workers: Dict[int, _Worker], owner_pid: int) -> None:
+    """GC/atexit backstop: reap worker processes without waiting.
+
+    Holds the worker table, never the executor, so the finalizer cannot
+    keep a leaked index alive.  The supported path is ``close()``; this
+    exists so an index dropped without one cannot leak processes.
+
+    The ``owner_pid`` guard matters under the fork start method: a worker
+    forked while earlier workers already existed inherits this finalizer
+    and would run it at its own interpreter shutdown — against processes
+    it does not own (``multiprocessing`` asserts on exactly that).  Only
+    the registering process reaps.
+    """
+    if os.getpid() != owner_pid:
+        return
+    for worker in workers.values():
+        try:
+            worker.conn.close()
+        except Exception:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+    for worker in workers.values():
+        worker.process.join(timeout=5)
+
+
+class ProcessExecutor(Executor):
+    """Host each shard in its own worker process (GIL-free fan-out).
+
+    Shards are shipped to their workers by pickle at attach time (every
+    standard family round-trips; the PR 7 codec work made the storage
+    objects plain data).  Shard state then lives *only* in the worker:
+    the parent talks through :class:`_ProcessShard` proxies and keeps a
+    per-shard mirror of the worker's I/O counters, refreshed on every
+    reply.
+
+    Worker death (crash, ``SIGKILL``) raises
+    :class:`~repro.storage.faults.ShardDownError` on the next touched
+    call, which routes into the serving layer's WAL-replay recovery; the
+    recovered shard is shipped to a respawned worker by
+    :meth:`replace`.
+
+    Args:
+        max_workers: fan-out thread width (these threads only block on
+            pipes; default: the shard count).
+        start_method: ``multiprocessing`` start method.  Defaults to
+            ``"fork"`` where available (no interpreter re-import per
+            worker) and ``"spawn"`` elsewhere.
+    """
+
+    kind = "process"
+    parallel = True
+
+    def __init__(
+        self, max_workers: Optional[int] = None, start_method: Optional[str] = None
+    ) -> None:
+        super().__init__()
+        self._requested_workers = max_workers
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self._workers: Dict[int, _Worker] = {}
+        self._mirrors: List[IOStats] = []
+        self._handles: List[_ProcessShard] = []
+
+    def _attach(self, shards: List[Any]) -> List[Any]:
+        if self._requested_workers is not None:
+            self._max_workers = self._requested_workers
+        for shard_id, shard in enumerate(shards):
+            self._mirrors.append(IOStats())
+            self._handles.append(self._spawn(shard_id, shard))
+        # GC backstop: terminate leaked workers (close() is the real path).
+        weakref.finalize(self, _terminate_workers, self._workers, os.getpid())
+        return list(self._handles)
+
+    def _spawn(self, shard_id: int, index: Any) -> _ProcessShard:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, index),
+            name=f"shard-worker-{shard_id}",
+            daemon=True,
+        )
+        with warnings.catch_warnings():
+            # Respawns after recovery fork from a parent whose fan-out
+            # threads exist; the child only ever runs the worker loop
+            # (no inherited locks are taken), so the 3.12+ fork-with-
+            # threads DeprecationWarning does not apply to this use.
+            warnings.simplefilter("ignore", DeprecationWarning)
+            process.start()
+        child_conn.close()
+        self._workers[shard_id] = _Worker(process, parent_conn)
+        mirror = self._mirrors[shard_id]
+        _apply_stats(mirror, _stats_tuple(index.buffer.stats))
+        name = getattr(index, "name", type(index).__name__)
+        return _ProcessShard(self, shard_id, name, mirror)
+
+    def _down(self, shard_id: int, worker: _Worker) -> ShardDownError:
+        worker.dead = True
+        try:
+            worker.conn.close()
+        except Exception:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=5)
+        code = worker.process.exitcode
+        return ShardDownError(
+            f"shard {shard_id} worker process died (exit code {code})"
+        )
+
+    def _call(self, shard_id: int, op: str, args: tuple, kwargs: dict) -> Any:
+        worker = self._workers[shard_id]
+        with worker.lock:
+            if worker.dead:
+                raise ShardDownError(
+                    f"shard {shard_id} worker process is down (awaiting recovery)"
+                )
+            try:
+                worker.conn.send((op, args, kwargs))
+                ok, payload, stats = worker.conn.recv()
+            except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as error:
+                raise self._down(shard_id, worker) from error
+            _apply_stats(self._mirrors[shard_id], stats)
+        if ok:
+            return payload
+        raise payload
+
+    def replace(self, shard_id: int, fresh: Any) -> Any:
+        """Ship a recovered shard to a fresh worker process."""
+        old = self._workers.get(shard_id)
+        if old is not None:
+            if not old.dead:
+                try:
+                    old.conn.send(("__close__", (), {}))
+                    old.conn.recv()
+                except Exception:
+                    pass
+            try:
+                old.conn.close()
+            except Exception:
+                pass
+            if old.process.is_alive():
+                old.process.terminate()
+            old.process.join(timeout=5)
+        handle = self._spawn(shard_id, fresh)
+        self._handles[shard_id] = handle
+        return handle
+
+    def snapshot(self, shard_id: int) -> Any:
+        """Materialize the worker's live index in the parent (pickled)."""
+        return self._call(shard_id, "__snapshot__", (), {})
+
+    def worker_pid(self, shard_id: int) -> Optional[int]:
+        """OS pid of the shard's worker (tests and chaos tooling)."""
+        return self._workers[shard_id].process.pid
+
+    def worker_alive(self, shard_id: int) -> bool:
+        """Whether the shard's worker process is currently alive."""
+        worker = self._workers[shard_id]
+        return not worker.dead and worker.process.is_alive()
+
+    def close(self) -> None:
+        """Quiesce the fan-out pool, then stop every worker process."""
+        self.quiesce()
+        for shard_id, worker in self._workers.items():
+            with worker.lock:
+                if not worker.dead:
+                    try:
+                        worker.conn.send(("__close__", (), {}))
+                        worker.conn.recv()
+                    except Exception:
+                        pass
+                try:
+                    worker.conn.close()
+                except Exception:
+                    pass
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+            worker.dead = True
+        self._closed = True
+
+
+#: Executor registry of the string spellings accepted by ServeConfig.
+EXECUTORS = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def make_executor(spec: Any, max_workers: Optional[int] = None) -> Executor:
+    """Resolve an executor spec: None, a kind name, a class, or an instance.
+
+    ``None`` resolves to the historical default (:class:`ThreadExecutor`);
+    a string must be one of :data:`EXECUTORS`; an :class:`Executor`
+    instance passes through (it must not be attached or closed yet).
+    """
+    if spec is None:
+        return ThreadExecutor()
+    if isinstance(spec, str):
+        try:
+            factory = EXECUTORS[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown executor {spec!r} (choose from {sorted(EXECUTORS)})"
+            ) from None
+        if factory is ProcessExecutor:
+            return ProcessExecutor(max_workers=max_workers)
+        return factory()
+    if isinstance(spec, type) and issubclass(spec, Executor):
+        return spec()
+    if isinstance(spec, Executor):
+        return spec
+    raise TypeError(f"executor must be None, a name, or an Executor (got {type(spec).__name__})")
+
+
+__all__ = [
+    "CONTROL_VERBS",
+    "EXECUTORS",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "make_executor",
+]

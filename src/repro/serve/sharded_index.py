@@ -53,8 +53,8 @@ import copy
 import random
 import threading
 import time
-import weakref
-from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
+import warnings
+from concurrent.futures import CancelledError, Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import (
     Callable,
@@ -73,6 +73,8 @@ from repro.geometry.rect import Rect
 from repro.objects.knn import AdaptiveRadius, KNNQuery
 from repro.objects.moving_object import MovingObject
 from repro.objects.queries import RangeQuery
+from repro.serve.config import ServeConfig
+from repro.serve.executor import Executor, make_executor
 from repro.serve.shard_log import ShardLog
 from repro.serve.supervisor import (
     SHARD_FAILED,
@@ -195,6 +197,73 @@ class _AggregateBuffer:
             shard.buffer.batch_hints_enabled = enabled
 
 
+class _FamilyFactory:
+    """Zero-argument shard factory for a *named* index family.
+
+    What :meth:`ShardedIndex.build` arms as ``shard_factory``: builds one
+    empty ``Bx`` / ``TPR`` / ``TPR*`` instance with its own buffer pool
+    (imports deferred — the serving layer otherwise has no dependency on
+    the index families).  The VP variants need workload-derived velocity
+    partitioning and are passed to ``build`` as a callable instead.
+    """
+
+    def __init__(
+        self,
+        family: str,
+        space: Optional[Rect] = None,
+        buffer_pages: int = 50,
+        page_size: Optional[int] = None,
+        max_update_interval: Optional[float] = None,
+    ) -> None:
+        if family not in ("Bx", "TPR", "TPR*"):
+            raise ValueError(
+                f"unknown index family {family!r} (named families: Bx, TPR, "
+                "TPR*; pass a callable for the VP variants)"
+            )
+        self.family = family
+        self.space = space
+        self.buffer_pages = buffer_pages
+        self.page_size = page_size
+        self.max_update_interval = max_update_interval
+
+    def __call__(self, buffer=None):
+        from repro.storage.buffer_manager import BufferManager
+
+        if buffer is None:
+            buffer = BufferManager(capacity=self.buffer_pages)
+        extra = {}
+        if self.page_size is not None:
+            extra["page_size"] = self.page_size
+        if self.family == "Bx":
+            from repro.bxtree.bx_tree import BxTree
+
+            if self.max_update_interval is not None:
+                extra["max_update_interval"] = self.max_update_interval
+            if self.space is not None:
+                extra["space"] = self.space
+            return BxTree(buffer=buffer, **extra)
+        if self.family == "TPR":
+            from repro.tprtree.tpr_tree import TPRTree
+
+            return TPRTree(buffer=buffer, **extra)
+        from repro.tprtree.tprstar_tree import TPRStarTree
+
+        return TPRStarTree(buffer=buffer, **extra)
+
+
+#: Legacy ``ShardedIndex.__init__`` keyword arguments that now live on
+#: :class:`ServeConfig` (passing any of them emits a DeprecationWarning).
+_LEGACY_KWARGS = (
+    "name",
+    "space",
+    "max_workers",
+    "shard_factory",
+    "supervisor",
+    "logs",
+    "stores",
+)
+
+
 class ShardedIndex:
     """Hash-partitioned serving facade over independent index shards.
 
@@ -202,36 +271,44 @@ class ShardedIndex:
         shards: fully built index instances, one per shard.  Every shard
             must have its *own* buffer pool — shards are the unit of
             parallelism, and a shared pool would race.
-        name: display name used by the harness.
-        space: data space (forwarded as the default kNN search space).
-        max_workers: thread-pool width for fan-out; defaults to the shard
-            count.  Must be at least 1.
-        shard_factory: zero-argument callable building one fresh, empty
-            shard (same family and configuration as ``shards``).  Enables
-            automatic shard recovery: a failed mutation rebuilds the
-            owning shard and replays its write-ahead log.  Without a
-            factory, failed shards stay failed (queries can still degrade
-            with ``partial=True``).
-        supervisor: retry/backoff, circuit-breaker and timeout policy
-            (:class:`~repro.serve.supervisor.SupervisorConfig`); the
-            default policy retries transient faults and trips a shard's
-            breaker after 3 consecutive failures, with no timeouts.
-        logs: pre-built per-shard write-ahead logs (one per shard).  The
-            durable store passes :class:`~repro.serve.shard_log.
-            DurableShardLog` instances here; by default each shard gets a
-            private in-memory :class:`ShardLog`.
-        stores: per-shard :class:`~repro.serve.durable_store.ShardStore`
-            backends (one per shard).  When present, recovery restores
-            the shard from its checkpoint image instead of rebuilding
-            from ``shard_factory``, and :meth:`checkpoint`/:meth:`close`
-            persist through them.  Normally wired by
-            :class:`~repro.serve.durable_store.DurableStore`, not by
-            hand.
+        config: a :class:`~repro.serve.ServeConfig` bundling everything
+            else (name, space, executor, supervision, WAL/stores) — see
+            its field docs.  ``None`` means all defaults.
+        executor: convenience override of ``config.executor`` — where
+            shard calls run: ``"serial"``, ``"thread"`` (default),
+            ``"process"``, or an unattached
+            :class:`~repro.serve.Executor` instance.
+        name: deprecated — use ``config=ServeConfig(name=...)``.
+        space: deprecated — use ``config`` (data space, forwarded as the
+            default kNN search space).
+        max_workers: deprecated — use ``config`` (fan-out width;
+            defaults to the shard count, must be at least 1).
+        shard_factory: deprecated — use ``config`` (zero-argument
+            callable building one fresh, empty shard; arms automatic
+            WAL-replay recovery.  Without a factory, baseline or store,
+            failed shards stay failed — queries can still degrade with
+            ``partial=True``).
+        supervisor: deprecated — use ``config`` (retry/backoff, circuit
+            breaker and timeout policy; the default retries transient
+            faults and trips a shard's breaker after 3 consecutive
+            failures, with no timeouts).
+        logs: deprecated — use ``config`` (pre-built per-shard
+            write-ahead logs, one per shard; the durable store passes
+            :class:`~repro.serve.shard_log.DurableShardLog` instances,
+            by default each shard gets a private in-memory
+            :class:`ShardLog`).
+        stores: deprecated — use ``config`` (per-shard durable
+            :class:`~repro.serve.durable_store.ShardStore` backends;
+            normally wired by :class:`~repro.serve.DurableStore`, not by
+            hand.  Durable stores require an in-process executor).
     """
 
     def __init__(
         self,
         shards: Sequence,
+        config: Optional[ServeConfig] = None,
+        *,
+        executor: Optional[object] = None,
         name: Optional[str] = None,
         space: Optional[Rect] = None,
         max_workers: Optional[int] = None,
@@ -240,20 +317,56 @@ class ShardedIndex:
         logs: Optional[Sequence[ShardLog]] = None,
         stores: Optional[Sequence[object]] = None,
     ) -> None:
+        if config is not None and not isinstance(config, ServeConfig):
+            raise TypeError(
+                "the second ShardedIndex argument is a ServeConfig; pass "
+                "legacy options by keyword (deprecated) or on the config"
+            )
+        legacy = {
+            key: value
+            for key, value in (
+                ("name", name),
+                ("space", space),
+                ("max_workers", max_workers),
+                ("shard_factory", shard_factory),
+                ("supervisor", supervisor),
+                ("logs", logs),
+                ("stores", stores),
+            )
+            if value is not None
+        }
+        resolved = config if config is not None else ServeConfig()
+        if legacy:
+            warnings.warn(
+                "passing "
+                + "/".join(sorted(legacy))
+                + " to ShardedIndex directly is deprecated; bundle them in "
+                "a ServeConfig (see docs/sharding.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            resolved = resolved.merged(**legacy)
+        if executor is not None:
+            resolved = resolved.merged(executor=executor)
         shards = list(shards)
         if not shards:
             raise ValueError("a ShardedIndex needs at least one shard (num_shards >= 1)")
-        if max_workers is not None and max_workers < 1:
+        if resolved.max_workers is not None and resolved.max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         buffers = [shard.buffer for shard in shards]
         if len({id(buffer) for buffer in buffers}) != len(buffers):
             raise ValueError("shards must not share a buffer pool")
-        self.shards = shards
-        self.name = name or f"{getattr(shards[0], 'name', type(shards[0]).__name__)}"
-        self.space = space
-        self.shard_factory = shard_factory
-        self._config = supervisor if supervisor is not None else SupervisorConfig()
-        self.buffer = _AggregateBuffer(shards)
+        self.config = resolved
+        self.name = resolved.name or (
+            f"{getattr(shards[0], 'name', type(shards[0]).__name__)}"
+        )
+        self.space = resolved.space
+        self.shard_factory = resolved.shard_factory
+        self._config = (
+            resolved.supervisor if resolved.supervisor is not None else SupervisorConfig()
+        )
+        logs = resolved.logs
+        stores = resolved.stores
         self._locks = [threading.Lock() for _ in shards]
         if logs is None:
             self._logs: List[ShardLog] = [ShardLog() for _ in shards]
@@ -267,11 +380,26 @@ class ShardedIndex:
             self._stores = list(stores)
             if len(self._stores) != len(shards):
                 raise ValueError("stores must match the shard count")
+        self._backend: Executor = make_executor(
+            resolved.executor, max_workers=resolved.max_workers
+        )
+        if self._backend.kind == "process" and any(
+            store is not None for store in self._stores
+        ):
+            raise ValueError(
+                "durable stores require an in-process executor (serial/thread): "
+                "checkpointing talks to the shard's pages directly"
+            )
+        # Handles: the objects supervised tasks run against.  For the
+        # in-process executors these are the shard indexes themselves;
+        # for the process executor they are worker proxies.
+        self.shards = self._backend.attach(shards, resolved.max_workers)
+        self.buffer = _AggregateBuffer(self.shards)
         # Per-shard deepcopy of the shard at its last checkpoint: the
         # in-memory recovery source once the WAL has been compacted
         # (durable shards restore from their checkpoint image instead).
         self._baselines: List[Optional[object]] = [None for _ in shards]
-        self._stores_closed = False
+        self._closed = False
         self._breakers = [
             CircuitBreaker(
                 failure_threshold=self._config.failure_threshold,
@@ -289,9 +417,6 @@ class ShardedIndex:
         #: Completed recoveries, oldest first (shard id, wall seconds,
         #: replayed record count, attempts) — read by the fault bench.
         self.recovery_events: List[Dict[str, float]] = []
-        self._max_workers = max_workers or len(shards)
-        self._pool: Optional[ThreadPoolExecutor] = None
-        self._pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Shard plumbing
@@ -317,61 +442,69 @@ class ShardedIndex:
         """Current circuit-breaker state per shard."""
         return [breaker.state for breaker in self._breakers]
 
-    def _executor(self) -> ThreadPoolExecutor:
-        with self._pool_lock:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self._max_workers,
-                    thread_name_prefix=f"shard-{self.name}",
-                )
-                # Reclaim the worker threads with the index: the finalizer
-                # holds the pool, not ``self``, so it cannot keep the
-                # index alive.
-                weakref.finalize(self, self._pool.shutdown, wait=False)
-            return self._pool
+    @property
+    def executor(self) -> Executor:
+        """The executor backend shard calls run on (read-only)."""
+        return self._backend
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (a closed index rejects calls)."""
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                f"ShardedIndex {self.name!r} is closed; build a new one "
+                "(or reopen its DurableStore) instead of reusing it"
+            )
 
     def close(self) -> None:
-        """Shut down the pool, flush every shard, persist durable shards.
+        """Shut down the executor, flush every shard, persist durable shards.
 
-        Queued-but-unstarted tasks are cancelled; running tasks are
-        awaited, so after ``close()`` returns no worker can still be
+        Queued-but-unstarted fan-out tasks are cancelled; running tasks
+        are awaited, so after ``close()`` returns no worker can still be
         touching a shard.  Every shard's buffer is then flushed — a
         durable backend must never silently drop dirty frames on a clean
         shutdown (a shard whose storage is faulted cannot flush and is
         skipped; nothing is lost in-memory, and a durable shard recovers
         from its WAL).  Shards with a durable store are checkpointed and
         their stores closed, so a clean shutdown leaves an empty WAL and
-        reopening replays nothing.  An in-memory index stays usable after
-        ``close()``; a durable one does not (its page files are closed).
+        reopening replays nothing.  Finally the executor itself is torn
+        down — worker processes exit here, never via garbage collection.
+
+        ``close()`` is terminal: the index rejects further operations,
+        and a second ``close()`` raises ``RuntimeError`` (``with`` blocks
+        stay safe — ``__exit__`` only closes an index that is still
+        open).
         """
-        with self._pool_lock:
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True, cancel_futures=True)
+        self._ensure_open()
+        self._backend.quiesce()
         for shard_id in range(len(self.shards)):
             store = self._stores[shard_id]
             with self._locks[shard_id]:
                 if store is not None:
-                    if not self._stores_closed:
-                        self._compact_locked(shard_id)
-                        store.close()
+                    self._compact_locked(shard_id)
+                    store.close()
                 else:
                     try:
                         self.shards[shard_id].buffer.flush()
                     except InjectedFault:
                         pass
-        if any(store is not None for store in self._stores):
-            self._stores_closed = True
+        self._backend.close()
+        self._closed = True
 
     def checkpoint(self) -> None:
         """Checkpoint every shard and truncate its write-ahead log.
 
         Per shard (under its lock): flush the buffer's dirty frames, then
         either commit a new checkpoint generation through the shard's
-        durable store, or — for in-memory shards — capture a deepcopy
-        baseline; in both cases the WAL is truncated afterwards, so the
-        next recovery replays only the tail logged since this call.
+        durable store, or — for in-memory shards — capture a baseline
+        snapshot through the executor; in both cases the WAL is truncated
+        afterwards, so the next recovery replays only the tail logged
+        since this call.
         """
+        self._ensure_open()
         for shard_id in range(len(self.shards)):
             with self._locks[shard_id]:
                 self._compact_locked(shard_id)
@@ -387,14 +520,107 @@ class ShardedIndex:
 
         return DurableStore(root).open(**kwargs)
 
+    @classmethod
+    def build(
+        cls,
+        family: Union[str, Callable[[], object]] = "Bx",
+        shards: int = DEFAULT_SHARDS,
+        executor: Optional[object] = None,
+        durable_dir: Optional[str] = None,
+        config: Optional[ServeConfig] = None,
+        *,
+        space: Optional[Rect] = None,
+        buffer_pages: int = 50,
+        page_size: Optional[int] = None,
+        max_update_interval: Optional[float] = None,
+        supervisor: Optional[SupervisorConfig] = None,
+        max_workers: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> "ShardedIndex":
+        """Build a ready-to-serve sharded index in one call.
+
+        Wires the shards, the shard factory (arming WAL-replay recovery),
+        the executor and — with ``durable_dir`` — the per-shard durable
+        stores, replacing the historical dance of building N index
+        instances by hand and threading eight keyword arguments through.
+
+        Args:
+            family: index family name (``"Bx"``, ``"TPR"``, ``"TPR*"``)
+                or a zero-argument callable building one shard (use a
+                callable for the VP variants, whose velocity partitioning
+                needs workload data).
+            shards: shard count (default :data:`DEFAULT_SHARDS`).
+            executor: ``"serial"`` / ``"thread"`` / ``"process"`` or an
+                :class:`~repro.serve.Executor` instance; default thread.
+            durable_dir: when set, create (or reopen, if it already holds
+                a manifest) a :class:`~repro.serve.DurableStore` at this
+                path instead of serving from memory.  Requires a *named*
+                family and an in-process executor.
+            config: base :class:`ServeConfig`; the explicit arguments
+                override its fields.
+            space: data space for ``"Bx"`` shards and kNN defaults.
+            buffer_pages: per-shard buffer-pool capacity.
+            page_size: page size in bytes (family default when ``None``).
+            max_update_interval: Bx-tree update horizon (family default
+                when ``None``).
+            supervisor: retry/breaker/timeout policy.
+            max_workers: fan-out width (default: the shard count).
+            name: display name (default: the family name).
+        """
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if callable(family):
+            factory: Callable[[], object] = family
+            family_name = getattr(family, "__name__", type(family).__name__)
+        else:
+            factory = _FamilyFactory(
+                family,
+                space=space,
+                buffer_pages=buffer_pages,
+                page_size=page_size,
+                max_update_interval=max_update_interval,
+            )
+            family_name = family
+        base = config if config is not None else ServeConfig()
+        base = base.merged(
+            name=name or base.name or family_name,
+            space=space,
+            executor=executor,
+            max_workers=max_workers,
+            shard_factory=factory,
+            supervisor=supervisor,
+        )
+        if durable_dir is not None:
+            if callable(family):
+                raise ValueError(
+                    "durable_dir needs a named family (the store owns each "
+                    "shard's buffer; a custom factory cannot accept it)"
+                )
+            from repro.serve.durable_store import DurableStore
+
+            store = DurableStore(durable_dir)
+            if store.exists:
+                return store.open(config=base)
+            return store.create(
+                factory,
+                num_shards=shards,
+                name=base.name,
+                space=space,
+                buffer_pages=buffer_pages,
+                config=base,
+            )
+        return cls([factory() for _ in range(shards)], config=base)
+
     def __enter__(self) -> "ShardedIndex":
         return self
 
     def __exit__(self, *exc_info) -> None:
         # Runs on success *and* when an exception escaped mid-fan-out;
         # _gather has already cancelled/awaited that call's futures, so
-        # shutdown cannot deadlock on abandoned work.
-        self.close()
+        # shutdown cannot deadlock on abandoned work.  Tolerates an index
+        # the body already closed (close() itself is once-only).
+        if not self._closed:
+            self.close()
 
     # ------------------------------------------------------------------
     # Supervised execution
@@ -504,7 +730,10 @@ class ShardedIndex:
             store.checkpoint(shard, log)
         else:
             shard.buffer.flush()
-            self._baselines[shard_id] = copy.deepcopy(shard)
+            # The executor materializes the baseline in the parent: a
+            # deepcopy in-process, the worker's pickled state in process
+            # mode — either way a real index object, not a handle.
+            self._baselines[shard_id] = self._backend.snapshot(shard_id)
             log.truncate()
 
     def _recover_locked(self, shard_id: int) -> object:
@@ -540,7 +769,10 @@ class ShardedIndex:
                     self._config.sleep(retry.backoff_delay(attempt, rng))
                     continue
                 raise
-            self.shards[shard_id] = fresh
+            # Hand the recovered shard to the executor: in-process
+            # backends swap it in place, the process backend ships it to
+            # a respawned worker and returns a fresh proxy handle.
+            self.shards[shard_id] = self._backend.replace(shard_id, fresh)
             self._breakers[shard_id].reset()
             replayed = len(self._logs[shard_id])
             try:
@@ -569,6 +801,7 @@ class ShardedIndex:
         call this on a shard whose circuit stays open); requires a
         ``shard_factory``.
         """
+        self._ensure_open()
         with self._locks[shard_id]:
             self._recover_locked(shard_id)
 
@@ -641,12 +874,16 @@ class ShardedIndex:
         Results, statuses and failures are keyed by shard so merge order
         never depends on thread scheduling.
         """
+        self._ensure_open()
         statuses = {shard_id: ShardStatus(shard_id) for shard_id in tasks}
 
         def work(shard_id: int, task: Callable[[object], T]) -> T:
             return self._locked_supervised(shard_id, task, read_only, statuses[shard_id])
 
-        if len(tasks) <= 1 and timeout is None:
+        # Serial executors run every task inline (their point is a
+        # deterministic, reproducible interleaving); per-call timeouts
+        # need a second thread and are ignored there.
+        if (len(tasks) <= 1 and timeout is None) or not self._backend.parallel:
             results: Dict[int, T] = {}
             failures: Dict[int, ShardFailedError] = {}
             for shard_id, task in tasks.items():
@@ -657,7 +894,7 @@ class ShardedIndex:
                 except ShardFailedError as error:
                     failures[shard_id] = error
             return results, statuses, failures
-        pool = self._executor()
+        pool = self._backend.pool()
         futures = {
             shard_id: pool.submit(work, shard_id, task) for shard_id, task in tasks.items()
         }
@@ -732,6 +969,7 @@ class ShardedIndex:
     # Updates (routed by owning shard, write-ahead logged)
     # ------------------------------------------------------------------
     def __len__(self) -> int:
+        self._ensure_open()
         return sum(len(shard) for shard in self.shards)
 
     def _single(self, shard_id: int, task: Callable[[object], T]) -> T:

@@ -26,6 +26,7 @@ from repro.geometry.vector import Vector
 from repro.objects.knn import KNNQuery
 from repro.objects.moving_object import MovingObject
 from repro.objects.queries import RangeQuery, RectangularRange
+from repro.serve.config import ServeConfig
 from repro.serve.durable_store import DurableStore
 from repro.serve.sharded_index import ShardedIndex
 from repro.storage.buffer_manager import BufferManager
@@ -117,7 +118,9 @@ def answers(index):
 def build_twin():
     """An in-memory sharded twin (same factories, same topology)."""
     shards = [make_shard(BufferManager(capacity=BUFFER_PAGES)) for _ in range(NUM_SHARDS)]
-    return ShardedIndex(shards, name="Bx-twin", space=SPACE, max_workers=1)
+    return ShardedIndex(
+        shards, ServeConfig(name="Bx-twin", space=SPACE, max_workers=1)
+    )
 
 
 def main(root, kill_event, kill_ordinal):

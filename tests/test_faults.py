@@ -35,6 +35,7 @@ from repro.serve import (
     CircuitBreaker,
     PartialResult,
     RetryPolicy,
+    ServeConfig,
     ShardedIndex,
     ShardFailedError,
     ShardLog,
@@ -535,18 +536,25 @@ def test_sharded_index_rejects_empty_and_bad_worker_counts(workload):
         ShardedIndex([])
     shard = build_standard_indexes(workload, PARAMS, which=("Bx",))["Bx"]
     with pytest.raises(ValueError):
-        ShardedIndex([shard], max_workers=0)
+        ShardedIndex([shard], ServeConfig(max_workers=0))
 
 
-def test_close_is_idempotent_and_safe_after_fan_out_failure(workload):
+def test_close_is_terminal(workload):
     index = _build(workload, shards=2, supervisor=_supervisor())
     probes = _knn_probes(workload)[:2]
     index.knn_query_batch(probes)  # spin the pool up
     index.close()
-    index.close()  # second close is a no-op
-    # The pool restarts transparently on the next call.
-    assert index.knn_query_batch(probes) == index.knn_query_batch(probes)
-    index.close()
+    assert index.closed
+    # close() is terminal: a second close and any further operation both
+    # raise (the executor — and with it any worker process — is gone).
+    with pytest.raises(RuntimeError, match="closed"):
+        index.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        index.knn_query_batch(probes)
+    with pytest.raises(RuntimeError, match="closed"):
+        len(index)
+    with pytest.raises(RuntimeError, match="closed"):
+        index.checkpoint()
 
 
 def test_context_manager_closes_after_mid_fan_out_exception(workload):
@@ -559,9 +567,17 @@ def test_context_manager_closes_after_mid_fan_out_exception(workload):
         with _build(workload, shards=2, supervisor=_supervisor()) as index:
             index.shards[1].range_query_batch = broken
             index.range_query_batch([workload.query_events[0].query])
-    # __exit__ ran: the pool is gone and a second close stays a no-op.
-    assert index._pool is None
-    index.close()
+    # __exit__ ran: the executor is torn down and the index is terminal.
+    assert index.closed
+    with pytest.raises(RuntimeError, match="closed"):
+        index.close()
+
+
+def test_exit_tolerates_a_close_inside_the_block(workload):
+    # Closing inside the body must not make __exit__ raise.
+    with _build(workload, shards=2, supervisor=_supervisor()) as index:
+        index.close()
+    assert index.closed
 
 
 def test_non_fault_exceptions_propagate_raw(workload):
@@ -820,7 +836,9 @@ def test_recovery_without_factory_fails_strictly(workload):
     shards = [
         build_standard_indexes(workload, PARAMS, which=("Bx",))["Bx"] for _ in range(2)
     ]
-    index = ShardedIndex(shards, space=PARAMS.space, supervisor=_supervisor())
+    index = ShardedIndex(
+        shards, ServeConfig(space=PARAMS.space, supervisor=_supervisor())
+    )
     try:
         index.bulk_load(workload.initial_objects)
         injector = fault_wrap(index.shards[0].buffer)

@@ -17,7 +17,7 @@ import pytest
 
 from repro.bench.harness import build_standard_indexes
 from repro.objects.knn import KNNQuery
-from repro.serve import ShardedIndex, shard_of
+from repro.serve import ServeConfig, ShardedIndex, shard_of
 from repro.workload.events import UpdateEvent
 from repro.workload.generator import build_workload
 from repro.workload.parameters import WorkloadParameters
@@ -183,7 +183,9 @@ def test_one_shard_io_equals_unsharded(workload, batches, name):
     """
     plain = _build(workload, name)
     single = _build(workload, name, shards=1)
-    wrapped = ShardedIndex([_build(workload, name)], name=name, space=PARAMS.space)
+    wrapped = ShardedIndex(
+        [_build(workload, name)], ServeConfig(name=name, space=PARAMS.space)
+    )
     # shards=1 from the harness returns the plain index itself.
     assert not isinstance(single, ShardedIndex)
 
