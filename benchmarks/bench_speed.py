@@ -214,6 +214,35 @@ PERSIST_INDEXES = ("Bx",)
 #: Index families measured by the fault-injection run.
 FAULT_INDEXES = ("Bx",)
 
+#: HTAP (mixed-workload) run: one updater thread streams update batches
+#: while query threads answer epoch-pinned range/kNN batches, and every
+#: answer is checked bit for bit against the consistency oracle's
+#: quiescent twin (docs/htap.md).
+HTAP_PARAMS = dict(
+    num_objects=10_000,
+    time_duration=60.0,
+    num_queries=40,
+    buffer_pages=50,
+    page_size=4096,
+)
+
+#: Quick scale for the CI `htap` job's smoke run.
+HTAP_QUICK_PARAMS = dict(
+    num_objects=1_500,
+    time_duration=30.0,
+    num_queries=10,
+    buffer_pages=50,
+    page_size=4096,
+)
+
+#: Shard count, executor, query threads and families of the HTAP run.
+#: The thread executor is the default: the consistency claim is about
+#: concurrent readers, which need a parallel backend to contend at all.
+HTAP_SHARDS = 4
+HTAP_EXECUTOR = "thread"
+HTAP_QUERY_CLIENTS = 2
+HTAP_INDEXES = ("Bx", "TPR*")
+
 #: Index families measured by the scale sweep: one representative per
 #: family keeps the pure-Python replay tractable at 20k objects.
 SCALE_INDEXES = ("Bx", "TPR*")
@@ -594,6 +623,88 @@ def measure_serve(
     }
 
 
+def measure_htap(
+    dataset: str = "SA",
+    params: Optional[WorkloadParameters] = None,
+    which: Sequence[str] = HTAP_INDEXES,
+    shards: int = HTAP_SHARDS,
+    executor: str = HTAP_EXECUTOR,
+    query_clients: int = HTAP_QUERY_CLIENTS,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Mixed update/query workload under epoch-pinned snapshot serving.
+
+    For every index family a sharded index is bulk-loaded and then
+    hammered by :func:`load_driver.run_htap`: one updater thread streams
+    the workload's update batches flat out while ``query_clients``
+    threads answer epoch-pinned range/kNN batches.  Every mutation and
+    every answer is recorded into an :class:`~repro.serve.EpochOracle`,
+    whose quiescent twin re-evaluates each answer at its pinned epoch —
+    the row's ``answers_consistent`` flag is 1.0 only if every
+    concurrent answer was bit-identical.  ``update_throughput_ops`` is
+    the sustained update rate under that concurrent read load, and
+    ``epoch_lag_max`` bounds how far behind the published epoch any
+    pinned answer ran.
+    """
+    import load_driver
+
+    from repro.serve import EpochOracle
+
+    if params is None:
+        params = WorkloadParameters(**HTAP_PARAMS)
+    workload = build_workload(dataset, params)
+    probes = knn_queries_from_workload(workload)
+    batches = workload.grouped_events(window=1.0)
+    update_batches = [
+        [(event.old, event.new) for event in batch]
+        for batch in batches
+        if isinstance(batch[0], UpdateEvent)
+    ]
+    queries = [e.query for b in batches if not isinstance(b[0], UpdateEvent) for e in b]
+    rows: Dict[str, Dict[str, object]] = {}
+    for name in which:
+        index = build_standard_indexes(
+            workload, params, which=(name,), shards=shards, executor=executor
+        )[name]
+        oracle = EpochOracle(
+            num_shards=shards, shard_factory=index.shard_factory, space=params.space
+        )
+        try:
+            index.bulk_load(workload.initial_objects)
+            oracle.record_mutation(
+                index.epoch, "bulk_load", (workload.initial_objects, None)
+            )
+            report = load_driver.run_htap(
+                index,
+                oracle,
+                update_batches,
+                queries,
+                probes,
+                query_clients=query_clients,
+                space=params.space,
+                seed=seed,
+            )
+        finally:
+            oracle.close()
+            index.close()
+        rows[name] = report
+    return {
+        "dataset": dataset,
+        "params": {
+            "num_objects": params.num_objects,
+            "time_duration": params.time_duration,
+            "num_queries": params.num_queries,
+            "buffer_pages": params.buffer_pages,
+            "page_size": params.page_size,
+            "shards": shards,
+            "executor": executor,
+            "query_clients": query_clients,
+            "seed": seed,
+        },
+        "htap": rows,
+    }
+
+
 def measure_faults(
     dataset: str = "SA",
     params: Optional[WorkloadParameters] = None,
@@ -867,26 +978,40 @@ def run(
     faults: bool = False,
     persist: bool = False,
     serve: bool = False,
+    htap: bool = False,
     persist_dir: Optional[str] = None,
     shard_counts: Sequence[int] = SCALE_SHARD_COUNTS,
     executor: str = SERVE_EXECUTOR,
     workers: Optional[int] = None,
     clients: int = SERVE_CLIENTS,
     rate_ops_s: Optional[float] = None,
+    seed: int = 0,
 ) -> Dict[str, object]:
     """Measure, append to the history at ``output``, and return the report.
 
     ``scale=True`` runs the serving-layer shard-count sweep
     (:func:`measure_scale`), ``faults=True`` the fault-injection run
     (:func:`measure_faults`), ``persist=True`` the durable-store
-    lifecycle run (:func:`measure_persistence`), and ``serve=True`` the
+    lifecycle run (:func:`measure_persistence`), ``serve=True`` the
     executor-backed sweep plus the open-loop latency driver
-    (:func:`measure_serve`) instead of the standard build/replay
-    comparison; ``quick`` selects the smoke-scale parameter set in every
-    mode.
+    (:func:`measure_serve`), and ``htap=True`` the mixed-workload
+    snapshot-consistency run (:func:`measure_htap`) instead of the
+    standard build/replay comparison; ``quick`` selects the smoke-scale
+    parameter set in every mode.
     """
     started = time.perf_counter()
-    if serve:
+    if htap:
+        overrides = HTAP_QUICK_PARAMS if quick else HTAP_PARAMS
+        params = WorkloadParameters(**overrides)
+        report = measure_htap(
+            dataset=dataset,
+            params=params,
+            executor=executor,
+            query_clients=clients,
+            seed=seed,
+        )
+        report["mode"] = "htap-quick" if quick else "htap"
+    elif serve:
         overrides = SERVE_QUICK_PARAMS if quick else SERVE_PARAMS
         params = WorkloadParameters(**overrides)
         report = measure_serve(
@@ -976,7 +1101,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--persist-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS
     )
 
-    subparsers = parser.add_subparsers(dest="mode", metavar="{scale,faults,persist,serve}")
+    subparsers = parser.add_subparsers(
+        dest="mode", metavar="{scale,faults,persist,serve,htap}"
+    )
     shards_help = (
         "comma-separated shard counts; the unsharded baseline (1) is "
         "always included (default %(default)s)"
@@ -1047,6 +1174,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="open-loop arrival rate in ops/s (default: 70%% of the "
         "measured closed-loop throughput)",
     )
+    htap = subparsers.add_parser(
+        "htap",
+        parents=[common],
+        help="mixed-workload snapshot-consistency run: stream update "
+        "batches while epoch-pinned queries run concurrently, every "
+        "answer checked against the consistency oracle",
+    )
+    htap.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default=HTAP_EXECUTOR,
+        help="shard executor backend (default %(default)s)",
+    )
+    htap.add_argument(
+        "--clients",
+        type=int,
+        default=HTAP_QUERY_CLIENTS,
+        help="concurrent query threads (default %(default)s)",
+    )
+    htap.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed of the query threads' sampling (default %(default)s); "
+        "the published stress matrix runs the seeds in "
+        "load_driver.HTAP_SEEDS",
+    )
     return parser
 
 
@@ -1076,12 +1230,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         faults=mode == "faults",
         persist=mode == "persist",
         serve=mode == "serve",
+        htap=mode == "htap",
         persist_dir=getattr(args, "persist_dir", None),
         shard_counts=shard_counts,
-        executor=getattr(args, "executor", SERVE_EXECUTOR),
+        executor=getattr(
+            args, "executor", HTAP_EXECUTOR if mode == "htap" else SERVE_EXECUTOR
+        ),
         workers=getattr(args, "workers", None),
         clients=getattr(args, "clients", SERVE_CLIENTS),
         rate_ops_s=getattr(args, "rate", None),
+        seed=getattr(args, "seed", 0),
     )
     for name, row in report.get("persistence", {}).items():
         print(
@@ -1093,6 +1251,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{row['cold_query_ms']:7.3f}ms  "
             f"recovered match {row['recovered_match_range']:.0f}/"
             f"{row['recovered_match_knn']:.0f}"
+        )
+    for name, row in report.get("htap", {}).items():
+        print(
+            f"htap {name:10s} updates {row['update_throughput_ops']:9.1f} ops/s "
+            f"({row['updates_applied']} over {row['wall_s']:.1f}s)  "
+            f"epoch {row['final_epoch']} "
+            f"lag mean {row['epoch_lag_mean']:.2f} max {row['epoch_lag_max']:.0f}  "
+            f"answers {row['answers_checked']} "
+            f"consistent {row['answers_consistent']:.0f}"
         )
     for name, row in report.get("faults", {}).items():
         print(

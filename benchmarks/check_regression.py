@@ -9,7 +9,9 @@ serve entries — every row's batched per-op times (answers-match flags as
 floors) and the ``latency`` section's per-op-type p95s (closed-loop
 throughput as a floor), plus — for fault-injection entries —
 ``recovery_ms`` (latency, gated upward) and the degraded-answer recalls
-(quality, gated as floors).  The baseline is the
+(quality, gated as floors), plus — for HTAP mixed-workload entries — the
+update throughput under concurrent readers and the consistency-oracle
+verdict (floors) and the observed epoch lag (ceiling).  The baseline is the
 most recent history entry with the *same* mode, dataset and workload
 parameters — quick-mode smoke runs are never judged against full
 bench-scale entries, whose absolute per-operation times differ by an order
@@ -77,6 +79,21 @@ LATENCY_LOOPS = ("closed", "open")
 
 #: Op types of the latency section the gate walks.
 LATENCY_KINDS = ("update", "range", "knn")
+
+#: Throughput/correctness floors gated on HTAP (mixed-workload) entries
+#: (lower = regression): the sustained update rate under concurrent
+#: epoch-pinned readers, and the consistency oracle's verdict — a 0/1
+#: flag, so a single inconsistent answer erodes the floor and fails.
+HTAP_FLOORS = ("update_throughput_ops", "answers_consistent")
+
+#: Lag ceiling gated on HTAP entries (higher = regression): how far
+#: behind the published epoch pinned answers ran on average.  The
+#: *mean* is gated, not the max — the max is a single scheduling
+#: outlier away from tripling at smoke scale — with 1 epoch of absolute
+#: slack on top of the fractional limit so a near-zero baseline (a
+#: quiescent smoke run) does not turn one epoch of noise into a
+#: failure.
+HTAP_LAG_METRIC = "epoch_lag_mean"
 
 #: Indexes the gate watches.
 WATCHED_INDEXES = ("Bx",)
@@ -177,6 +194,39 @@ def _check_floor(
     if erosion > max_regression:
         failures.append(
             f"{label} {metric} eroded {erosion:+.1%} (floor -{max_regression:.0%})"
+        )
+
+
+def _check_ceiling_with_slack(
+    label: str,
+    metric: str,
+    new_row: Dict[str, object],
+    old_row: Dict[str, object],
+    max_regression: float,
+    failures: List[str],
+    slack: float = 1.0,
+) -> None:
+    """Gate an upward-bounded metric whose baseline may legitimately be 0.
+
+    The allowed value is ``(1 + max_regression) * max(old, slack)``: the
+    fractional band of :func:`_check_row` plus an absolute floor of
+    ``slack`` so a zero/near-zero baseline (a quiescent smoke run that
+    observed no lag) does not turn one unit of noise into a failure.
+    """
+    if metric not in old_row or metric not in new_row:
+        return
+    new_value = float(new_row[metric])
+    old_value = float(old_row[metric])
+    allowed = (1.0 + max_regression) * max(old_value, slack)
+    status = "ok" if new_value <= allowed else "REGRESSION"
+    print(
+        f"{label} {metric}: {old_value:.4f} -> {new_value:.4f} "
+        f"(ceiling {allowed:.4f}) {status}"
+    )
+    if new_value > allowed:
+        failures.append(
+            f"{label} {metric} rose to {new_value:.4f} "
+            f"(ceiling {allowed:.4f} from baseline {old_value:.4f})"
         )
 
 
@@ -289,6 +339,30 @@ def check(
                     max_regression,
                     failures,
                 )
+    # HTAP entries: update throughput under concurrent readers and the
+    # oracle's consistency verdict gated as floors, the observed epoch
+    # lag gated as a (slack-padded) ceiling.
+    if _section_has_baseline("htap", report, baseline):
+        new_htap = report.get("htap") or {}
+        old_htap = baseline.get("htap") or {}
+        for name in sorted(set(new_htap) & set(old_htap)):
+            for metric in HTAP_FLOORS:
+                _check_floor(
+                    f"{name}[htap]",
+                    metric,
+                    new_htap[name],
+                    old_htap[name],
+                    max_regression,
+                    failures,
+                )
+            _check_ceiling_with_slack(
+                f"{name}[htap]",
+                HTAP_LAG_METRIC,
+                new_htap[name],
+                old_htap[name],
+                max_regression,
+                failures,
+            )
     # Fault-injection entries: recovery latency is gated like any other
     # latency; degraded-answer recall is gated as a floor.
     if _section_has_baseline("faults", report, baseline):

@@ -13,6 +13,13 @@ calling shards that keep failing, failed mutations trigger automatic shard
 recovery by replaying the shard's write-ahead :class:`ShardLog`, and
 queries can opt into degraded :class:`PartialResult` answers from the
 healthy shards instead of raising.  See ``docs/robustness.md``.
+
+Since the snapshot-serving work, mixed read/write workloads are
+consistent too: every applied update batch atomically advances a global
+*epoch*, and each query batch pins one epoch and answers at that exact
+cross-shard cut (per-shard :class:`VersionedShard` undo overlays
+reconcile at merge time), verified bit-for-bit against a quiescent twin
+by the :class:`EpochOracle` harness.  See ``docs/htap.md``.
 """
 
 from repro.serve.config import ServeConfig
@@ -24,7 +31,9 @@ from repro.serve.executor import (
     ThreadExecutor,
     make_executor,
 )
+from repro.serve.oracle import EpochOracle
 from repro.serve.shard_log import LOG_OPS, DurableShardLog, ShardLog
+from repro.serve.snapshot import SnapshotTooOldError, VersionedShard
 from repro.serve.sharded_index import (
     DEFAULT_SHARDS,
     AggregateStats,
@@ -62,6 +71,7 @@ __all__ = [
     "DurableShardLog",
     "DurableStore",
     "EXECUTORS",
+    "EpochOracle",
     "Executor",
     "LOG_OPS",
     "PartialResult",
@@ -77,8 +87,10 @@ __all__ = [
     "ShardStatus",
     "ShardStore",
     "ShardedIndex",
+    "SnapshotTooOldError",
     "SupervisorConfig",
     "ThreadExecutor",
+    "VersionedShard",
     "dumps_index",
     "loads_index",
     "make_executor",

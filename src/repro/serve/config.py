@@ -46,6 +46,12 @@ class ServeConfig:
         logs: pre-existing write-ahead logs, one per shard (used by
             :class:`~repro.serve.DurableStore` when reopening).
         stores: per-shard durable page stores (ditto).
+        snapshots: epoch-based snapshot isolation (see ``docs/htap.md``).
+            When true (the default) every applied update batch advances a
+            global epoch, queries pin a consistent cross-shard epoch, and
+            shards keep the undo deltas readers still need.  ``False``
+            restores the quiescent-read contract with zero overlay
+            overhead (and makes epoch pinning raise).
     """
 
     name: Optional[str] = None
@@ -56,6 +62,7 @@ class ServeConfig:
     supervisor: Optional[Any] = None
     logs: Optional[Sequence[Any]] = field(default=None, repr=False)
     stores: Optional[Sequence[Any]] = field(default=None, repr=False)
+    snapshots: bool = True
 
     def merged(self, **overrides: Any) -> "ServeConfig":
         """A copy with every non-``None`` override applied."""

@@ -415,6 +415,7 @@ class DurableStore:
             supervisor=base.supervisor,
             logs=[store.log for store in stores],
             stores=stores,
+            snapshots=base.snapshots,
         )
         return ShardedIndex(shards, config=resolved)
 

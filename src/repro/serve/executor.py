@@ -255,9 +255,9 @@ def _shard_worker_main(conn, index: Any) -> None:
                 objects, strategy = args
                 loader = index.bulk_load
                 if strategy is not None and loader_accepts(loader, "strategy"):
-                    value = loader(objects, strategy=strategy)
+                    value = loader(objects, strategy=strategy, **kwargs)
                 else:
-                    value = loader(objects)
+                    value = loader(objects, **kwargs)
             else:
                 value = getattr(index, op)(*args, **kwargs)
             reply = (True, value, _stats_tuple(index.buffer.stats))
@@ -327,39 +327,49 @@ class _ProcessShard:
         return self._owner._call(self._shard_id, op, args, kwargs)
 
     # -- mutations -----------------------------------------------------
-    def insert(self, obj) -> None:
-        return self._call("insert", obj)
+    # Mutations forward **kwargs so the serving layer's snapshot plumbing
+    # (``epoch=…, gc_floor=…``) crosses the pipe to the versioned shard
+    # hosted in the worker; without snapshots the kwargs are simply empty.
+    def insert(self, obj, **kwargs) -> None:
+        return self._call("insert", obj, **kwargs)
 
-    def delete(self, obj) -> bool:
-        return self._call("delete", obj)
+    def delete(self, obj, **kwargs) -> bool:
+        return self._call("delete", obj, **kwargs)
 
-    def update(self, old, new) -> bool:
-        return self._call("update", old, new)
+    def update(self, old, new, **kwargs) -> bool:
+        return self._call("update", old, new, **kwargs)
 
-    def insert_batch(self, objects) -> None:
-        return self._call("insert_batch", list(objects))
+    def insert_batch(self, objects, **kwargs) -> None:
+        return self._call("insert_batch", list(objects), **kwargs)
 
-    def delete_batch(self, objects) -> List[bool]:
-        return self._call("delete_batch", list(objects))
+    def delete_batch(self, objects, **kwargs) -> List[bool]:
+        return self._call("delete_batch", list(objects), **kwargs)
 
-    def update_batch(self, pairs) -> int:
-        return self._call("update_batch", list(pairs))
+    def update_batch(self, pairs, **kwargs) -> int:
+        return self._call("update_batch", list(pairs), **kwargs)
 
-    def bulk_load(self, objects, strategy: Optional[str] = None) -> None:
+    def bulk_load(self, objects, strategy: Optional[str] = None, **kwargs) -> None:
         # The worker re-checks whether the hosted loader accepts a
         # strategy, so this proxy can always advertise the parameter.
         return self._owner._call(
-            self._shard_id, "bulk_load", (list(objects), strategy), {}
+            self._shard_id, "bulk_load", (list(objects), strategy), kwargs
         )
 
     # -- queries -------------------------------------------------------
-    def range_query(self, query, exact: bool = True) -> List[int]:
-        return self._call("range_query", query, exact=exact)
+    # ``epoch`` crosses the pipe only when pinned: an unversioned hosted
+    # shard (snapshots disabled) does not accept the parameter.
+    def range_query(self, query, exact: bool = True, epoch=None) -> List[int]:
+        extra = {} if epoch is None else {"epoch": epoch}
+        return self._call("range_query", query, exact=exact, **extra)
 
-    def range_query_batch(self, queries, exact: bool = True) -> List[List[int]]:
-        return self._call("range_query_batch", list(queries), exact=exact)
+    def range_query_batch(self, queries, exact: bool = True, epoch=None) -> List[List[int]]:
+        extra = {} if epoch is None else {"epoch": epoch}
+        return self._call("range_query_batch", list(queries), exact=exact, **extra)
 
-    def knn_query(self, center, k, query_time, issue_time=0.0, space=None, radius_state=None):
+    def knn_query(
+        self, center, k, query_time, issue_time=0.0, space=None, radius_state=None, epoch=None
+    ):
+        extra = {} if epoch is None else {"epoch": epoch}
         return self._call(
             "knn_query",
             center,
@@ -368,14 +378,20 @@ class _ProcessShard:
             issue_time=issue_time,
             space=space,
             radius_state=radius_state,
+            **extra,
         )
 
-    def knn_query_batch(self, queries, space=None, radius_state=None):
+    def knn_query_batch(self, queries, space=None, radius_state=None, epoch=None):
         # radius_state crosses as a pickled copy: the worker still shares
         # radii *within* the batch, but cross-shard adaptation is cut —
         # a pure perf hint either way (answers are radius independent).
+        extra = {} if epoch is None else {"epoch": epoch}
         return self._call(
-            "knn_query_batch", list(queries), space=space, radius_state=radius_state
+            "knn_query_batch",
+            list(queries),
+            space=space,
+            radius_state=radius_state,
+            **extra,
         )
 
     def __len__(self) -> int:

@@ -56,13 +56,16 @@ class ShardLog:
     __slots__ = ("_records",)
 
     def __init__(self) -> None:
-        self._records: List[Tuple[str, Any]] = []
+        self._records: List[Tuple[str, Any, Optional[int]]] = []
 
-    def append(self, op: str, payload: Any) -> None:
+    def append(self, op: str, payload: Any, epoch: Optional[int] = None) -> None:
         """Append one record; ``op`` must be a member of :data:`LOG_OPS`.
 
         Sequence payloads are copied into tuples so a caller mutating its
         batch list after the call cannot corrupt the replay history.
+        ``epoch`` is the global snapshot epoch the mutation was assigned
+        (``None`` for unversioned callers); replaying through a versioned
+        shard restores its epoch counter from these values.
         """
         if op not in LOG_OPS:
             raise ValueError(f"unknown shard-log op {op!r}")
@@ -71,11 +74,11 @@ class ShardLog:
             payload = (tuple(objects), strategy)
         elif op.endswith("_batch"):
             payload = tuple(payload)
-        self._store(op, payload)
+        self._store(op, payload, epoch)
 
-    def _store(self, op: str, payload: Any) -> None:
+    def _store(self, op: str, payload: Any, epoch: Optional[int]) -> None:
         """Persist one canonicalized record (subclasses add durability)."""
-        self._records.append((op, payload))
+        self._records.append((op, payload, epoch))
 
     def replay(self, index: Any) -> Any:
         """Apply every record to ``index`` in order; returns the last result.
@@ -84,9 +87,19 @@ class ShardLog:
         recently logged) operation would have returned on a never-failed
         shard — exactly what the supervisor must hand back to the caller
         whose mutation triggered the recovery.
+
+        A target exposing ``apply_logged`` (a versioned shard) receives
+        each record with its epoch, so recovery also restores the shard's
+        epoch counter and snapshot overlay; any other target gets the
+        plain public calls.
         """
         result: Any = None
-        for op, payload in self._records:
+        apply_logged = getattr(index, "apply_logged", None)
+        if apply_logged is not None:
+            for op, payload, epoch in self._records:
+                result = apply_logged(op, payload, epoch)
+            return result
+        for op, payload, _ in self._records:
             if op == "bulk_load":
                 objects, strategy = payload
                 loader = index.bulk_load
@@ -111,8 +124,21 @@ class ShardLog:
 
     @property
     def records(self) -> Sequence[Tuple[str, Any]]:
-        """The logged records, oldest first (read-only view)."""
+        """The logged ``(op, payload)`` pairs, oldest first (read-only view)."""
+        return tuple((op, payload) for op, payload, _ in self._records)
+
+    @property
+    def entries(self) -> Sequence[Tuple[str, Any, Optional[int]]]:
+        """The logged ``(op, payload, epoch)`` records, oldest first."""
         return tuple(self._records)
+
+    @property
+    def last_epoch(self) -> int:
+        """Highest epoch any record carries (0 when none do)."""
+        return max(
+            (epoch for _, _, epoch in self._records if epoch is not None),
+            default=0,
+        )
 
     def __len__(self) -> int:
         return len(self._records)
@@ -144,7 +170,9 @@ class DurableShardLog(ShardLog):
     """A :class:`ShardLog` whose records also live in an append-only file.
 
     Record format: ``length (u32) | crc32(body) (u32) | body`` where the
-    body is the pickled ``(op, payload)`` pair.  Appends are written and
+    body is the pickled ``(op, payload, epoch)`` record (files written
+    before epochs existed carry ``(op, payload)`` pairs and load with
+    ``epoch=None``).  Appends are written and
     (by default) fsync'd before :meth:`append` returns, so by the time the
     serving layer executes a mutation its WAL record is already durable —
     the invariant shard recovery relies on.
@@ -206,10 +234,12 @@ class DurableShardLog(ShardLog):
             if len(body) < length or zlib.crc32(body) != crc:
                 break
             try:
-                op, payload = pickle.loads(body)
+                record = pickle.loads(body)
+                op, payload = record[0], record[1]
+                epoch = record[2] if len(record) > 2 else None
             except Exception:
                 break
-            self._records.append((op, payload))
+            self._records.append((op, payload, epoch))
             offset += header.size + length
         self._size = offset
         if offset < len(data):
@@ -218,8 +248,8 @@ class DurableShardLog(ShardLog):
             os.ftruncate(self._fd, offset)
             self._file_sync()
 
-    def _store(self, op: str, payload: Any) -> None:
-        body = pickle.dumps((op, payload), protocol=pickle.HIGHEST_PROTOCOL)
+    def _store(self, op: str, payload: Any, epoch: Optional[int]) -> None:
+        body = pickle.dumps((op, payload, epoch), protocol=pickle.HIGHEST_PROTOCOL)
         frame = self._HEADER.pack(len(body), zlib.crc32(body)) + body
         with self._lock:
             if self._crash_hook is None:
@@ -231,7 +261,7 @@ class DurableShardLog(ShardLog):
                 os.pwrite(self._fd, frame[half:], self._size + half)
             self._file_sync()
             self._size += len(frame)
-            self._records.append((op, payload))
+            self._records.append((op, payload, epoch))
 
     def truncate(self) -> None:
         """Compact: drop the records and empty the backing file."""

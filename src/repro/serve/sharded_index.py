@@ -55,6 +55,7 @@ import threading
 import time
 import warnings
 from concurrent.futures import CancelledError, Future
+from contextlib import contextmanager
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import (
     Callable,
@@ -76,6 +77,7 @@ from repro.objects.queries import RangeQuery
 from repro.serve.config import ServeConfig
 from repro.serve.executor import Executor, make_executor
 from repro.serve.shard_log import ShardLog
+from repro.serve.snapshot import SnapshotTooOldError, VersionedShard
 from repro.serve.supervisor import (
     SHARD_FAILED,
     SHARD_SKIPPED,
@@ -380,6 +382,20 @@ class ShardedIndex:
             self._stores = list(stores)
             if len(self._stores) != len(shards):
                 raise ValueError("stores must match the shard count")
+        self._snapshots = bool(resolved.snapshots)
+        if self._snapshots:
+            # Epoch-version every shard.  A shard restored from a durable
+            # checkpoint arrives already wrapped (the wrapper travels
+            # through the checkpoint blob, epoch included); a raw shard
+            # starts at the highest epoch its WAL carries — its content
+            # already reflects those records (either it is fresh with an
+            # empty log, or the store replayed the tail into it).
+            shards = [
+                shard
+                if isinstance(shard, VersionedShard)
+                else VersionedShard(shard, epoch=self._logs[shard_id].last_epoch)
+                for shard_id, shard in enumerate(shards)
+            ]
         self._backend: Executor = make_executor(
             resolved.executor, max_workers=resolved.max_workers
         )
@@ -417,6 +433,23 @@ class ShardedIndex:
         #: Completed recoveries, oldest first (shard id, wall seconds,
         #: replayed record count, attempts) — read by the fault bench.
         self.recovery_events: List[Dict[str, float]] = []
+        # Snapshot-epoch state (see docs/htap.md).  One global counter,
+        # advanced per mutation batch under the single-writer lock; the
+        # *published* epoch trails it until the batch has scattered to
+        # every routed shard, and queries pin the published epoch.  Pins
+        # are refcounts keyed by epoch — their minimum is the GC floor no
+        # shard may prune past.
+        start_epoch = 0
+        if self._snapshots:
+            start_epoch = max(
+                max(shard.epoch for shard in shards),
+                max(log.last_epoch for log in self._logs),
+            )
+        self._epoch_counter = start_epoch
+        self._published_epoch = start_epoch
+        self._pins: Dict[int, int] = {}
+        self._write_lock = threading.Lock()
+        self._epoch_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Shard plumbing
@@ -446,6 +479,123 @@ class ShardedIndex:
     def executor(self) -> Executor:
         """The executor backend shard calls run on (read-only)."""
         return self._backend
+
+    # ------------------------------------------------------------------
+    # Snapshot epochs (see docs/htap.md)
+    # ------------------------------------------------------------------
+    @property
+    def snapshots_enabled(self) -> bool:
+        """Whether epoch-based snapshot serving is on (``ServeConfig.snapshots``)."""
+        return self._snapshots
+
+    @property
+    def epoch(self) -> int:
+        """The published snapshot epoch: the highest fully applied batch.
+
+        Advances atomically once a mutation batch has reached every shard
+        it routes to; a query that pins this epoch sees exactly the
+        batches numbered at or below it, on every shard, regardless of
+        what later batches are concurrently applying.
+        """
+        return self._published_epoch
+
+    @contextmanager
+    def pin(self):
+        """Pin the published epoch for a multi-call consistent read.
+
+        Yields the pinned epoch and keeps its undo deltas alive (the
+        overlay GC never prunes past the oldest live pin), so several
+        ``range_query_batch(..., epoch=pinned)`` / ``knn_query_batch``
+        calls inside the block all observe the same cross-shard cut even
+        while update batches keep streaming in::
+
+            with index.pin() as epoch:
+                ids = index.range_query_batch(queries, epoch=epoch)
+                nn = index.knn_query_batch(probes, epoch=epoch)
+        """
+        epoch = self._pin_epoch()
+        try:
+            yield epoch
+        finally:
+            self._unpin_epoch(epoch)
+
+    def _require_snapshots(self) -> None:
+        if not self._snapshots:
+            raise RuntimeError(
+                "snapshot serving is disabled for this index "
+                "(ServeConfig.snapshots=False); epochs cannot be pinned"
+            )
+
+    def _pin_epoch(self) -> int:
+        """Register a pin on the published epoch and return it."""
+        self._require_snapshots()
+        with self._epoch_lock:
+            epoch = self._published_epoch
+            self._pins[epoch] = self._pins.get(epoch, 0) + 1
+        return epoch
+
+    def _unpin_epoch(self, epoch: int) -> None:
+        with self._epoch_lock:
+            count = self._pins.get(epoch, 0) - 1
+            if count > 0:
+                self._pins[epoch] = count
+            else:
+                self._pins.pop(epoch, None)
+
+    def _resolve_pin(self, epoch: Optional[int]) -> Tuple[Optional[int], bool]:
+        """The epoch a query runs at, and whether this call owns the pin.
+
+        ``None`` with snapshots enabled auto-pins the published epoch for
+        the duration of the call; an explicit epoch is trusted (callers
+        obtain one from :meth:`pin`, which keeps its deltas alive) but
+        must already be published — pinning the future would break the
+        consistent-cut guarantee.
+        """
+        if epoch is None:
+            return (self._pin_epoch(), True) if self._snapshots else (None, False)
+        self._require_snapshots()
+        epoch = int(epoch)
+        if epoch < 0 or epoch > self._published_epoch:
+            raise ValueError(
+                f"epoch {epoch} is not published yet (published epoch: "
+                f"{self._published_epoch})"
+            )
+        return epoch, False
+
+    @contextmanager
+    def _update_epoch(self):
+        """Serialize one mutation batch and hand it the next epoch.
+
+        Yields ``(epoch, gc_floor)`` under the single-writer lock; the
+        epoch is published in the ``finally`` — its WAL records exist and
+        every routed shard either applied the batch or is marked failed
+        (a failed shard cannot silently answer a torn cut: strict queries
+        raise on it and partial queries skip it until it recovers, and
+        recovery replays the WAL through this very epoch).  The GC floor
+        is the oldest epoch a live pin still needs — computed under the
+        epoch lock so a pin registered concurrently can never be starved.
+        """
+        if not self._snapshots:
+            yield None, None
+            return
+        with self._write_lock:
+            with self._epoch_lock:
+                self._epoch_counter += 1
+                epoch = self._epoch_counter
+                gc_floor = min(self._pins) if self._pins else self._published_epoch
+            try:
+                yield epoch, gc_floor
+            finally:
+                with self._epoch_lock:
+                    if epoch > self._published_epoch:
+                        self._published_epoch = epoch
+
+    @staticmethod
+    def _epoch_kwargs(epoch: Optional[int], gc_floor: Optional[int]) -> Dict[str, int]:
+        """Mutation kwargs threading the epoch to versioned shards."""
+        if epoch is None:
+            return {}
+        return {"epoch": epoch, "gc_floor": gc_floor}
 
     @property
     def closed(self) -> bool:
@@ -707,11 +857,21 @@ class ShardedIndex:
         """
         store = self._stores[shard_id]
         if store is not None:
-            return store.restore_image()
-        baseline = self._baselines[shard_id]
-        if baseline is not None:
-            return copy.deepcopy(baseline)
-        return self.shard_factory()
+            fresh = store.restore_image()
+        else:
+            baseline = self._baselines[shard_id]
+            if baseline is not None:
+                # Baselines captured with snapshots on are wrappers
+                # already (epoch and retained overlay included).
+                fresh = copy.deepcopy(baseline)
+            else:
+                fresh = self.shard_factory()
+        if self._snapshots and not isinstance(fresh, VersionedShard):
+            # A raw recovery source predates every WAL record about to be
+            # replayed (checkpoint images compact the log), so it starts
+            # at epoch 0 and the replay advances it to the tail's epochs.
+            fresh = VersionedShard(fresh)
+        return fresh
 
     def _compact_locked(self, shard_id: int) -> None:
         """Checkpoint one shard and truncate its WAL (lock held by caller).
@@ -984,22 +1144,30 @@ class ShardedIndex:
     def insert(self, obj: MovingObject) -> None:
         """Insert an object into its owning shard."""
         shard_id = self.shard_of(obj.oid)
-        self._logs[shard_id].append("insert", obj)
-        self._single(shard_id, lambda shard: shard.insert(obj))
+        with self._update_epoch() as (epoch, gc_floor):
+            self._logs[shard_id].append("insert", obj, epoch=epoch)
+            kwargs = self._epoch_kwargs(epoch, gc_floor)
+            self._single(shard_id, lambda shard: shard.insert(obj, **kwargs))
 
     def delete(self, obj: MovingObject) -> bool:
         """Delete an object snapshot from its owning shard."""
         shard_id = self.shard_of(obj.oid)
-        self._logs[shard_id].append("delete", obj)
-        return self._single(shard_id, lambda shard: shard.delete(obj))
+        with self._update_epoch() as (epoch, gc_floor):
+            self._logs[shard_id].append("delete", obj, epoch=epoch)
+            kwargs = self._epoch_kwargs(epoch, gc_floor)
+            return self._single(shard_id, lambda shard: shard.delete(obj, **kwargs))
 
     def update(self, old: MovingObject, new: MovingObject) -> bool:
         """Update one object on its owning shard; True when ``old`` existed."""
         if old.oid != new.oid:
             raise ValueError("an update must keep the object id")
         shard_id = self.shard_of(old.oid)
-        self._logs[shard_id].append("update", (old, new))
-        return self._single(shard_id, lambda shard: shard.update(old, new))
+        with self._update_epoch() as (epoch, gc_floor):
+            self._logs[shard_id].append("update", (old, new), epoch=epoch)
+            kwargs = self._epoch_kwargs(epoch, gc_floor)
+            return self._single(
+                shard_id, lambda shard: shard.update(old, new, **kwargs)
+            )
 
     def bulk_load(self, objects: Sequence[MovingObject], strategy: Optional[str] = None) -> None:
         """Bulk-build every shard from its routed slice of ``objects``.
@@ -1009,44 +1177,65 @@ class ShardedIndex:
         ignore it, mirroring :meth:`IndexManager.bulk_load`.
         """
         objects = list(objects)
+        if not objects:
+            return
         groups = self._group_by_shard([obj.oid for obj in objects])
-        slices = {
-            shard_id: [objects[i] for i in members] for shard_id, members in groups.items()
-        }
-        for shard_id, group in slices.items():
-            self._logs[shard_id].append("bulk_load", (group, strategy))
+        with self._update_epoch() as (epoch, gc_floor):
+            slices = {
+                shard_id: [objects[i] for i in members]
+                for shard_id, members in groups.items()
+            }
+            for shard_id, group in slices.items():
+                self._logs[shard_id].append("bulk_load", (group, strategy), epoch=epoch)
+            kwargs = self._epoch_kwargs(epoch, gc_floor)
 
-        def load(shard, members: List[int]) -> None:
-            loader = shard.bulk_load
-            group = [objects[i] for i in members]
-            if strategy is not None and loader_accepts(loader, "strategy"):
-                loader(group, strategy=strategy)
-            else:
-                loader(group)
+            def load(shard, members: List[int]) -> None:
+                loader = shard.bulk_load
+                group = [objects[i] for i in members]
+                if strategy is not None and loader_accepts(loader, "strategy"):
+                    loader(group, strategy=strategy, **kwargs)
+                else:
+                    loader(group, **kwargs)
 
-        self._scatter(groups, load)
+            self._scatter(groups, load)
 
     def insert_batch(self, objects: Sequence[MovingObject]) -> None:
         """Insert a batch, one grouped ``insert_batch`` per owning shard."""
         objects = list(objects)
+        if not objects:
+            return
         groups = self._group_by_shard([obj.oid for obj in objects])
-        for shard_id, members in groups.items():
-            self._logs[shard_id].append("insert_batch", [objects[i] for i in members])
-        self._scatter(
-            groups,
-            lambda shard, members: shard.insert_batch([objects[i] for i in members]),
-        )
+        with self._update_epoch() as (epoch, gc_floor):
+            for shard_id, members in groups.items():
+                self._logs[shard_id].append(
+                    "insert_batch", [objects[i] for i in members], epoch=epoch
+                )
+            kwargs = self._epoch_kwargs(epoch, gc_floor)
+            self._scatter(
+                groups,
+                lambda shard, members: shard.insert_batch(
+                    [objects[i] for i in members], **kwargs
+                ),
+            )
 
     def delete_batch(self, objects: Sequence[MovingObject]) -> List[bool]:
         """Delete a batch; per-object success flags aligned with the input."""
         objects = list(objects)
+        if not objects:
+            return []
         groups = self._group_by_shard([obj.oid for obj in objects])
-        for shard_id, members in groups.items():
-            self._logs[shard_id].append("delete_batch", [objects[i] for i in members])
-        flag_groups = self._scatter(
-            groups,
-            lambda shard, members: shard.delete_batch([objects[i] for i in members]),
-        )
+        with self._update_epoch() as (epoch, gc_floor):
+            for shard_id, members in groups.items():
+                self._logs[shard_id].append(
+                    "delete_batch", [objects[i] for i in members], epoch=epoch
+                )
+            kwargs = self._epoch_kwargs(epoch, gc_floor)
+            flag_groups = self._scatter(
+                groups,
+                lambda shard, members: shard.delete_batch(
+                    [objects[i] for i in members], **kwargs
+                ),
+            )
         flags = [False] * len(objects)
         for shard_id, members in groups.items():
             for position, flag in zip(members, flag_groups[shard_id]):
@@ -1064,19 +1253,32 @@ class ShardedIndex:
         for old, new in pairs:
             if old.oid != new.oid:
                 raise ValueError("an update must keep the object id")
+        if not pairs:
+            return 0
         groups = self._group_by_shard([old.oid for old, _ in pairs])
-        for shard_id, members in groups.items():
-            self._logs[shard_id].append("update_batch", [pairs[i] for i in members])
-        counts = self._scatter(
-            groups,
-            lambda shard, members: shard.update_batch([pairs[i] for i in members]),
-        )
+        with self._update_epoch() as (epoch, gc_floor):
+            for shard_id, members in groups.items():
+                self._logs[shard_id].append(
+                    "update_batch", [pairs[i] for i in members], epoch=epoch
+                )
+            kwargs = self._epoch_kwargs(epoch, gc_floor)
+            counts = self._scatter(
+                groups,
+                lambda shard, members: shard.update_batch(
+                    [pairs[i] for i in members], **kwargs
+                ),
+            )
         return sum(counts.values())
 
     # ------------------------------------------------------------------
     # Queries (fan out to every shard, merge canonically)
     # ------------------------------------------------------------------
-    def range_query(self, query: RangeQuery, exact: bool = True) -> List[int]:
+    def range_query(
+        self,
+        query: RangeQuery,
+        exact: bool = True,
+        epoch: Optional[int] = None,
+    ) -> List[int]:
         """Object ids qualifying for ``query``, in ascending-id order.
 
         The union of the per-shard answers equals the unsharded answer
@@ -1084,15 +1286,24 @@ class ShardedIndex:
         serving layer's canonical answer order, chosen because it is
         shard-count invariant — per-candidate traversal order is not.
         """
-        return self.range_query_batch([query], exact=exact)[0]
+        return self.range_query_batch([query], exact=exact, epoch=epoch)[0]
 
     def range_query_batch(
         self,
         queries: Sequence[RangeQuery],
         exact: bool = True,
         partial: bool = False,
+        epoch: Optional[int] = None,
     ) -> Union[List[List[int]], PartialResult]:
         """Batched :meth:`range_query`; per-query results align with the input.
+
+        With snapshots enabled the whole batch is answered at one pinned
+        epoch: either the ``epoch`` argument (≤ the published epoch) or,
+        when ``None``, the epoch published at call time — so the batch
+        sees a consistent cross-shard cut even while update batches are
+        applied concurrently (see ``docs/htap.md``).  Pinning requires
+        ``exact=True``; approximate answers depend on live tree geometry
+        and are not reconstructible at an older epoch.
 
         With ``partial=True`` the call never raises on shard failure:
         open-circuit shards are skipped, failing/timing-out shards are
@@ -1101,11 +1312,25 @@ class ShardedIndex:
         no shard failed — then the payload equals the strict answer).
         """
         queries = list(queries)
-        if not queries:
-            return PartialResult([], []) if partial else []
-        per_shard, statuses = self._fan_out(
-            lambda shard: shard.range_query_batch(queries, exact=exact), partial=partial
-        )
+        if not exact:
+            if epoch is not None:
+                raise ValueError("epoch pinning requires exact=True")
+            pinned, owned = None, False
+        else:
+            pinned, owned = self._resolve_pin(epoch)
+        try:
+            if not queries:
+                return PartialResult([], [], epoch=pinned) if partial else []
+            shard_kwargs = {} if pinned is None else {"epoch": pinned}
+            per_shard, statuses = self._fan_out(
+                lambda shard: shard.range_query_batch(
+                    queries, exact=exact, **shard_kwargs
+                ),
+                partial=partial,
+            )
+        finally:
+            if owned:
+                self._unpin_epoch(pinned)
         results: List[List[int]] = []
         answered = sorted(per_shard)
         for qi in range(len(queries)):
@@ -1115,7 +1340,9 @@ class ShardedIndex:
             merged.sort()
             results.append(merged)
         if partial:
-            return PartialResult(results, [statuses[sid] for sid in sorted(statuses)])
+            return PartialResult(
+                results, [statuses[sid] for sid in sorted(statuses)], epoch=pinned
+            )
         return results
 
     def knn_query(
@@ -1126,10 +1353,13 @@ class ShardedIndex:
         issue_time: float = 0.0,
         space: Optional[Rect] = None,
         radius_state: Optional[AdaptiveRadius] = None,
+        epoch: Optional[int] = None,
     ) -> List[Tuple[int, float]]:
         """Single-probe kNN over every shard (see :meth:`knn_query_batch`)."""
         probe = KNNQuery(center=center, k=k, query_time=query_time, issue_time=issue_time)
-        return self.knn_query_batch([probe], space=space, radius_state=radius_state)[0]
+        return self.knn_query_batch(
+            [probe], space=space, radius_state=radius_state, epoch=epoch
+        )[0]
 
     def knn_query_batch(
         self,
@@ -1137,6 +1367,7 @@ class ShardedIndex:
         space: Optional[Rect] = None,
         radius_state: Optional[AdaptiveRadius] = None,
         partial: bool = False,
+        epoch: Optional[int] = None,
     ) -> Union[List[List[Tuple[int, float]]], PartialResult]:
         """Answer kNN probes by merging every shard's local top-``k``.
 
@@ -1155,17 +1386,31 @@ class ShardedIndex:
         ``radius_state`` is shared across the shards as a pure perf hint:
         its observe/suggest races are benign (answers are provably
         radius-schedule independent).
+
+        With snapshots enabled the batch is answered at one pinned epoch
+        (``epoch`` when given, else the epoch published at call time), so
+        the cross-shard merge ranks candidates from a single consistent
+        cut (see ``docs/htap.md``).
         """
         queries = list(queries)
-        if not queries:
-            return PartialResult([], []) if partial else []
-        search_space = space if space is not None else self.space
-        per_shard, statuses = self._fan_out(
-            lambda shard: shard.knn_query_batch(
-                queries, space=search_space, radius_state=radius_state
-            ),
-            partial=partial,
-        )
+        pinned, owned = self._resolve_pin(epoch)
+        try:
+            if not queries:
+                return PartialResult([], [], epoch=pinned) if partial else []
+            search_space = space if space is not None else self.space
+            shard_kwargs = {} if pinned is None else {"epoch": pinned}
+            per_shard, statuses = self._fan_out(
+                lambda shard: shard.knn_query_batch(
+                    queries,
+                    space=search_space,
+                    radius_state=radius_state,
+                    **shard_kwargs,
+                ),
+                partial=partial,
+            )
+        finally:
+            if owned:
+                self._unpin_epoch(pinned)
         results: List[List[Tuple[int, float]]] = []
         answered = sorted(per_shard)
         for qi, probe in enumerate(queries):
@@ -1173,5 +1418,7 @@ class ShardedIndex:
             merged.sort(key=lambda pair: (pair[1], pair[0]))
             results.append(merged[: probe.k])
         if partial:
-            return PartialResult(results, [statuses[sid] for sid in sorted(statuses)])
+            return PartialResult(
+                results, [statuses[sid] for sid in sorted(statuses)], epoch=pinned
+            )
         return results

@@ -247,7 +247,9 @@ class PartialResult(Sequence):
       the answer is exactly what strict mode would have returned;
     * :attr:`failed_shards` — ids of shards whose objects are missing
       from the answer;
-    * :attr:`statuses` — the per-shard :class:`ShardStatus` records.
+    * :attr:`statuses` — the per-shard :class:`ShardStatus` records;
+    * :attr:`epoch` — the snapshot epoch the answer was pinned at
+      (``None`` when the index serves without snapshots).
 
     Answers from healthy shards are exact for those shards' objects, so a
     partial range answer is a *subset* of the true answer and a partial
@@ -255,9 +257,15 @@ class PartialResult(Sequence):
     exact, membership may miss better candidates on failed shards).
     """
 
-    def __init__(self, results: List[object], statuses: Sequence[ShardStatus]) -> None:
+    def __init__(
+        self,
+        results: List[object],
+        statuses: Sequence[ShardStatus],
+        epoch: Optional[int] = None,
+    ) -> None:
         self.results = results
         self.statuses = list(statuses)
+        self.epoch = epoch
 
     @property
     def failed_shards(self) -> List[int]:
@@ -284,7 +292,7 @@ class PartialResult(Sequence):
 
     def __repr__(self) -> str:
         return (
-            f"PartialResult(complete={self.complete}, "
+            f"PartialResult(complete={self.complete}, epoch={self.epoch}, "
             f"failed_shards={self.failed_shards}, results={self.results!r})"
         )
 

@@ -282,6 +282,7 @@ def test_make_executor_specs():
 # ----------------------------------------------------------------------
 # ServeConfig surface: legacy kwargs deprecate, build() wires everything
 # ----------------------------------------------------------------------
+@pytest.mark.filterwarnings("default::DeprecationWarning")
 def test_legacy_constructor_kwargs_still_work_but_warn(workload):
     shard = build_standard_indexes(workload, PARAMS, which=("Bx",))["Bx"]
     with pytest.warns(DeprecationWarning, match="ServeConfig"):
