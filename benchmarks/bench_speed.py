@@ -247,6 +247,15 @@ HTAP_INDEXES = ("Bx", "TPR*")
 #: family keeps the pure-Python replay tractable at 20k objects.
 SCALE_INDEXES = ("Bx", "TPR*")
 
+#: Key-store backends of the `backend` comparison mode; the paged B+-tree
+#: row is measured first and is the answers baseline the flat rows are
+#: pinned against (see docs/backends.md).
+BACKENDS = ("btree", "flat")
+
+#: Index families of the backend comparison: the Bx-tree is the family
+#: with a pluggable 1-D key store (the TPR family has none).
+BACKEND_INDEXES = ("Bx",)
+
 #: Probes per kNN batch (the concurrent-users model of the kNN replay).
 KNN_BATCH_SIZE = 10
 
@@ -492,6 +501,90 @@ def measure_scale(
             "page_size": params.page_size,
         },
         "shards": shard_rows,
+    }
+
+
+def measure_backend(
+    dataset: str = "SA",
+    params: Optional[WorkloadParameters] = None,
+    backends: Sequence[str] = BACKENDS,
+    which: Sequence[str] = BACKEND_INDEXES,
+) -> Dict[str, object]:
+    """Key-store backend comparison on the scale workload.
+
+    Each index family is built once per backend
+    (``build_standard_indexes(key_store=...)``), the full event stream is
+    replayed through the batch surface, and the batched kNN replay runs
+    on top — the same replay as :func:`measure_scale`, so the rows are
+    comparable across modes.  The first backend's row (the paged B+-tree,
+    the paper's I/O-model reference) is the answers baseline: every other
+    backend must reproduce its range result count and its exact kNN
+    ``(oid, distance)`` rankings (``results_match``/``knn_results_match``),
+    and its rows carry ``update_speedup``/``query_speedup``/``knn_speedup``
+    ratios against that baseline.  The flat backend does no paged I/O, so
+    its io columns reading 0 is the expected shape, not a bug.
+    """
+    if params is None:
+        params = WorkloadParameters(**SCALE_PARAMS)
+    workload = build_workload(dataset, params)
+    probes = knn_queries_from_workload(workload)
+    backend_rows: Dict[str, Dict[str, Dict[str, float]]] = {}
+    baselines: Dict[str, Dict[str, object]] = {}
+    for backend in backends:
+        indexes = build_standard_indexes(
+            workload, params, which=which, key_store=backend
+        )
+        runner = ExperimentRunner(workload, batch=True)
+        for name, index in indexes.items():
+            metrics = runner.run(index, name=name)
+            knn = run_knn(
+                index,
+                probes,
+                space=params.space,
+                batch=True,
+                batch_size=KNN_BATCH_SIZE,
+                radius_state=AdaptiveRadius(),
+            )
+            row = {
+                "build_s": metrics.build_time,
+                "update_ms": metrics.avg_update_time_ms,
+                "query_ms": metrics.avg_query_time_ms,
+                "knn_ms": knn.avg_time_ms,
+                "update_io": metrics.avg_update_io,
+                "query_io": metrics.avg_query_io,
+                "knn_io": knn.avg_io,
+                "results": metrics.results_returned,
+            }
+            baseline = baselines.setdefault(
+                name,
+                {
+                    "results": metrics.results_returned,
+                    "knn": knn.results,
+                    "update_ms": metrics.avg_update_time_ms,
+                    "query_ms": metrics.avg_query_time_ms,
+                    "knn_ms": knn.avg_time_ms,
+                },
+            )
+            row["results_match"] = float(metrics.results_returned == baseline["results"])
+            row["knn_results_match"] = float(knn.results == baseline["knn"])
+            for metric in ("update_ms", "query_ms", "knn_ms"):
+                if row[metric] > 0:
+                    row[metric.replace("_ms", "_speedup")] = (
+                        baseline[metric] / row[metric]
+                    )
+            backend_rows.setdefault(backend, {})[name] = {
+                key: round(value, 4) for key, value in row.items()
+            }
+    return {
+        "dataset": dataset,
+        "params": {
+            "num_objects": params.num_objects,
+            "time_duration": params.time_duration,
+            "num_queries": params.num_queries,
+            "buffer_pages": params.buffer_pages,
+            "page_size": params.page_size,
+        },
+        "backend": backend_rows,
     }
 
 
@@ -979,6 +1072,7 @@ def run(
     persist: bool = False,
     serve: bool = False,
     htap: bool = False,
+    backend: bool = False,
     persist_dir: Optional[str] = None,
     shard_counts: Sequence[int] = SCALE_SHARD_COUNTS,
     executor: str = SERVE_EXECUTOR,
@@ -994,10 +1088,11 @@ def run(
     (:func:`measure_faults`), ``persist=True`` the durable-store
     lifecycle run (:func:`measure_persistence`), ``serve=True`` the
     executor-backed sweep plus the open-loop latency driver
-    (:func:`measure_serve`), and ``htap=True`` the mixed-workload
-    snapshot-consistency run (:func:`measure_htap`) instead of the
-    standard build/replay comparison; ``quick`` selects the smoke-scale
-    parameter set in every mode.
+    (:func:`measure_serve`), ``htap=True`` the mixed-workload
+    snapshot-consistency run (:func:`measure_htap`), and ``backend=True``
+    the key-store backend comparison (:func:`measure_backend`) instead of
+    the standard build/replay comparison; ``quick`` selects the
+    smoke-scale parameter set in every mode.
     """
     started = time.perf_counter()
     if htap:
@@ -1036,6 +1131,11 @@ def run(
         params = WorkloadParameters(**overrides)
         report = measure_faults(dataset=dataset, params=params)
         report["mode"] = "faults-quick" if quick else "faults"
+    elif backend:
+        overrides = SCALE_QUICK_PARAMS if quick else SCALE_PARAMS
+        params = WorkloadParameters(**overrides)
+        report = measure_backend(dataset=dataset, params=params)
+        report["mode"] = "backend-quick" if quick else "backend"
     elif scale:
         overrides = SCALE_QUICK_PARAMS if quick else SCALE_PARAMS
         params = WorkloadParameters(**overrides)
@@ -1102,7 +1202,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers = parser.add_subparsers(
-        dest="mode", metavar="{scale,faults,persist,serve,htap}"
+        dest="mode", metavar="{scale,faults,persist,serve,htap,backend}"
     )
     shards_help = (
         "comma-separated shard counts; the unsharded baseline (1) is "
@@ -1201,6 +1301,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "the published stress matrix runs the seeds in "
         "load_driver.HTAP_SEEDS",
     )
+    subparsers.add_parser(
+        "backend",
+        parents=[common],
+        help="key-store backend comparison: the Bx replay under the paged "
+        f"B+-tree vs the flat vectorized array "
+        f"({SCALE_PARAMS['num_objects']} objects), answers pinned identical",
+    )
     return parser
 
 
@@ -1231,6 +1338,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         persist=mode == "persist",
         serve=mode == "serve",
         htap=mode == "htap",
+        backend=mode == "backend",
         persist_dir=getattr(args, "persist_dir", None),
         shard_counts=shard_counts,
         executor=getattr(
@@ -1300,6 +1408,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"  {kind:6s} n={row['count']:<5d} "
                 f"p50 {row['p50_ms']:8.3f}ms  p95 {row['p95_ms']:8.3f}ms  "
                 f"p99 {row['p99_ms']:8.3f}ms  mean {row['mean_ms']:8.3f}ms"
+            )
+    for backend_name, rows in report.get("backend", {}).items():
+        for name, row in rows.items():
+            speedup = (
+                f"  speedup(u/q/k) {row['update_speedup']:.2f}/"
+                f"{row['query_speedup']:.2f}/{row['knn_speedup']:.2f}x"
+                if "update_speedup" in row
+                else ""
+            )
+            print(
+                f"backend={backend_name:5s} {name:6s} "
+                f"update {row['update_ms']:7.4f}ms  "
+                f"query {row['query_ms']:7.3f}ms  "
+                f"knn {row['knn_ms']:7.3f}ms  "
+                f"io(u/q/k) {row['update_io']:.1f}/{row['query_io']:.1f}/"
+                f"{row['knn_io']:.1f}  "
+                f"match {row['results_match']:.0f}/{row['knn_results_match']:.0f}"
+                f"{speedup}"
             )
     for count, rows in sorted(report.get("shards", {}).items(), key=lambda item: int(item[0])):
         for name, row in rows.items():

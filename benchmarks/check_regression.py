@@ -11,7 +11,10 @@ throughput as a floor), plus — for fault-injection entries —
 ``recovery_ms`` (latency, gated upward) and the degraded-answer recalls
 (quality, gated as floors), plus — for HTAP mixed-workload entries — the
 update throughput under concurrent readers and the consistency-oracle
-verdict (floors) and the observed epoch lag (ceiling).  The baseline is the
+verdict (floors) and the observed epoch lag (ceiling), plus — for
+key-store backend entries — every (backend, index) row's batched per-op
+times (with the bit-identity flags against the paged reference as
+floors).  The baseline is the
 most recent history entry with the *same* mode, dataset and workload
 parameters — quick-mode smoke runs are never judged against full
 bench-scale entries, whose absolute per-operation times differ by an order
@@ -94,6 +97,16 @@ HTAP_FLOORS = ("update_throughput_ops", "answers_consistent")
 #: quiescent smoke run) does not turn one epoch of noise into a
 #: failure.
 HTAP_LAG_METRIC = "epoch_lag_mean"
+
+#: Batched per-operation metrics gated on key-store backend entries
+#: (higher = regression), for every (backend, index) row — this is what
+#: keeps the flat backend's measured advantage from silently eroding.
+BACKEND_METRICS = ("update_ms", "query_ms", "knn_ms")
+
+#: Correctness floors gated on backend entries: every backend's answers
+#: must stay bit-identical to the paged reference row's (0/1 flags — a
+#: single mismatch erodes the floor and fails).
+BACKEND_FLOORS = ("results_match", "knn_results_match")
 
 #: Indexes the gate watches.
 WATCHED_INDEXES = ("Bx",)
@@ -339,6 +352,33 @@ def check(
                     max_regression,
                     failures,
                 )
+    # Key-store backend entries: every (backend, index) row's batched
+    # per-op times gated upward, bit-identity flags gated as (0/1)
+    # floors against the paged reference.
+    if _section_has_baseline("backend", report, baseline):
+        new_backend = report.get("backend") or {}
+        old_backend = baseline.get("backend") or {}
+        for store in sorted(set(new_backend) & set(old_backend)):
+            new_rows = new_backend[store]
+            old_rows = old_backend[store]
+            for name in sorted(set(new_rows) & set(old_rows)):
+                _check_row(
+                    f"{name}[store={store}]",
+                    new_rows[name],
+                    old_rows[name],
+                    max_regression,
+                    failures,
+                    metrics=BACKEND_METRICS,
+                )
+                for metric in BACKEND_FLOORS:
+                    _check_floor(
+                        f"{name}[store={store}]",
+                        metric,
+                        new_rows[name],
+                        old_rows[name],
+                        max_regression,
+                        failures,
+                    )
     # HTAP entries: update throughput under concurrent readers and the
     # oracle's consistency verdict gated as floors, the observed epoch
     # lag gated as a (slack-padded) ceiling.

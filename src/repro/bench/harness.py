@@ -382,6 +382,7 @@ def build_standard_indexes(
     executor: Optional[object] = None,
     max_workers: Optional[int] = None,
     disk_profile: Optional[object] = None,
+    key_store: Optional[object] = None,
 ) -> Dict[str, object]:
     """Build the paper's four competing indexes for one workload.
 
@@ -410,11 +411,23 @@ def build_standard_indexes(
     whole comparison runs under one device model (e.g. an SSD-class
     ``read_latency_s``).  The injector travels with the shard into worker
     processes under the ``process`` executor.
+
+    ``key_store`` selects the Bx key-store backend (``"btree"``/``"flat"``
+    or a backend class; see ``docs/backends.md``) for the ``Bx`` and
+    ``Bx(VP)`` families — the TPR family has no 1-D key store and ignores
+    it.  A name or class, never an instance: the builder makes several
+    trees (shards, VP sub-indexes, recovery factories) and each needs its
+    own store.
     """
     if params is None:
         params = WorkloadParameters()
     if shards < 1:
         raise ValueError("shards must be at least 1")
+    if key_store is not None and not isinstance(key_store, (str, type)):
+        raise TypeError(
+            "build_standard_indexes builds one key store per tree; pass a "
+            "backend name or class, not an instance"
+        )
     indexes: Dict[str, object] = {}
     partitioning = None
     if any(name.endswith("(VP)") for name in which):
@@ -429,6 +442,7 @@ def build_standard_indexes(
                 space=params.space,
                 max_update_interval=params.max_update_interval,
                 page_size=params.page_size,
+                key_store=key_store,
             )
         if name == "TPR":
             return TPRTree(
@@ -447,6 +461,7 @@ def build_standard_indexes(
                 buffer_pages=params.buffer_pages,
                 max_update_interval=params.max_update_interval,
                 page_size=params.page_size,
+                key_store=key_store,
             )
         if name == "TPR*(VP)":
             return make_vp_tprstar_tree(
@@ -478,6 +493,7 @@ def build_standard_indexes(
                     supervisor=supervisor,
                     executor=executor,
                     max_workers=max_workers,
+                    key_store=key_store,
                 ),
             )
     return indexes

@@ -1,0 +1,107 @@
+"""The B+-tree key-store backend (the paper's I/O-model reference).
+
+:class:`BTreeKeyStore` wraps :class:`~repro.btree.bplus_tree.BPlusTree`
+behind the :class:`~repro.bxtree.key_store.KeyStore` surface the Bx-tree
+programs against.  It is a thin adapter: every method forwards to the
+paged tree unchanged, so the backend preserves the paper's cost model —
+buffer-managed pages, root-to-leaf descents, leaf-chain range scans —
+and remains the default.  The flat vectorized backend
+(:class:`~repro.bxtree.key_store.FlatKeyStore`) is pinned bit-identical
+to this one; see ``docs/backends.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.btree.bplus_tree import BPlusTree
+from repro.storage.buffer_manager import BufferManager
+
+
+class BTreeKeyStore:
+    """Key-store backend over the paged B+-tree (default backend)."""
+
+    name = "btree"
+
+    def __init__(
+        self,
+        buffer: Optional[BufferManager] = None,
+        page_size: Optional[int] = None,
+        tree: Optional[BPlusTree] = None,
+    ) -> None:
+        if tree is not None:
+            self.tree = tree
+        else:
+            self.tree = BPlusTree(buffer=buffer, page_size=page_size)
+        self.buffer = self.tree.buffer
+
+    # -- sizes ---------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.tree.size
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    # -- updates -------------------------------------------------------
+    def bulk_load(self, items: Iterable[Tuple[int, Any]]) -> None:
+        self.tree.bulk_load(items)
+
+    def insert(self, key: int, value: Any) -> None:
+        self.tree.insert(key, value)
+
+    def delete(self, key: int, value: Any) -> bool:
+        return self.tree.delete(key, value)
+
+    def replace(self, key: int, old_value: Any, new_value: Any) -> bool:
+        return self.tree.replace(key, old_value, new_value)
+
+    def apply_batch(
+        self,
+        deletes: Sequence[Tuple[int, Any]] = (),
+        inserts: Sequence[Tuple[int, Any]] = (),
+        upserts: Sequence[Tuple[int, Any, Any]] = (),
+    ) -> Tuple[List[bool], List[bool]]:
+        return self.tree.apply_batch(deletes, inserts, upserts)
+
+    # -- queries -------------------------------------------------------
+    def range_search(self, low: int, high: int) -> List[Tuple[int, Any]]:
+        return self.tree.range_search(low, high)
+
+    def range_search_batch(
+        self,
+        ranges: Sequence[Tuple[int, int]],
+        sequential_hint: bool = True,
+    ) -> List[List[Tuple[int, Any]]]:
+        return self.tree.range_search_batch(ranges, sequential_hint=sequential_hint)
+
+    def knn_candidates_batch(
+        self, ranges: Sequence[Tuple[int, int]]
+    ) -> List[List[Tuple[int, float, float, float, float, float]]]:
+        """Per-range candidate motion states ``(oid, px, py, vx, vy, rt)``.
+
+        No sequential-eviction hint: the kNN filter rounds re-scan grown
+        versions of these same ranges, so the just-scanned leaves are
+        exactly the pages the next round wants resident.
+        """
+        scans = self.tree.range_search_batch(ranges, sequential_hint=False)
+        return [
+            [
+                (
+                    obj.oid,
+                    obj.position.x,
+                    obj.position.y,
+                    obj.velocity.vx,
+                    obj.velocity.vy,
+                    obj.reference_time,
+                )
+                for _, obj in scanned
+            ]
+            for scanned in scans
+        ]
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        return self.tree.items()
+
+
+__all__ = ["BTreeKeyStore"]

@@ -11,6 +11,13 @@ enlarged window is decomposed into curve intervals scanned on the B+-tree.
 from repro.bxtree.spacefill import HilbertCurve, ZCurve, SpaceFillingCurve
 from repro.bxtree.grid import Grid
 from repro.bxtree.velocity_histogram import VelocityHistogram
+from repro.bxtree.key_store import (
+    KEY_STORES,
+    BTreeKeyStore,
+    FlatKeyStore,
+    KeyStore,
+    make_key_store,
+)
 from repro.bxtree.bx_tree import BxTree
 
 __all__ = [
@@ -19,5 +26,10 @@ __all__ = [
     "SpaceFillingCurve",
     "Grid",
     "VelocityHistogram",
+    "KEY_STORES",
+    "KeyStore",
+    "BTreeKeyStore",
+    "FlatKeyStore",
+    "make_key_store",
     "BxTree",
 ]

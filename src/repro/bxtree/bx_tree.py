@@ -38,12 +38,14 @@ replays more than a handful of operations at a time should do the same.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import warnings
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.btree.bplus_tree import BPlusTree
 from repro.bxtree.grid import Grid
+from repro.bxtree.key_store import make_key_store
 from repro.bxtree.spacefill import HilbertCurve, SpaceFillingCurve, ZCurve
 from repro.bxtree.velocity_histogram import VelocityHistogram
 from repro.geometry.point import Point
@@ -92,7 +94,7 @@ MIN_VECTOR_BATCH = 8
 
 
 class BxTree:
-    """Bx-tree over a paged B+-tree."""
+    """Bx-tree over a pluggable 1-D key store (paged B+-tree by default)."""
 
     name = "Bx"
 
@@ -107,6 +109,7 @@ class BxTree:
         histogram_cells: int = DEFAULT_HISTOGRAM_CELLS,
         range_merge_gap: int = DEFAULT_RANGE_MERGE_GAP,
         page_size: Optional[int] = None,
+        key_store: Any = None,
     ) -> None:
         if num_buckets < 1:
             raise ValueError("num_buckets must be at least 1")
@@ -123,7 +126,11 @@ class BxTree:
             Grid(space, histogram_cells, histogram_cells)
         )
         self.range_merge_gap = range_merge_gap
-        self.btree = BPlusTree(buffer=self.buffer, page_size=page_size)
+        #: The key-store backend (see docs/backends.md): ``None`` selects the
+        #: paged B+-tree reference; ``"flat"`` the vectorized sorted array.
+        self.store = make_key_store(key_store, buffer=self.buffer, page_size=page_size)
+        if len(self.store):
+            raise ValueError("key_store instance must be empty (one store per tree)")
         self._partition_counts: Dict[int, int] = {}
         #: Sorted active-partition list, recomputed lazily only when the set
         #: of partitions changes (every query walks this list).
@@ -183,7 +190,7 @@ class BxTree:
             cell = self.grid.cell_of(position)
             key = partition * curve_size + self.curve.encode(*cell)
             pairs.append((key, obj))
-        self.btree.bulk_load(pairs)
+        self.store.bulk_load(pairs)
         self.size = len(objects)
 
     def insert(self, obj: MovingObject) -> None:
@@ -192,7 +199,7 @@ class BxTree:
 
     def _insert_keyed(self, obj: MovingObject, key: int, partition: int) -> None:
         self.current_time = max(self.current_time, obj.reference_time)
-        self.btree.insert(key, obj)
+        self.store.insert(key, obj)
         self._bump_partition(partition, 1)
         # The histogram is keyed by the *indexed* (label-time) position so the
         # query-window refinement reasons about the same positions the keys
@@ -206,7 +213,7 @@ class BxTree:
 
     def _delete_keyed(self, obj: MovingObject, key: int, partition: int) -> bool:
         self.current_time = max(self.current_time, obj.reference_time)
-        removed = self.btree.delete(key, obj)
+        removed = self.store.delete(key, obj)
         if removed:
             self._bump_partition(partition, -1)
             self.histogram.remove(self._label_position(obj))
@@ -245,7 +252,7 @@ class BxTree:
             self.current_time = max(
                 self.current_time, old.reference_time, new.reference_time
             )
-            if self.btree.replace(old_key, old, new):
+            if self.store.replace(old_key, old, new):
                 # Same key means same partition: counts and size are
                 # untouched, but the histogram still moves (the histogram
                 # grid is finer than the curve grid).
@@ -363,7 +370,7 @@ class BxTree:
         # plain deletions/insertions in ONE key-ordered B+-tree sweep.
         same = [i for i in range(nu) if old_keys[i] == new_keys[i]]
         moves = [i for i in range(nu) if old_keys[i] != new_keys[i]]
-        delete_flags, upsert_flags = self.btree.apply_batch(
+        delete_flags, upsert_flags = self.store.apply_batch(
             list(zip(del_keys, deletes)) + [(old_keys[i], olds[i]) for i in moves],
             list(zip(ins_keys, inserts)) + [(new_keys[i], news[i]) for i in moves],
             [(old_keys[i], olds[i], news[i]) for i in same],
@@ -452,7 +459,7 @@ class BxTree:
                 for lo, hi in self._ranges_for_window(window):
                     ranges.append((base_key + lo, base_key + hi))
                     owners.append(qi)
-            scans = self.btree.range_search_batch(ranges)
+            scans = self.store.range_search_batch(ranges)
             for qi, scanned in zip(owners, scans):
                 query = queries[qi]
                 out = results[qi]
@@ -549,23 +556,19 @@ class BxTree:
                 for lo, hi in self._ranges_for_window(window):
                     ranges.append((base_key + lo, base_key + hi))
                     owners.append(qi)
-            # No sequential-eviction hint: unlike a one-pass query sweep,
-            # the kNN filter rounds re-scan grown versions of these same
-            # ranges, so the just-scanned leaves are exactly the pages the
-            # next round wants resident.
-            scans = self.btree.range_search_batch(ranges, sequential_hint=False)
+            # Candidate extraction is the store's job (the flat backend
+            # serves it from SoA motion columns without touching the
+            # payload objects); only the cross-partition oid dedup stays
+            # here.  The store skips the sequential-eviction hint: the
+            # kNN filter rounds re-scan grown versions of these same
+            # ranges, so the just-scanned leaves are exactly the pages
+            # the next round wants resident.
+            scans = self.store.knn_candidates_batch(ranges)
             for qi, scanned in zip(owners, scans):
                 pool = out[qi]
-                for _, obj in scanned:
-                    if obj.oid not in pool:
-                        pool[obj.oid] = (
-                            obj.oid,
-                            obj.position.x,
-                            obj.position.y,
-                            obj.velocity.vx,
-                            obj.velocity.vy,
-                            obj.reference_time,
-                        )
+                for candidate in scanned:
+                    if candidate[0] not in pool:
+                        pool[candidate[0]] = candidate
         return [list(pool.values()) for pool in out]
 
     def enlarged_window(self, query: RangeQuery, partition: int) -> Rect:
@@ -619,13 +622,32 @@ class BxTree:
         base_key = partition * self._curve_size
         found: List[MovingObject] = []
         for lo, hi in ranges:
-            for _, obj in self.btree.range_search(base_key + lo, base_key + hi):
+            for _, obj in self.store.range_search(base_key + lo, base_key + hi):
                 found.append(obj)
         return found
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def btree(self) -> BPlusTree:
+        """Deprecated alias for the key-store internals.
+
+        Reaching into ``BxTree.btree`` bypasses the :class:`KeyStore`
+        surface and only works for the B+-tree backend; use
+        ``BxTree.store`` (see ``docs/backends.md``).  Kept for one
+        release as a warning shim.
+        """
+        warnings.warn(
+            "BxTree.btree is deprecated; use BxTree.store (the KeyStore surface)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        tree = getattr(self.store, "tree", None)
+        if tree is not None:
+            return tree
+        return self.store  # backend has no inner B+-tree; duck-compatible
+
     @property
     def active_partitions(self) -> List[int]:
         if self._sorted_partitions is None:
@@ -635,7 +657,7 @@ class BxTree:
     def rebuild_histogram(self) -> None:
         """Recompute the velocity histogram from the live objects."""
         self.histogram.rebuild(
-            (self._label_position(obj), obj.velocity) for _, obj in self.btree.items()
+            (self._label_position(obj), obj.velocity) for _, obj in self.store.items()
         )
 
 

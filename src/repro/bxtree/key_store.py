@@ -1,0 +1,465 @@
+"""Pluggable key-store backends for the Bx-tree.
+
+The Bx-tree reduces every update and query to operations on 1-D
+space-filling-curve keys, so the structure that stores those keys is an
+interchangeable backend.  :class:`KeyStore` spells out the contract the
+Bx-tree programs against — exactly the surface it historically consumed
+from :class:`~repro.btree.bplus_tree.BPlusTree` — and two backends
+implement it:
+
+``"btree"``
+    :class:`~repro.btree.store.BTreeKeyStore`, the paged B+-tree.  The
+    default, and the paper's I/O-model reference: buffer-managed pages,
+    root-to-leaf descents, leaf-chain scans, measurable I/O counts.
+
+``"flat"``
+    :class:`FlatKeyStore`, a fully vectorized sorted-array engine: one
+    sorted ``int64`` key array, ``np.searchsorted`` lookups, merge-based
+    batch application, and structure-of-arrays candidate columns for the
+    kNN filter.  No pages, no per-node Python loop — and answers pinned
+    **bit-identical** to the B+-tree backend (same ids, same float
+    distances, same result order, duplicate keys kept in the same
+    insertion order).
+
+Backends are selected with :func:`make_key_store`, mirroring the
+``make_executor`` idiom of the serving layer (``None`` | name | class |
+instance); see ``docs/backends.md`` for the contract table and guidance.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.btree.store import BTreeKeyStore
+from repro.storage.buffer_manager import BufferManager
+
+#: Flat candidate motion state: ``(oid, px, py, vx, vy, reference_time)``.
+CandidateState = Tuple[int, float, float, float, float, float]
+
+
+def _object_array(values: Sequence[Any]) -> np.ndarray:
+    """A 1-D object array of ``values``, never unpacking sequence payloads."""
+    out = np.empty(len(values), dtype=object)
+    out[:] = values
+    return out
+
+
+class KeyStore(Protocol):
+    """The contract a Bx key-store backend must satisfy.
+
+    Keys are Python ints (curve codes offset by the partition prefix);
+    values are opaque payloads — the Bx-tree stores
+    :class:`~repro.objects.moving_object.MovingObject` snapshots, the
+    test suites also use plain ints.  Duplicate keys are allowed and
+    must preserve **insertion order** among equal keys; ``delete`` and
+    ``replace`` act on the *leftmost* value-equal entry of a duplicate
+    run.  All query results are ``(key, value)`` pairs in key order with
+    keys returned as Python ints.
+    """
+
+    #: Registry name of the backend ("btree", "flat", ...).
+    name: str
+    #: Buffer manager surface (I/O stats, batch hints).  Backends that do
+    #: no paged I/O still carry the attribute so the stats plumbing is
+    #: uniform; their counters simply stay at zero.
+    buffer: BufferManager
+
+    @property
+    def size(self) -> int: ...
+
+    def __len__(self) -> int: ...
+
+    def bulk_load(self, items: Iterable[Tuple[int, Any]]) -> None:
+        """Build from ``(key, value)`` pairs (stable-sorted); store must be empty."""
+        ...
+
+    def insert(self, key: int, value: Any) -> None: ...
+
+    def delete(self, key: int, value: Any) -> bool: ...
+
+    def replace(self, key: int, old_value: Any, new_value: Any) -> bool: ...
+
+    def apply_batch(
+        self,
+        deletes: Sequence[Tuple[int, Any]] = (),
+        inserts: Sequence[Tuple[int, Any]] = (),
+        upserts: Sequence[Tuple[int, Any, Any]] = (),
+    ) -> Tuple[List[bool], List[bool]]:
+        """One key-ordered sweep; flags aligned with ``deletes``/``upserts``."""
+        ...
+
+    def range_search(self, low: int, high: int) -> List[Tuple[int, Any]]: ...
+
+    def range_search_batch(
+        self,
+        ranges: Sequence[Tuple[int, int]],
+        sequential_hint: bool = True,
+    ) -> List[List[Tuple[int, Any]]]: ...
+
+    def knn_candidates_batch(
+        self, ranges: Sequence[Tuple[int, int]]
+    ) -> List[List[CandidateState]]:
+        """Per-range candidate motion states ``(oid, px, py, vx, vy, rt)``."""
+        ...
+
+    def items(self) -> Iterator[Tuple[int, Any]]: ...
+
+
+class FlatKeyStore:
+    """Vectorized sorted-array key-store backend.
+
+    Layout: one sorted ``np.int64`` key array aligned with an object
+    array of payloads (the authoritative store — an object array so
+    compaction and merged insertion are C-speed pointer copies, not
+    Python list rebuilds), plus lazily derived structure-of-arrays
+    motion columns (oid/px/py/vx/vy/rt) that feed the kNN candidate
+    extraction without touching the payload objects.
+
+    Everything is driven by ``np.searchsorted``: point operations use one
+    scalar bisection, batch operations use **one** vectorized bisection
+    per batch.  ``apply_batch`` resolves the whole batch against a frozen
+    snapshot of the array (deletes/replacements recorded positionally,
+    insertions accumulated as a pending run) and then commits with one
+    boolean-mask compaction and one merged ``np.insert`` — semantically
+    identical to the B+-tree's sequential key-ordered sweep, including
+    flag values, duplicate-run ordering and upsert-miss degradation.
+
+    The store keeps a :class:`BufferManager` reference purely for the
+    uniform stats surface; it performs no paged I/O, so its I/O counters
+    stay at zero — that difference *is* the backend's value proposition.
+    """
+
+    name = "flat"
+
+    def __init__(
+        self,
+        buffer: Optional[BufferManager] = None,
+        page_size: Optional[int] = None,
+    ) -> None:
+        del page_size  # no pages; accepted for factory-signature parity
+        self.buffer = buffer if buffer is not None else BufferManager()
+        self._keys = np.empty(0, dtype=np.int64)
+        self._values = np.empty(0, dtype=object)
+        #: Lazy SoA motion columns: ``None`` = stale, ``()`` = payloads are
+        #: not motion records (fall back to attribute access per call),
+        #: else a 6-tuple of aligned arrays.
+        self._soa: Optional[Tuple[np.ndarray, ...]] = None
+
+    # -- sizes ---------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- updates -------------------------------------------------------
+    def bulk_load(self, items: Iterable[Tuple[int, Any]]) -> None:
+        if len(self._values):
+            raise ValueError("bulk_load requires an empty store")
+        pairs = sorted(items, key=lambda pair: pair[0])  # stable: ties keep order
+        if not pairs:
+            return
+        self._keys = np.fromiter((k for k, _ in pairs), np.int64, len(pairs))
+        self._values = _object_array([v for _, v in pairs])
+        self._soa = None
+
+    def insert(self, key: int, value: Any) -> None:
+        pos = int(np.searchsorted(self._keys, key, side="right"))
+        self._keys = np.insert(self._keys, pos, key)
+        values = np.empty(len(self._values) + 1, dtype=object)
+        values[:pos] = self._values[:pos]
+        values[pos] = value
+        values[pos + 1 :] = self._values[pos:]
+        self._values = values
+        self._soa = None
+
+    def delete(self, key: int, value: Any) -> bool:
+        lo = int(np.searchsorted(self._keys, key, side="left"))
+        hi = int(np.searchsorted(self._keys, key, side="right"))
+        for pos in range(lo, hi):
+            if self._values[pos] == value:
+                self._keys = np.delete(self._keys, pos)
+                self._values = np.delete(self._values, pos)
+                self._soa = None
+                return True
+        return False
+
+    def replace(self, key: int, old_value: Any, new_value: Any) -> bool:
+        lo = int(np.searchsorted(self._keys, key, side="left"))
+        hi = int(np.searchsorted(self._keys, key, side="right"))
+        for pos in range(lo, hi):
+            if self._values[pos] == old_value:
+                self._values[pos] = new_value
+                self._soa = None
+                return True
+        return False
+
+    def apply_batch(
+        self,
+        deletes: Sequence[Tuple[int, Any]] = (),
+        inserts: Sequence[Tuple[int, Any]] = (),
+        upserts: Sequence[Tuple[int, Any, Any]] = (),
+    ) -> Tuple[List[bool], List[bool]]:
+        """Apply a mixed batch in one merged pass.
+
+        Work items are ordered exactly as the B+-tree orders them —
+        ``(key, kind, arrival)`` with deletes before upserts before
+        inserts of the same key — and resolved against a frozen snapshot
+        of the array: a delete marks the leftmost surviving value-equal
+        position; an upsert rewrites a marked position (or an earlier
+        upsert-miss's pending entry) in place, degrading to an insertion
+        of its new value when no match survives; inserts accumulate as a
+        pending key-ordered run.  The commit is three vectorized steps:
+        in-place replacements, one boolean-mask compaction, and one
+        merged ``np.insert`` whose ``side="right"`` positions land every
+        pending entry after the surviving duplicates of its key, in
+        arrival order — the ``bisect_right`` placement of the B+-tree.
+        """
+        n_del, n_ups, n_ins = len(deletes), len(upserts), len(inserts)
+        delete_flags = [False] * n_del
+        upsert_flags = [False] * n_ups
+        if n_del + n_ups + n_ins == 0:
+            return delete_flags, upsert_flags
+        work = sorted(
+            [(key, 0, i) for i, (key, _) in enumerate(deletes)]
+            + [(key, 1, i) for i, (key, _, _) in enumerate(upserts)]
+            + [(key, 2, i) for i, (key, _) in enumerate(inserts)]
+        )
+        keys = self._keys
+        values = self._values
+        # One vectorized bisection pair for every lookup in the batch.
+        work_keys = np.fromiter((key for key, _, _ in work), np.int64, len(work))
+        work_lo = np.searchsorted(keys, work_keys, side="left").tolist()
+        work_hi = np.searchsorted(keys, work_keys, side="right").tolist()
+        removed: set = set()
+        replaced: Dict[int, Any] = {}
+        pending_keys: List[int] = []  # non-decreasing: work is key-sorted
+        pending_values: List[Any] = []
+        pending_by_key: Dict[int, List[int]] = {}
+
+        def find(key: int, target: Any, lo: int, hi: int):
+            for pos in range(lo, hi):
+                if pos in removed:
+                    continue
+                current = replaced[pos] if pos in replaced else values[pos]
+                if current == target:
+                    return pos, -1
+            for j in pending_by_key.get(key, ()):
+                if pending_values[j] == target:
+                    return -1, j
+            return -1, -1
+
+        def push(key: int, value: Any) -> None:
+            pending_by_key.setdefault(key, []).append(len(pending_keys))
+            pending_keys.append(key)
+            pending_values.append(value)
+
+        for w, (key, kind, i) in enumerate(work):
+            if kind == 0:  # delete: leftmost surviving value-equal entry
+                pos, _ = find(key, deletes[i][1], work_lo[w], work_hi[w])
+                if pos >= 0:
+                    removed.add(pos)
+                    delete_flags[i] = True
+            elif kind == 1:  # upsert: replace in place, else degrade to insert
+                _, old_value, new_value = upserts[i]
+                pos, j = find(key, old_value, work_lo[w], work_hi[w])
+                if pos >= 0:
+                    replaced[pos] = new_value
+                    upsert_flags[i] = True
+                elif j >= 0:
+                    pending_values[j] = new_value
+                    upsert_flags[i] = True
+                else:
+                    push(key, new_value)
+            else:  # insert: after surviving duplicates, in arrival order
+                push(key, inserts[i][1])
+
+        # Commit: replacements in place, one compaction, one merged insert.
+        for pos, value in replaced.items():
+            values[pos] = value
+        if removed:
+            keep = np.ones(len(keys), dtype=bool)
+            keep[list(removed)] = False
+            keys = keys[keep]
+            values = values[keep]
+        if pending_keys:
+            run = np.asarray(pending_keys, dtype=np.int64)
+            positions = np.searchsorted(keys, run, side="right")
+            keys = np.insert(keys, positions, run)
+            # Scatter-merge the pending run: pending entry j lands at slot
+            # positions[j] + j (np.insert's final-index formula), survivors
+            # fill the rest in order — all C-speed pointer copies.
+            slots = positions + np.arange(len(run))
+            merged = np.empty(len(values) + len(run), dtype=object)
+            survivors = np.ones(len(merged), dtype=bool)
+            survivors[slots] = False
+            merged[survivors] = values
+            merged[slots] = _object_array(pending_values)
+            values = merged
+        self._keys = keys
+        self._values = values
+        self._soa = None
+        return delete_flags, upsert_flags
+
+    # -- queries -------------------------------------------------------
+    def range_search(self, low: int, high: int) -> List[Tuple[int, Any]]:
+        lo = int(np.searchsorted(self._keys, low, side="left"))
+        hi = int(np.searchsorted(self._keys, high, side="right"))
+        if hi <= lo:
+            return []
+        return list(zip(self._keys[lo:hi].tolist(), self._values[lo:hi].tolist()))
+
+    def range_search_batch(
+        self,
+        ranges: Sequence[Tuple[int, int]],
+        sequential_hint: bool = True,
+    ) -> List[List[Tuple[int, Any]]]:
+        del sequential_hint  # no pages to evict either way
+        if not ranges:
+            return []
+        lo_idx, hi_idx = self._bounds(ranges)
+        keys = self._keys
+        values = self._values
+        return [
+            list(zip(keys[lo:hi].tolist(), values[lo:hi].tolist())) if hi > lo else []
+            for lo, hi in zip(lo_idx, hi_idx)
+        ]
+
+    def knn_candidates_batch(
+        self, ranges: Sequence[Tuple[int, int]]
+    ) -> List[List[CandidateState]]:
+        if not ranges:
+            return []
+        lo_idx, hi_idx = self._bounds(ranges)
+        cols = self._candidate_columns()
+        if cols is None:
+            values = self._values
+            return [
+                [
+                    (
+                        o.oid,
+                        o.position.x,
+                        o.position.y,
+                        o.velocity.vx,
+                        o.velocity.vy,
+                        o.reference_time,
+                    )
+                    for o in values[lo:hi]
+                ]
+                for lo, hi in zip(lo_idx, hi_idx)
+            ]
+        oid, px, py, vx, vy, rt = cols
+        out: List[List[CandidateState]] = []
+        for lo, hi in zip(lo_idx, hi_idx):
+            if hi <= lo:
+                out.append([])
+                continue
+            out.append(
+                list(
+                    zip(
+                        oid[lo:hi].tolist(),
+                        px[lo:hi].tolist(),
+                        py[lo:hi].tolist(),
+                        vx[lo:hi].tolist(),
+                        vy[lo:hi].tolist(),
+                        rt[lo:hi].tolist(),
+                    )
+                )
+            )
+        return out
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        return zip(self._keys.tolist(), self._values.tolist())
+
+    # -- internals -----------------------------------------------------
+    def _bounds(self, ranges: Sequence[Tuple[int, int]]) -> Tuple[List[int], List[int]]:
+        """Slice bounds for every range from one vectorized bisection pair."""
+        n = len(ranges)
+        lows = np.fromiter((r[0] for r in ranges), np.int64, n)
+        highs = np.fromiter((r[1] for r in ranges), np.int64, n)
+        lo_idx = np.searchsorted(self._keys, lows, side="left").tolist()
+        hi_idx = np.searchsorted(self._keys, highs, side="right").tolist()
+        return lo_idx, hi_idx
+
+    def _candidate_columns(self) -> Optional[Tuple[np.ndarray, ...]]:
+        """Rebuild the SoA motion columns if stale; ``None`` for opaque payloads."""
+        if self._soa is None:
+            values = self._values
+            n = len(values)
+            try:
+                self._soa = (
+                    np.fromiter((v.oid for v in values), np.int64, n),
+                    np.fromiter((v.position.x for v in values), np.float64, n),
+                    np.fromiter((v.position.y for v in values), np.float64, n),
+                    np.fromiter((v.velocity.vx for v in values), np.float64, n),
+                    np.fromiter((v.velocity.vy for v in values), np.float64, n),
+                    np.fromiter((v.reference_time for v in values), np.float64, n),
+                )
+            except AttributeError:
+                self._soa = ()
+        return self._soa if self._soa else None
+
+
+#: Registered key-store backends, by name.
+KEY_STORES = {
+    "btree": BTreeKeyStore,
+    "flat": FlatKeyStore,
+}
+
+
+def make_key_store(
+    spec: Any = None,
+    buffer: Optional[BufferManager] = None,
+    page_size: Optional[int] = None,
+) -> KeyStore:
+    """Resolve a key-store spec: None, a backend name, a class, or an instance.
+
+    ``None`` resolves to the historical default (the paged B+-tree);
+    a string must be one of :data:`KEY_STORES`; a class is instantiated
+    with ``(buffer=..., page_size=...)``; a ready instance passes through
+    unchanged (it must be empty when handed to a fresh ``BxTree``, and it
+    cannot be shared across trees — factories that build several trees
+    accept only names and classes).
+    """
+    if spec is None:
+        spec = "btree"
+    if isinstance(spec, str):
+        try:
+            factory = KEY_STORES[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown key store {spec!r} (choose from {sorted(KEY_STORES)})"
+            ) from None
+        return factory(buffer=buffer, page_size=page_size)
+    if isinstance(spec, type):
+        return spec(buffer=buffer, page_size=page_size)
+    if callable(getattr(spec, "apply_batch", None)) and callable(
+        getattr(spec, "range_search_batch", None)
+    ):
+        return spec
+    raise TypeError(
+        f"key_store must be None, a name, a class, or a KeyStore (got {type(spec).__name__})"
+    )
+
+
+__all__ = [
+    "KEY_STORES",
+    "BTreeKeyStore",
+    "CandidateState",
+    "FlatKeyStore",
+    "KeyStore",
+    "make_key_store",
+]

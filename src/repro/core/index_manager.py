@@ -81,8 +81,9 @@ class IndexManager:
     def __init__(
         self,
         partitioning: VelocityPartitioning,
-        index_factory: Callable[[int], MovingObjectIndex],
-        outlier_factory: Optional[Callable[[], MovingObjectIndex]] = None,
+        index_factory: Callable[..., MovingObjectIndex],
+        outlier_factory: Optional[Callable[..., MovingObjectIndex]] = None,
+        index_kwargs: Optional[Dict[str, object]] = None,
     ) -> None:
         """Create one index per DVA plus the outlier index.
 
@@ -92,15 +93,20 @@ class IndexManager:
                 index (partition numbers are 0..k-1).
             outlier_factory: builds the outlier index; defaults to calling
                 ``index_factory`` with :data:`OUTLIER_PARTITION`.
+            index_kwargs: backend keyword arguments forwarded verbatim to
+                *every* factory call (DVA and outlier alike), so a
+                constructor choice such as the Bx ``key_store`` backend
+                reaches each sub-index instead of stopping at the manager.
         """
         self.partitioning = partitioning
+        self._index_kwargs: Dict[str, object] = dict(index_kwargs or {})
         self.dva_indexes: List[MovingObjectIndex] = [
-            index_factory(i) for i in range(partitioning.k)
+            index_factory(i, **self._index_kwargs) for i in range(partitioning.k)
         ]
         if outlier_factory is not None:
-            self.outlier_index = outlier_factory()
+            self.outlier_index = outlier_factory(**self._index_kwargs)
         else:
-            self.outlier_index = index_factory(OUTLIER_PARTITION)
+            self.outlier_index = index_factory(OUTLIER_PARTITION, **self._index_kwargs)
         self._directory: Dict[int, _StoredObject] = {}
 
     # ------------------------------------------------------------------

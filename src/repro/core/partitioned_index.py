@@ -45,10 +45,11 @@ class VPIndex:
     def __init__(
         self,
         partitioning: VelocityPartitioning,
-        index_factory: Callable[[int], MovingObjectIndex],
+        index_factory: Callable[..., MovingObjectIndex],
         buffer: BufferManager,
         name: str,
         space: Optional[Rect] = None,
+        index_kwargs: Optional[dict] = None,
     ) -> None:
         """Bundle a partitioning, an index factory and a shared buffer pool.
 
@@ -58,12 +59,15 @@ class VPIndex:
             buffer: the buffer pool shared by every sub-index.
             name: display name used by the harness (e.g. ``"Bx(VP)"``).
             space: data space, when known; seeds kNN filter radii.
+            index_kwargs: backend keyword arguments forwarded through the
+                manager to every ``index_factory`` call (e.g. the Bx
+                ``key_store`` backend choice).
         """
         self.partitioning = partitioning
         self.buffer = buffer
         self.name = name
         self.space = space
-        self.manager = IndexManager(partitioning, index_factory)
+        self.manager = IndexManager(partitioning, index_factory, index_kwargs=index_kwargs)
 
     # ------------------------------------------------------------------
     # Index protocol (mirrors the unpartitioned indexes)
@@ -226,12 +230,25 @@ def make_vp_bx_tree(
     histogram_cells: int = DEFAULT_HISTOGRAM_CELLS,
     buffer_pages: int = DEFAULT_BUFFER_PAGES,
     page_size: Optional[int] = None,
+    key_store: Optional[object] = None,
 ) -> VPIndex:
-    """Build a Bx(VP)-tree: one Bx-tree per DVA plus an outlier Bx-tree."""
+    """Build a Bx(VP)-tree: one Bx-tree per DVA plus an outlier Bx-tree.
+
+    ``key_store`` selects the Bx key-store backend (``"btree"``/``"flat"``
+    or a backend class; see ``docs/backends.md``) for *every* sub-index —
+    the choice travels through the index manager's construction path, so
+    each of the k DVA trees and the outlier tree builds its own store.
+    An instance is rejected: one store cannot back several trees.
+    """
+    if key_store is not None and not isinstance(key_store, (str, type)):
+        raise TypeError(
+            "make_vp_bx_tree builds one key store per sub-index; pass a "
+            "backend name or class, not an instance"
+        )
     shared_buffer = buffer if buffer is not None else BufferManager(capacity=buffer_pages)
     frame_bounds = rotated_space_bounds(space, partitioning)
 
-    def factory(partition: int) -> BxTree:
+    def factory(partition: int, key_store: Optional[object] = None) -> BxTree:
         """Build one Bx-tree over the partition's rotated space bounds."""
         tree_space = space if partition == OUTLIER_PARTITION else frame_bounds[partition]
         return BxTree(
@@ -243,9 +260,17 @@ def make_vp_bx_tree(
             max_update_interval=max_update_interval,
             histogram_cells=histogram_cells,
             page_size=page_size,
+            key_store=key_store,
         )
 
-    return VPIndex(partitioning, factory, shared_buffer, name="Bx(VP)", space=space)
+    return VPIndex(
+        partitioning,
+        factory,
+        shared_buffer,
+        name="Bx(VP)",
+        space=space,
+        index_kwargs={"key_store": key_store},
+    )
 
 
 def make_vp_tprstar_tree(

@@ -52,6 +52,12 @@ class ServeConfig:
             shards keep the undo deltas readers still need.  ``False``
             restores the quiescent-read contract with zero overlay
             overhead (and makes epoch pinning raise).
+        key_store: Bx key-store backend for *factory-built* shards —
+            ``"btree"`` (the paged default when ``None``) or ``"flat"``
+            (the vectorized sorted array), or a backend class; see
+            ``docs/backends.md``.  A name or class, never an instance:
+            each shard needs its own store.  Pre-built shards passed to
+            the constructor keep whatever backend they were built with.
     """
 
     name: Optional[str] = None
@@ -63,6 +69,7 @@ class ServeConfig:
     logs: Optional[Sequence[Any]] = field(default=None, repr=False)
     stores: Optional[Sequence[Any]] = field(default=None, repr=False)
     snapshots: bool = True
+    key_store: Optional[Any] = None
 
     def merged(self, **overrides: Any) -> "ServeConfig":
         """A copy with every non-``None`` override applied."""

@@ -216,17 +216,25 @@ class _FamilyFactory:
         buffer_pages: int = 50,
         page_size: Optional[int] = None,
         max_update_interval: Optional[float] = None,
+        key_store: Optional[object] = None,
     ) -> None:
         if family not in ("Bx", "TPR", "TPR*"):
             raise ValueError(
                 f"unknown index family {family!r} (named families: Bx, TPR, "
                 "TPR*; pass a callable for the VP variants)"
             )
+        if key_store is not None and not isinstance(key_store, (str, type)):
+            raise TypeError(
+                "key_store must be a backend name or class for shard "
+                "factories (every shard needs its own store; a shared "
+                "instance cannot be handed to each one)"
+            )
         self.family = family
         self.space = space
         self.buffer_pages = buffer_pages
         self.page_size = page_size
         self.max_update_interval = max_update_interval
+        self.key_store = key_store
 
     def __call__(self, buffer=None):
         from repro.storage.buffer_manager import BufferManager
@@ -243,6 +251,8 @@ class _FamilyFactory:
                 extra["max_update_interval"] = self.max_update_interval
             if self.space is not None:
                 extra["space"] = self.space
+            if self.key_store is not None:
+                extra["key_store"] = self.key_store
             return BxTree(buffer=buffer, **extra)
         if self.family == "TPR":
             from repro.tprtree.tpr_tree import TPRTree
@@ -686,6 +696,7 @@ class ShardedIndex:
         supervisor: Optional[SupervisorConfig] = None,
         max_workers: Optional[int] = None,
         name: Optional[str] = None,
+        key_store: Optional[object] = None,
     ) -> "ShardedIndex":
         """Build a ready-to-serve sharded index in one call.
 
@@ -716,9 +727,29 @@ class ShardedIndex:
             supervisor: retry/breaker/timeout policy.
             max_workers: fan-out width (default: the shard count).
             name: display name (default: the family name).
+            key_store: Bx key-store backend for the factory-built shards
+                (``"btree"``/``"flat"`` or a backend class; see
+                ``docs/backends.md``).  Requires the paged default with
+                ``durable_dir`` — durable checkpoints persist buffer
+                pages, which the flat backend does not use.
         """
         if shards < 1:
             raise ValueError("shards must be at least 1")
+        base = config if config is not None else ServeConfig()
+        if key_store is None:
+            key_store = base.key_store
+        if durable_dir is not None and key_store is not None:
+            from repro.btree.store import BTreeKeyStore
+
+            paged = key_store == "btree" or (
+                isinstance(key_store, type) and issubclass(key_store, BTreeKeyStore)
+            )
+            if not paged:
+                raise ValueError(
+                    "durable_dir requires the paged 'btree' key store: "
+                    "checkpoints persist buffer pages, and the flat "
+                    "backend keeps its arrays off-page (docs/backends.md)"
+                )
         if callable(family):
             factory: Callable[[], object] = family
             family_name = getattr(family, "__name__", type(family).__name__)
@@ -729,9 +760,9 @@ class ShardedIndex:
                 buffer_pages=buffer_pages,
                 page_size=page_size,
                 max_update_interval=max_update_interval,
+                key_store=key_store,
             )
             family_name = family
-        base = config if config is not None else ServeConfig()
         base = base.merged(
             name=name or base.name or family_name,
             space=space,
@@ -739,6 +770,7 @@ class ShardedIndex:
             max_workers=max_workers,
             shard_factory=factory,
             supervisor=supervisor,
+            key_store=key_store,
         )
         if durable_dir is not None:
             if callable(family):

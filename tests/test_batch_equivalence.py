@@ -85,7 +85,7 @@ def _stored_objects(index, name):
         )
     if name.startswith("Bx"):
         return sorted(
-            (key, obj.oid, repr(obj)) for key, obj in index.btree.items()
+            (key, obj.oid, repr(obj)) for key, obj in index.store.items()
         )
     return sorted(
         (oid, bound.rect.x_min, bound.rect.y_min, bound.reference_time)

@@ -1,0 +1,269 @@
+"""The KeyStore contract: FlatKeyStore pinned bit-identical to BPlusTree.
+
+The flat vectorized backend re-implements the exact semantics the
+Bx-tree historically consumed from the paged B+-tree — duplicate keys in
+insertion order, leftmost-match delete/replace, the merged
+``apply_batch`` work ordering (deletes before upserts before inserts of
+the same key, upsert-miss degrading to an insertion) and ``(key, value)``
+range results in key order.  The Hypothesis suites drive both backends
+through random operation interleavings and mixed batches over a tiny
+key/value domain (so duplicate keys and value collisions are the common
+case, not the edge case) and require the stores to agree after every
+step.  The factory tests pin the ``make_key_store`` idiom to its
+``make_executor`` sibling.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.btree.bplus_tree import BPlusTree
+from repro.bxtree import (
+    KEY_STORES,
+    BTreeKeyStore,
+    BxTree,
+    FlatKeyStore,
+    make_key_store,
+)
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.vector import Vector
+from repro.objects.moving_object import MovingObject
+from repro.storage.buffer_manager import BufferManager
+
+PROPERTY_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+# Tiny domains make duplicate keys and equal values the common case.
+keys = st.integers(min_value=0, max_value=15)
+values = st.integers(min_value=0, max_value=3)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), keys, values),
+        st.tuples(st.just("delete"), keys, values),
+        st.tuples(st.just("replace"), keys, values, values),
+        st.tuples(
+            st.just("batch"),
+            st.lists(st.tuples(keys, values), max_size=4),
+            st.lists(st.tuples(keys, values), max_size=4),
+            st.lists(st.tuples(keys, values, values), max_size=4),
+        ),
+    ),
+    max_size=25,
+)
+
+
+def _apply(store, op):
+    """Apply one drawn operation; returns the backend's observable result."""
+    if op[0] == "insert":
+        return store.insert(op[1], op[2])
+    if op[0] == "delete":
+        return store.delete(op[1], op[2])
+    if op[0] == "replace":
+        return store.replace(op[1], op[2], op[3])
+    _, deletes, inserts, upserts = op
+    flags = store.apply_batch(deletes, inserts, upserts)
+    return (list(flags[0]), list(flags[1]))
+
+
+# ----------------------------------------------------------------------
+# Differential properties: FlatKeyStore vs BPlusTree
+# ----------------------------------------------------------------------
+@PROPERTY_SETTINGS
+@given(ops=operations)
+def test_random_interleavings_match_btree(ops):
+    """Same flags, same contents, same order — after every single step."""
+    reference = BPlusTree()
+    flat = FlatKeyStore()
+    for op in ops:
+        expected = _apply(reference, op)
+        actual = _apply(flat, op)
+        if op[0] == "batch":
+            assert (list(expected[0]), list(expected[1])) == actual
+        else:
+            assert expected == actual
+        assert list(reference.items()) == list(flat.items())
+
+
+@PROPERTY_SETTINGS
+@given(
+    ops=operations,
+    bounds=st.lists(st.tuples(keys, keys), min_size=1, max_size=6),
+)
+def test_range_searches_match_btree(ops, bounds):
+    """Point ranges, inverted ranges and batch scans agree on final state."""
+    reference = BPlusTree()
+    flat = FlatKeyStore()
+    for op in ops:
+        _apply(reference, op)
+        _apply(flat, op)
+    for low, high in bounds:
+        assert reference.range_search(low, high) == flat.range_search(low, high)
+    assert reference.range_search_batch(bounds) == flat.range_search_batch(bounds)
+    assert reference.range_search_batch(
+        bounds, sequential_hint=False
+    ) == flat.range_search_batch(bounds, sequential_hint=False)
+
+
+@PROPERTY_SETTINGS
+@given(pairs=st.lists(st.tuples(keys, values), max_size=30))
+def test_bulk_load_matches_btree(pairs):
+    """Stable key sort: ties keep arrival order on both backends."""
+    reference = BPlusTree()
+    flat = FlatKeyStore()
+    reference.bulk_load(list(pairs))
+    flat.bulk_load(list(pairs))
+    assert list(reference.items()) == list(flat.items())
+    assert len(reference) == len(flat) == flat.size
+
+
+# ----------------------------------------------------------------------
+# Boundary semantics
+# ----------------------------------------------------------------------
+def test_empty_store_edges():
+    flat = FlatKeyStore()
+    assert flat.range_search(0, 100) == []
+    assert flat.range_search_batch([]) == []
+    assert flat.range_search_batch([(0, 5), (5, 0)]) == [[], []]
+    assert flat.knn_candidates_batch([]) == []
+    assert list(flat.items()) == []
+    assert flat.delete(3, 1) is False
+    assert flat.replace(3, 1, 2) is False
+    assert flat.apply_batch() == ([], [])
+
+
+def test_bulk_load_requires_empty():
+    flat = FlatKeyStore()
+    flat.insert(1, 1)
+    with pytest.raises(ValueError, match="empty"):
+        flat.bulk_load([(2, 2)])
+
+
+def test_boundary_ranges_are_inclusive():
+    flat = FlatKeyStore()
+    for key in (2, 2, 5, 9):
+        flat.insert(key, key * 10)
+    assert flat.range_search(2, 2) == [(2, 20), (2, 20)]
+    assert flat.range_search(3, 4) == []
+    assert flat.range_search(9, 9) == [(9, 90)]
+    assert flat.range_search(0, 100) == [(2, 20), (2, 20), (5, 50), (9, 90)]
+
+
+def test_results_are_python_scalars():
+    """No numpy scalar types may leak into results (pickle/JSON identity)."""
+    flat = FlatKeyStore()
+    flat.insert(7, "x")
+    ((key, _),) = flat.range_search(0, 10)
+    assert type(key) is int
+    ((key, _),) = list(flat.items())
+    assert type(key) is int
+
+
+def test_knn_candidates_match_btree_backend():
+    objects = [
+        MovingObject(oid=i, position=Point(10.0 * i, 5.0 * i),
+                     velocity=Vector(1.0, -1.0), reference_time=float(i % 3))
+        for i in range(12)
+    ]
+    paged = BTreeKeyStore()
+    flat = FlatKeyStore()
+    for store in (paged, flat):
+        store.bulk_load([(i % 5, obj) for i, obj in enumerate(objects)])
+    ranges = [(0, 2), (3, 4), (4, 3), (0, 10)]
+    expected = paged.knn_candidates_batch(ranges)
+    actual = flat.knn_candidates_batch(ranges)
+    assert expected == actual
+    for per_range in actual:
+        for cand in per_range:
+            assert type(cand[0]) is int
+            assert all(type(field) is float for field in cand[1:])
+
+
+def test_knn_candidates_fall_back_for_opaque_payloads():
+    """Non-motion payloads (the property suites use ints) must not crash."""
+    flat = FlatKeyStore()
+    flat.insert(1, 123)
+    flat.delete(1, 123)
+    objects = [
+        MovingObject(oid=i, position=Point(1.0, 2.0), velocity=Vector(0.0, 0.0))
+        for i in range(3)
+    ]
+    for i, obj in enumerate(objects):
+        flat.insert(i, obj)
+    assert flat.knn_candidates_batch([(0, 2)]) == [
+        [(o.oid, 1.0, 2.0, 0.0, 0.0, 0.0) for o in objects]
+    ]
+
+
+# ----------------------------------------------------------------------
+# The make_key_store factory (the make_executor idiom)
+# ----------------------------------------------------------------------
+def test_factory_resolves_default_names_classes_and_instances():
+    assert isinstance(make_key_store(None), BTreeKeyStore)
+    assert isinstance(make_key_store("btree"), BTreeKeyStore)
+    assert isinstance(make_key_store("flat"), FlatKeyStore)
+    assert isinstance(make_key_store(FlatKeyStore), FlatKeyStore)
+    ready = FlatKeyStore()
+    assert make_key_store(ready) is ready
+    assert set(KEY_STORES) == {"btree", "flat"}
+
+
+def test_factory_rejects_unknown_name_and_bad_spec():
+    with pytest.raises(ValueError, match="unknown key store"):
+        make_key_store("lsm")
+    with pytest.raises(TypeError, match="key_store"):
+        make_key_store(42)
+
+
+def test_factory_threads_buffer_and_page_size():
+    buffer = BufferManager(capacity=7)
+    paged = make_key_store("btree", buffer=buffer, page_size=512)
+    assert paged.buffer is buffer
+    assert paged.tree.buffer is buffer
+    flat = make_key_store("flat", buffer=buffer, page_size=512)
+    assert flat.buffer is buffer
+
+
+def test_bxtree_selects_backend_and_rejects_nonempty_instance():
+    assert isinstance(BxTree().store, BTreeKeyStore)
+    assert isinstance(BxTree(key_store="flat").store, FlatKeyStore)
+    used = FlatKeyStore()
+    used.insert(1, 1)
+    with pytest.raises(ValueError, match="empty"):
+        BxTree(key_store=used)
+
+
+def test_multi_tree_factories_reject_instances():
+    from repro.core.partitioned_index import make_vp_bx_tree
+    from repro.serve.sharded_index import _FamilyFactory
+
+    instance = FlatKeyStore()
+    with pytest.raises(TypeError, match="instance"):
+        make_vp_bx_tree(None, key_store=instance)
+    with pytest.raises(TypeError, match="name or class"):
+        _FamilyFactory("Bx", key_store=instance)
+
+
+# ----------------------------------------------------------------------
+# The deprecation shim
+# ----------------------------------------------------------------------
+@pytest.mark.filterwarnings("always:BxTree.btree is deprecated")
+def test_btree_reach_in_warns_and_still_works():
+    index = BxTree()
+    with pytest.warns(DeprecationWarning, match="BxTree.btree is deprecated"):
+        tree = index.btree
+    assert isinstance(tree, BPlusTree)
+    assert tree is index.store.tree
+
+    flat_index = BxTree(key_store="flat")
+    with pytest.warns(DeprecationWarning, match="BxTree.btree is deprecated"):
+        shim = flat_index.btree
+    # No inner B+-tree to hand back: the duck-compatible store surface is
+    # returned so read-only reach-ins (items, range_search) keep working.
+    assert shim is flat_index.store
